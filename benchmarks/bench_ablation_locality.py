@@ -1,0 +1,84 @@
+"""Ablation E4: locality-aware vs naive ACG decomposition vs hybrid.
+
+Paper claim (Section V): the locality-aware algorithm "can always be
+made to produce a routing scheme with a smaller or equal depth as
+opposed to the naive grid routing algorithm" via the free fallback —
+i.e. hybrid <= naive everywhere; and pure locality-aware should win
+clearly on block-local workloads (the whole point of the paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import run_sweep, series_table
+from repro.graphs import GridGraph
+from repro.perm import block_local_permutation
+from repro.routing import LocalGridRouter, NaiveGridRouter, make_router
+
+from conftest import SEEDS, write_result
+
+SIZES = [8, 16, 24]
+
+
+@pytest.fixture(scope="module")
+def locality_sweep():
+    return run_sweep(
+        SIZES,
+        ["random", "block_local"],
+        {
+            "local": LocalGridRouter(),
+            "naive": NaiveGridRouter(),
+            "naive+T": NaiveGridRouter(transpose_strategy=True),
+            "hybrid": make_router("hybrid"),
+        },
+        seeds=SEEDS,
+    )
+
+
+def test_locality_ablation(benchmark, locality_sweep, results_dir):
+    table = benchmark(
+        series_table,
+        locality_sweep,
+        "depth",
+        title="Ablation — locality-aware vs naive decomposition (mean depth)",
+    )
+    lines = [table]
+    ok = True
+    for n in SIZES:
+        h = locality_sweep.mean_depth("block_local", "hybrid", n)
+        nv = locality_sweep.mean_depth("block_local", "naive+T", n)
+        passed = h <= nv + 1e-9
+        ok = ok and passed
+        lines.append(
+            f"[{'PASS' if passed else 'FAIL'}] {n}x{n}: hybrid <= naive+T "
+            f"on block-local ({h:.1f} vs {nv:.1f})"
+        )
+        loc = locality_sweep.mean_depth("block_local", "local", n)
+        win = loc < nv
+        ok = ok and win
+        lines.append(
+            f"[{'PASS' if win else 'FAIL'}] {n}x{n}: local beats naive+T "
+            f"on block-local ({loc:.1f} vs {nv:.1f})"
+        )
+    write_result(results_dir, "ablation_locality.txt", "\n".join(lines) + "\n")
+    assert ok
+
+
+def test_block_local_gap_grows_with_size(benchmark, locality_sweep, results_dir):
+    """Locality advantage should widen as the grid grows (cycles stay
+    4x4-local while the naive decomposition scatters over m rows)."""
+
+    def ratios():
+        return [
+            locality_sweep.mean_depth("block_local", "naive", n)
+            / locality_sweep.mean_depth("block_local", "local", n)
+            for n in SIZES
+        ]
+
+    r = benchmark(ratios)
+    content = "naive/local depth ratio on block-local: " + ", ".join(
+        f"{n}: {q:.2f}" for n, q in zip(SIZES, r)
+    )
+    write_result(results_dir, "ablation_locality_gap.txt", content + "\n")
+    assert r[-1] >= r[0]  # monotone-ish widening

@@ -1,0 +1,71 @@
+"""Ablation A2: the implementation strategies around the core algorithm.
+
+Quantifies each engineering choice DESIGN.md calls out:
+
+* transpose strategy (Algorithm 1's both-orientations minimum) on/off;
+* cross-phase ASAP compaction on/off (the main strengthening over the
+  paper's raw 3-phase depth accounting);
+* OET starting-parity optimization on/off;
+* window growth schedule: nested power-of-two widths (ours) vs the
+  literal ``w <- 2w`` of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import run_sweep, series_table
+from repro.routing import LocalGridRouter
+
+from conftest import SEEDS, write_result
+
+SIZES = [8, 16, 24]
+
+
+@pytest.fixture(scope="module")
+def strategy_sweep():
+    return run_sweep(
+        SIZES,
+        ["random", "block_local"],
+        {
+            "full": LocalGridRouter(),
+            "no-transpose": LocalGridRouter(transpose_strategy=False),
+            "no-compact": LocalGridRouter(compact=False),
+            "no-parity": LocalGridRouter(optimize_parity=False),
+            "paper-windows": LocalGridRouter(window_growth="paper"),
+        },
+        seeds=SEEDS,
+    )
+
+
+def test_strategy_ablation(benchmark, strategy_sweep, results_dir):
+    table = benchmark(
+        series_table,
+        strategy_sweep,
+        "depth",
+        title="Ablation — implementation strategies (mean depth)",
+    )
+    lines = [table]
+    ok = True
+    for wname in ("random", "block_local"):
+        for variant in ("no-transpose", "no-compact", "no-parity", "paper-windows"):
+            for n in SIZES:
+                full = strategy_sweep.mean_depth(wname, "full", n)
+                abl = strategy_sweep.mean_depth(wname, variant, n)
+                # Each strategy must never hurt when enabled (allow tiny
+                # noise: different decompositions can tie or flip by a
+                # couple of rounds on individual seeds).
+                passed = full <= abl + 2.0
+                ok = ok and passed
+                lines.append(
+                    f"[{'PASS' if passed else 'FAIL'}] {wname} {n}x{n}: "
+                    f"full ({full:.1f}) <= {variant} ({abl:.1f}) + slack"
+                )
+    # headline: compaction is the largest single win on block-local
+    n = SIZES[-1]
+    gain = strategy_sweep.mean_depth("block_local", "no-compact", n) / max(
+        strategy_sweep.mean_depth("block_local", "full", n), 1e-9
+    )
+    lines.append(f"[INFO] compaction gain on block-local {n}x{n}: x{gain:.2f}")
+    write_result(results_dir, "ablation_strategies.txt", "\n".join(lines) + "\n")
+    assert ok

@@ -1,0 +1,79 @@
+"""Section V text claims: the workloads where ATS was reported to win.
+
+Paper: "if the cycles of pi form overlapping blocks, then ATS performs
+better than our algorithm. If pi happens to contain long and skinny
+cycles that stretch in orthogonal directions, then our locality aware
+scheme will fail to optimize for both cycles simultaneously."
+
+We regenerate both workload classes and report the depth series. Note:
+our implementation strengthens the locality-aware router (nested
+windows, assignment refinement, cross-phase compaction), so the paper's
+"ATS wins" direction is not expected to survive unchanged — the bench
+records the measured ratios either way, and EXPERIMENTS.md discusses the
+difference. The structural claim that *does* reproduce: these are the
+hardest workloads for the locality-aware router relative to its own
+block-local performance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import series_table
+from repro.graphs import GridGraph
+from repro.perm import overlapping_block_permutation, skinny_cycle_permutation
+from repro.routing import LocalGridRouter
+from repro.token_swap import TokenSwapRouter
+
+from conftest import write_result
+
+
+def test_adversarial_series(benchmark, adversarial_sweep, paper_sweep, results_dir):
+    """Emit depth tables for overlapping-block and skinny-cycle loads."""
+    table = benchmark(
+        series_table,
+        adversarial_sweep,
+        "depth",
+        title="Section V — adversarial workloads (mean depth)",
+    )
+    lines = [table]
+    # Hardness ordering: for the locality-aware router, overlapping
+    # blocks must be harder than disjoint blocks at every common size.
+    ok = True
+    for n in adversarial_sweep.grid_sizes():
+        d_overlap = adversarial_sweep.mean_depth("overlapping", "local", n)
+        d_block = paper_sweep.mean_depth("block_local", "local", n)
+        ratio = d_overlap / d_block
+        ok = ok and d_overlap >= d_block
+        lines.append(
+            f"[{'PASS' if d_overlap >= d_block else 'FAIL'}] "
+            f"{n}x{n}: overlapping blocks harder than disjoint blocks "
+            f"for local router (x{ratio:.2f})"
+        )
+    # Measured local-vs-ATS ratios on the adversarial classes (recorded,
+    # not asserted — see module docstring).
+    for wname in ("overlapping", "skinny"):
+        for n in adversarial_sweep.grid_sizes():
+            dl = adversarial_sweep.mean_depth(wname, "local", n)
+            da = adversarial_sweep.mean_depth(wname, "ats", n)
+            lines.append(f"[INFO] {wname} {n}x{n}: local/ats depth = {dl / da:.2f}")
+    write_result(results_dir, "adversarial.txt", "\n".join(lines) + "\n")
+    assert ok
+
+
+@pytest.mark.parametrize("workload", ["overlapping", "skinny"])
+@pytest.mark.parametrize("router_name", ["local", "ats"])
+def test_adversarial_routing_16x16(benchmark, workload, router_name):
+    grid = GridGraph(16, 16)
+    gen = (
+        overlapping_block_permutation
+        if workload == "overlapping"
+        else skinny_cycle_permutation
+    )
+    perm = gen(grid, seed=0)
+    router = LocalGridRouter() if router_name == "local" else TokenSwapRouter()
+    schedule = benchmark.pedantic(
+        router.route, args=(grid, perm), rounds=3, iterations=1
+    )
+    schedule.verify(grid, perm)
+    benchmark.extra_info["depth"] = schedule.depth

@@ -1,0 +1,120 @@
+"""Extension A3 (paper Section IV-C): Cartesian-product architectures.
+
+The paper's algorithm generalizes to ``G1 □ G2``; we exercise it on the
+torus (``C_m □ C_n``) and cylinder (``P_m □ C_n``), comparing:
+
+* locality-aware vs naive decomposition on products;
+* torus vs grid on the same permutation (wrap-around edges should help);
+* product-router wall clock vs the token-swapping fallback.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.graphs import GridGraph, cylinder_graph, torus_graph
+from repro.perm import Permutation, block_local_permutation, random_permutation
+from repro.routing import CartesianRouter
+from repro.token_swap import TokenSwapRouter
+
+from conftest import write_result
+
+SIZES = [6, 10, 14]
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def product_records():
+    """Depth/time records on torus + cylinder for three routers."""
+    routers = {
+        "cart-local": CartesianRouter(locality=True),
+        "cart-naive": CartesianRouter(locality=False),
+        "ats": TokenSwapRouter(),
+    }
+    records: list[tuple[str, int, str, str, int, int, float]] = []
+    for n in SIZES:
+        for gname, graph in (("torus", torus_graph(n, n)), ("cylinder", cylinder_graph(n, n))):
+            for seed in SEEDS:
+                perm = random_permutation(graph, seed=seed)
+                for rname, router in routers.items():
+                    t0 = time.perf_counter()
+                    sched = router.route(graph, perm)
+                    dt = time.perf_counter() - t0
+                    records.append((gname, n, rname, "random", sched.depth, sched.size, dt))
+    return records
+
+
+def test_product_routing_table(benchmark, product_records, results_dir):
+    def render() -> str:
+        lines = [
+            "Cartesian products — random permutations (mean over seeds)",
+            f"{'graph':>10} {'n':>4} {'router':>12} {'depth':>8} {'time':>10}",
+        ]
+        keys = sorted({(g, n, r) for g, n, r, *_ in product_records})
+        for g, n, r in keys:
+            rows = [rec for rec in product_records if rec[:3] == (g, n, r)]
+            depth = sum(rec[4] for rec in rows) / len(rows)
+            secs = sum(rec[6] for rec in rows) / len(rows)
+            lines.append(f"{g:>10} {n:>4} {r:>12} {depth:>8.1f} {secs * 1e3:>8.1f}ms")
+        return "\n".join(lines)
+
+    table = benchmark(render)
+    lines = [table]
+    ok = True
+    # locality-aware product router never much worse than naive; faster than ATS
+    keys = sorted({(g, n) for g, n, *_ in product_records})
+    for g, n in keys:
+        def mean(router, field):
+            rows = [rec for rec in product_records if rec[0] == g and rec[1] == n and rec[2] == router]
+            return sum(rec[field] for rec in rows) / len(rows)
+
+        d_loc, d_nv = mean("cart-local", 4), mean("cart-naive", 4)
+        t_loc, t_ats = mean("cart-local", 6), mean("ats", 6)
+        passed = d_loc <= d_nv * 1.25 + 2
+        ok = ok and passed
+        lines.append(
+            f"[{'PASS' if passed else 'FAIL'}] {g} {n}: cart-local depth "
+            f"({d_loc:.1f}) competitive with cart-naive ({d_nv:.1f}); "
+            f"time {t_loc * 1e3:.0f}ms vs ats {t_ats * 1e3:.0f}ms"
+        )
+    write_result(results_dir, "cartesian.txt", "\n".join(lines) + "\n")
+    assert ok
+
+
+def test_torus_wraparound_beats_grid(benchmark, results_dir):
+    """Seam swaps are cheap on the torus thanks to wrap-around edges.
+
+    The permutation exchanges columns 0 and n-1 within every row: on the
+    torus each pair sits on a wrap-around edge (one matching suffices in
+    the row phase); on the grid each token must cross the full row.
+    """
+    n = 10
+    grid = GridGraph(n, n)
+    torus = torus_graph(n, n)
+    perm = Permutation.from_cycles(
+        n * n, [(grid.index(i, 0), grid.index(i, n - 1)) for i in range(n)]
+    )
+    router = CartesianRouter()
+    torus_sched = benchmark.pedantic(
+        router.route, args=(torus, perm), rounds=3, iterations=1
+    )
+    torus_sched.verify(torus, perm)
+    grid_sched = router.route(grid, perm)
+    content = (
+        f"seam swaps on {n}x{n}: torus depth {torus_sched.depth}, "
+        f"grid depth {grid_sched.depth}\n"
+    )
+    write_result(results_dir, "cartesian_wraparound.txt", content)
+    assert torus_sched.depth < grid_sched.depth
+
+
+@pytest.mark.parametrize("maker", [torus_graph, cylinder_graph], ids=["torus", "cylinder"])
+def test_product_routing_time(benchmark, maker):
+    graph = maker(10, 10)
+    perm = Permutation.random(graph.n_vertices, seed=1)
+    router = CartesianRouter()
+    sched = benchmark.pedantic(router.route, args=(graph, perm), rounds=3, iterations=1)
+    sched.verify(graph, perm)
+    benchmark.extra_info["depth"] = sched.depth

@@ -1,0 +1,87 @@
+"""NISQ-motivation bench: routers compared in estimated success probability.
+
+The paper's introduction argues depth/size reductions matter because
+they determine whether the output state is usable at all on NISQ
+hardware. This bench converts the Figure-4 schedules into estimated
+success probabilities under a standard independent-error model
+(3e-3 per CNOT, SWAP = 3 CNOTs, idle decay per layer) and checks that
+the depth ordering translates into a fidelity ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import GridGraph
+from repro.noise import NoiseModel
+from repro.perm import block_local_permutation, random_permutation
+from repro.routing import LocalGridRouter, NaiveGridRouter
+from repro.token_swap import TokenSwapRouter
+
+from conftest import write_result
+
+SIZES = [8, 12, 16]
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def fidelity_records():
+    model = NoiseModel()
+    routers = {
+        "local": LocalGridRouter(),
+        "naive": NaiveGridRouter(),
+        "ats": TokenSwapRouter(),
+    }
+    gens = {"random": random_permutation, "block_local": block_local_permutation}
+    records = []
+    for n in SIZES:
+        grid = GridGraph(n, n)
+        for wname, gen in gens.items():
+            for seed in SEEDS:
+                perm = gen(grid, seed=seed)
+                for rname, router in routers.items():
+                    sched = router.route(grid, perm)
+                    records.append(
+                        (n, wname, rname, model.schedule_fidelity(sched))
+                    )
+    return records
+
+
+def test_fidelity_ordering(benchmark, fidelity_records, results_dir):
+    def render() -> str:
+        lines = [
+            "Estimated routing success probability (mean over seeds)",
+            f"{'grid':>6} {'workload':>12} {'local':>8} {'naive':>8} {'ats':>8}",
+        ]
+        for n in SIZES:
+            for wname in ("random", "block_local"):
+                row = [f"{n}x{n}".rjust(6), wname.rjust(12)]
+                for rname in ("local", "naive", "ats"):
+                    vals = [
+                        f for (sz, w, r, f) in fidelity_records
+                        if (sz, w, r) == (n, wname, rname)
+                    ]
+                    row.append(f"{sum(vals) / len(vals):8.4f}")
+                lines.append(" ".join(row))
+        return "\n".join(lines)
+
+    table = benchmark(render)
+    lines = [table]
+    ok = True
+    for n in SIZES:
+        for wname in ("random", "block_local"):
+            def mean(rname):
+                vals = [
+                    f for (sz, w, r, f) in fidelity_records
+                    if (sz, w, r) == (n, wname, rname)
+                ]
+                return sum(vals) / len(vals)
+
+            passed = mean("local") >= mean("ats")
+            ok = ok and passed
+            lines.append(
+                f"[{'PASS' if passed else 'FAIL'}] {n}x{n} {wname}: "
+                f"local success {mean('local'):.4f} >= ats {mean('ats'):.4f}"
+            )
+    write_result(results_dir, "fidelity.txt", "\n".join(lines) + "\n")
+    assert ok

@@ -1,0 +1,73 @@
+"""Figure 4 reproduction: depth of computed swap networks.
+
+Paper series: locality-aware vs approximate token swapping, on uniformly
+random permutations (green vs brown) and disjoint-block-local
+permutations (blue vs red), across grid sizes.
+
+Paper claims checked:
+* locality-aware produces shallower schedules than ATS on random
+  permutations;
+* the two are comparable on disjoint-block-local permutations (our
+  stronger implementation in fact wins there too; see EXPERIMENTS.md).
+
+The pytest-benchmark timings here measure the *depth-producing* routing
+call on a representative 16x16 instance per router; the full-size series
+comes from the shared session sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ascii_plot, check_claims, series_table, to_csv
+from repro.graphs import GridGraph
+from repro.perm import block_local_permutation, random_permutation
+from repro.routing import LocalGridRouter, NaiveGridRouter
+from repro.token_swap import TokenSwapRouter
+
+from conftest import write_result
+
+ROUTERS = {
+    "local": LocalGridRouter(),
+    "naive": NaiveGridRouter(),
+    "ats": TokenSwapRouter(),
+}
+
+
+def test_fig4_series(benchmark, paper_sweep, results_dir):
+    """Emit the Figure 4 table (mean depth per size/workload/router)."""
+    table = benchmark(
+        series_table,
+        paper_sweep,
+        "depth",
+        title="Figure 4 — depth of computed swap networks (mean over seeds)",
+    )
+    checks = check_claims(paper_sweep)
+    depth_checks = [c for c in checks if c.claim.startswith("Fig4")]
+    chart = ascii_plot(
+        paper_sweep, "depth", routers=["local", "ats"],
+        title="Figure 4 — depth vs grid size",
+    )
+    content = (
+        table + "\n" + chart + "\n"
+        + "\n".join(str(c) for c in depth_checks) + "\n"
+    )
+    write_result(results_dir, "fig4_depth.txt", content)
+    (results_dir / "fig4_raw.csv").write_text(to_csv(paper_sweep), encoding="utf-8")
+    assert all(c.passed for c in depth_checks)
+
+
+@pytest.mark.parametrize("router_name", list(ROUTERS))
+@pytest.mark.parametrize("workload", ["random", "block_local"])
+def test_depth_routing_16x16(benchmark, router_name, workload):
+    """Time one representative Figure-4 instance per router/workload."""
+    grid = GridGraph(16, 16)
+    gen = random_permutation if workload == "random" else block_local_permutation
+    perm = gen(grid, seed=0)
+    router = ROUTERS[router_name]
+    schedule = benchmark.pedantic(
+        router.route, args=(grid, perm), rounds=3, iterations=1, warmup_rounds=1
+    )
+    schedule.verify(grid, perm)
+    benchmark.extra_info["depth"] = schedule.depth
+    benchmark.extra_info["size"] = schedule.size

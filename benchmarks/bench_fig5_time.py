@@ -1,0 +1,63 @@
+"""Figure 5 reproduction: time spent finding swap networks.
+
+Paper claim: the locality-aware router "scales well and in fact is
+significantly faster — an order of magnitude on larger grids — vs ATS".
+
+Two measurements:
+* the shared session sweep's per-call wall clock (same data as Fig. 4,
+  plotted as time) — emitted as the Figure 5 series table;
+* pytest-benchmark statistics per (router, grid size) on random
+  permutations, the paper's time-vs-size curve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ascii_plot, check_claims, series_table
+from repro.graphs import GridGraph
+from repro.perm import random_permutation
+from repro.routing import LocalGridRouter, NaiveGridRouter
+from repro.token_swap import TokenSwapRouter
+
+from conftest import SIZES, write_result
+
+ROUTERS = {
+    "local": LocalGridRouter(),
+    "naive": NaiveGridRouter(),
+    "ats": TokenSwapRouter(),
+}
+
+
+def test_fig5_series(benchmark, paper_sweep, results_dir):
+    """Emit the Figure 5 table (mean router seconds per size/workload)."""
+    table = benchmark(
+        series_table,
+        paper_sweep,
+        "seconds",
+        title="Figure 5 — time spent finding swap networks (mean over seeds)",
+    )
+    checks = [c for c in check_claims(paper_sweep) if c.claim.startswith("Fig5")]
+    chart = ascii_plot(
+        paper_sweep, "seconds", routers=["local", "ats"],
+        title="Figure 5 — router seconds vs grid size",
+    )
+    content = (
+        table + "\n" + chart + "\n" + "\n".join(str(c) for c in checks) + "\n"
+    )
+    write_result(results_dir, "fig5_time.txt", content)
+    assert all(c.passed for c in checks)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("router_name", list(ROUTERS))
+def test_time_scaling_random(benchmark, router_name, size):
+    """The paper's time-vs-grid-size curve, per router."""
+    grid = GridGraph(size, size)
+    perm = random_permutation(grid, seed=0)
+    router = ROUTERS[router_name]
+    rounds = 1 if (router_name == "ats" and size >= 24) else 3
+    schedule = benchmark.pedantic(
+        router.route, args=(grid, perm), rounds=rounds, iterations=1
+    )
+    benchmark.extra_info["depth"] = schedule.depth

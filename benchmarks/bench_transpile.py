@@ -1,0 +1,120 @@
+"""End-to-end A4: the router inside a full transpiler.
+
+The paper positions its algorithm as a drop-in routing primitive for
+transpilers. This bench transpiles three benchmark circuit families
+(QFT, 2-D lattice Trotter, random circuits) onto grid devices with each
+router and reports physical depth, inserted SWAPs and routing time —
+the numbers a transpiler author would use to pick a router.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import lattice_trotter, qft, random_circuit
+from repro.graphs import GridGraph
+from repro.routing import LocalGridRouter, NaiveGridRouter
+from repro.token_swap import TokenSwapRouter
+from repro.transpile import transpile
+
+from conftest import write_result
+
+ROUTERS = {
+    "local": LocalGridRouter(),
+    "naive": NaiveGridRouter(),
+    "ats": TokenSwapRouter(),
+}
+
+
+def _cases(grid: GridGraph):
+    n = grid.n_vertices
+    return {
+        "qft": qft(n),
+        "trotter": lattice_trotter(grid, steps=2),
+        "random": random_circuit(n, 12, seed=0),
+    }
+
+
+@pytest.fixture(scope="module")
+def transpile_records():
+    records = []
+    for side in (4, 6):
+        grid = GridGraph(side, side)
+        for cname, circuit in _cases(grid).items():
+            for rname, router in list(ROUTERS.items()) + [("sabre", "sabre")]:
+                res = transpile(circuit, grid, router=router, mapping="identity")
+                records.append(
+                    (
+                        f"{side}x{side}",
+                        cname,
+                        rname,
+                        circuit.depth(),
+                        res.physical.depth(),
+                        res.n_swaps,
+                        res.routing_time,
+                    )
+                )
+    return records
+
+
+def test_transpile_table(benchmark, transpile_records, results_dir):
+    def render() -> str:
+        lines = [
+            "Transpilation — physical depth / swaps / router time",
+            f"{'grid':>6} {'circuit':>8} {'router':>6} {'d_log':>6} "
+            f"{'d_phys':>7} {'swaps':>6} {'t_route':>9}",
+        ]
+        for grid, cname, rname, dl, dp, swaps, t in transpile_records:
+            lines.append(
+                f"{grid:>6} {cname:>8} {rname:>6} {dl:>6} {dp:>7} "
+                f"{swaps:>6} {t * 1e3:>7.1f}ms"
+            )
+        return "\n".join(lines)
+
+    table = benchmark(render)
+    lines = [table]
+    # Claims: geometric (trotter-on-matching-grid) circuits need no swaps;
+    # local router's physical depth beats ATS's on QFT at the larger size.
+    ok = True
+    for grid, cname, rname, dl, dp, swaps, t in transpile_records:
+        if cname == "trotter":
+            passed = swaps == 0
+            ok = ok and passed
+            lines.append(
+                f"[{'PASS' if passed else 'FAIL'}] {grid} trotter/{rname}: "
+                f"geometric workload needs no swaps (got {swaps})"
+            )
+
+    def phys_depth(grid, cname, rname):
+        for g, c, r, dl, dp, *_ in transpile_records:
+            if (g, c, r) == (grid, cname, rname):
+                return dp
+        raise KeyError
+
+    d_local = phys_depth("6x6", "qft", "local")
+    d_ats = phys_depth("6x6", "qft", "ats")
+    passed = d_local <= d_ats * 1.1
+    ok = ok and passed
+    lines.append(
+        f"[{'PASS' if passed else 'FAIL'}] 6x6 qft: local physical depth "
+        f"({d_local}) <= 1.1x ats ({d_ats})"
+    )
+    write_result(results_dir, "transpile.txt", "\n".join(lines) + "\n")
+    assert ok
+
+
+@pytest.mark.parametrize("router_name", list(ROUTERS))
+def test_transpile_qft_time(benchmark, router_name):
+    """Wall clock of the full transpile call (QFT-36 on a 6x6 grid)."""
+    grid = GridGraph(6, 6)
+    circuit = qft(36)
+    router = ROUTERS[router_name]
+    res = benchmark.pedantic(
+        transpile,
+        args=(circuit, grid),
+        kwargs={"router": router, "mapping": "identity"},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["physical_depth"] = res.physical.depth()
+    benchmark.extra_info["n_swaps"] = res.n_swaps

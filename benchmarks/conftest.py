@@ -1,0 +1,59 @@
+"""Shared sweep fixtures for the figure-reproduction benchmarks.
+
+The sweeps are session-scoped: Figure 4 (depth) and Figure 5 (time) are
+two views of the same experiment, so the data is computed once. Every
+bench test writes its tables/claims under ``benchmarks/results/`` so the
+numbers recorded in EXPERIMENTS.md can be regenerated with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import run_sweep
+from repro.routing import LocalGridRouter, NaiveGridRouter
+from repro.token_swap import TokenSwapRouter
+
+#: Square grid sides for the paper sweeps (up to 1024 qubits).
+SIZES = [8, 16, 24, 32]
+#: Workload seeds per configuration.
+SEEDS = (0, 1, 2)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def standard_routers() -> dict:
+    """The three routers of the paper's evaluation."""
+    return {
+        "local": LocalGridRouter(),
+        "naive": NaiveGridRouter(),
+        "ats": TokenSwapRouter(),
+    }
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def paper_sweep():
+    """Figure 4/5 data: random + block-local permutations, all routers."""
+    return run_sweep(SIZES, ["random", "block_local"], standard_routers(), seeds=SEEDS)
+
+
+@pytest.fixture(scope="session")
+def adversarial_sweep():
+    """Section V text claims: overlapping blocks and skinny cycles."""
+    return run_sweep(SIZES, ["overlapping", "skinny"], standard_routers(), seeds=SEEDS)
+
+
+def write_result(results_dir: Path, name: str, content: str) -> None:
+    """Persist a table/claim block and echo it to stdout."""
+    path = results_dir / name
+    path.write_text(content, encoding="utf-8")
+    print(f"\n===== {name} =====\n{content}")

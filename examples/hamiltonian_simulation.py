@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Spatially local Hamiltonian simulation — the paper's motivating workload.
+
+Run:
+    python examples/hamiltonian_simulation.py [grid_side] [steps]
+
+Builds a Trotterized transverse-field Ising evolution on a 2-D lattice
+and transpiles it onto a grid device of the same geometry:
+
+* with the **geometric** (identity) mapping every interaction is already
+  nearest-neighbour — zero SWAPs needed;
+* with a **random** initial mapping (e.g. inherited from a previous
+  program segment) the circuit needs real routing, and the permutations
+  involved are *local* — exactly the regime where the locality-aware
+  router beats both the naive decomposition and token swapping.
+
+For a 2x3 lattice the script also verifies the transpiled circuit's
+unitary against the logical one (up to the tracked qubit relocations).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import GridGraph, lattice_trotter, transpile
+from repro.routing import LocalGridRouter, NaiveGridRouter
+from repro.token_swap import TokenSwapRouter
+from repro.transpile import verify_transpilation
+
+
+def main() -> None:
+    side = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    steps = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    grid = GridGraph(side, side)
+    circuit = lattice_trotter(grid, steps=steps, dt=0.1)
+    print(f"TFIM Trotter circuit on the {side}x{side} lattice: "
+          f"{circuit.n_qubits} qubits, depth {circuit.depth()}, "
+          f"{circuit.num_two_qubit_gates()} two-qubit gates\n")
+
+    print("Geometric (identity) mapping — interactions already local:")
+    res = transpile(circuit, grid, router="local", mapping="identity")
+    print(f"  {res.summary()}")
+    assert res.n_swaps == 0, "geometric mapping should need no routing"
+
+    print("\nScrambled initial mapping — routing required:")
+    for label, router in (
+        ("local", LocalGridRouter()),
+        ("naive", NaiveGridRouter()),
+        ("ats", TokenSwapRouter()),
+    ):
+        res = transpile(circuit, grid, router=router, mapping="random", seed=1)
+        print(f"  [{label:5s}] {res.summary()}")
+
+    # Full unitary verification on a small instance.
+    small = GridGraph(2, 3)
+    small_circuit = lattice_trotter(small, steps=2, dt=0.2)
+    res = transpile(small_circuit, small, router="local", mapping="random", seed=3)
+    verify_transpilation(res, small)
+    print("\n2x3 instance: transpiled unitary verified against the logical "
+          "circuit (up to wire relocation).")
+
+
+if __name__ == "__main__":
+    main()

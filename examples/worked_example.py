@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""A worked 3x3 routing instance, in the spirit of the paper's Figure 2.
+
+Run:
+    python examples/worked_example.py
+
+Walks through the locality-aware algorithm's internals on a small
+permutation: the column multigraph, the windowed perfect-matching
+discovery, the Delta weights and bottleneck row assignment, the three
+routing phases, and the final schedule rendered layer by layer as ASCII
+frames. Finishes by comparing against the provably optimal depth from
+the exhaustive router.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GridGraph, Permutation
+from repro.matching import ColumnMultigraph, windowed_decomposition
+from repro.matching.bottleneck import bottleneck_assignment
+from repro.routing import LocalGridRouter, optimal_depth
+from repro.routing.grid_local import delta_weights
+from repro.routing.serialize import render_grid_schedule
+
+
+def main() -> None:
+    grid = GridGraph(3, 3)
+    # A permutation with one local 3-cycle in the top-left corner and a
+    # cross-grid transposition — locality the naive decomposition wastes.
+    perm = Permutation.from_cycles(
+        9,
+        [
+            (grid.index(0, 0), grid.index(0, 1), grid.index(1, 0)),
+            (grid.index(2, 0), grid.index(2, 2)),
+        ],
+    )
+    print("Permutation (source -> destination), grid coordinates:")
+    for v in range(9):
+        if perm(v) != v:
+            print(f"  {grid.coord(v)} -> {grid.coord(perm(v))}")
+
+    print("\nColumn multigraph G[0, 2] (one edge per token):")
+    mg = ColumnMultigraph(grid.shape, perm)
+    left, right = mg.degrees()
+    print(f"  column out-degrees {left.tolist()}, in-degrees {right.tolist()} "
+          "(3-regular, as Hall/König require)")
+
+    dec = windowed_decomposition(ColumnMultigraph(grid.shape, perm))
+    print("\nWindowed perfect-matching discovery:")
+    for k, (tokens, width) in enumerate(zip(dec.matchings, dec.window_widths)):
+        moves = ", ".join(
+            f"{grid.coord(int(t))}->{grid.coord(perm(int(t)))}" for t in tokens
+        )
+        print(f"  M{k} (window width {width}): {moves}")
+
+    weights = delta_weights(dec.rows_used, 3)
+    assignment, bottleneck = bottleneck_assignment(weights)
+    print("\nDelta(M, r) weights (rows of the matrix are matchings):")
+    for k in range(3):
+        marks = ["*" if assignment[k] == r else " " for r in range(3)]
+        cells = "  ".join(
+            f"{int(weights[k, r]):2d}{marks[r]}" for r in range(3)
+        )
+        print(f"  M{k}:  {cells}")
+    print(f"  bottleneck value: {bottleneck:.0f} "
+          "(starred entries = MCBBM row assignment)")
+
+    router = LocalGridRouter()
+    sched, info = router.route_with_info(grid, perm)
+    sched.verify(grid, perm)
+    print(f"\nSchedule: depth {sched.depth}, {sched.size} swaps, "
+          f"orientation={info.orientation}")
+    print(render_grid_schedule(grid, sched))
+
+    # 9 vertices exceeds the exact router's conservative default cap,
+    # but BFS stops at the (shallow) goal long before exhausting 9!.
+    opt = optimal_depth(grid, perm, max_vertices=9)
+    print(f"\nExhaustive optimum for this instance: depth {opt} "
+          f"(locality-aware achieved {sched.depth})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Benchmark harness: sweeps, tables, claim checks."""
+
+from .reporting import ClaimCheck, ascii_plot, check_claims, series_table, to_csv
+from .runner import SweepRecord, SweepResult, aggregate, run_sweep
+
+__all__ = [
+    "SweepRecord",
+    "SweepResult",
+    "run_sweep",
+    "aggregate",
+    "series_table",
+    "ascii_plot",
+    "to_csv",
+    "ClaimCheck",
+    "check_claims",
+]

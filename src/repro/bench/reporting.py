@@ -1,0 +1,245 @@
+"""Text tables, CSV export and claim checks for figure reproductions.
+
+The paper's figures are line plots; in a terminal-first reproduction we
+print the same series as aligned tables (one row per grid size, one
+column per (workload, router) series) plus explicit *claim checks* —
+the qualitative statements the paper's evaluation makes, evaluated
+against the measured data and printed as PASS/FAIL lines. These outputs
+are what ``EXPERIMENTS.md`` records.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from dataclasses import dataclass
+
+from .runner import SweepResult, aggregate
+
+__all__ = [
+    "series_table",
+    "ascii_plot",
+    "to_csv",
+    "ClaimCheck",
+    "check_claims",
+]
+
+
+def series_table(
+    result: SweepResult,
+    value: str = "depth",
+    workloads: list[str] | None = None,
+    routers: list[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a sweep as an aligned text table of mean values."""
+    series = aggregate(result, value)
+    keys = sorted(series.keys())
+    if workloads is not None:
+        keys = [k for k in keys if k[0] in workloads]
+    if routers is not None:
+        keys = [k for k in keys if k[1] in routers]
+    sizes = result.grid_sizes()
+
+    headers = ["grid"] + [f"{w}/{r}" for (w, r) in keys]
+    rows: list[list[str]] = []
+    for n in sizes:
+        row = [f"{n}x{n}"]
+        for key in keys:
+            val = dict(series[key]).get(n)
+            if val is None:
+                row.append("-")
+            elif value == "seconds":
+                row.append(f"{val * 1e3:.1f}ms")
+            else:
+                row.append(f"{val:.1f}")
+        rows.append(row)
+
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write("  ".join(h.rjust(w) for h, w in zip(headers, widths)) + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for r in rows:
+        out.write("  ".join(c.rjust(w) for c, w in zip(r, widths)) + "\n")
+    return out.getvalue()
+
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    result: SweepResult,
+    value: str = "depth",
+    workloads: list[str] | None = None,
+    routers: list[str] | None = None,
+    width: int = 64,
+    height: int = 18,
+    title: str | None = None,
+) -> str:
+    """Render sweep series as an ASCII line chart (figure-style view).
+
+    One marker character per (workload, router) series; the y-axis is
+    switched to log scale automatically when the value range spans more
+    than a factor of 50 (as the paper's Figure 4 effectively needs).
+    """
+    series = aggregate(result, value)
+    keys = sorted(series.keys())
+    if workloads is not None:
+        keys = [k for k in keys if k[0] in workloads]
+    if routers is not None:
+        keys = [k for k in keys if k[1] in routers]
+    points = [(k, p) for k in keys for p in series[k] if not math.isnan(p[1])]
+    if not points:
+        return "(no data)\n"
+
+    xs = sorted({p[0] for _, p in points})
+    ys = [p[1] for _, p in points]
+    y_min, y_max = min(ys), max(ys)
+    log_y = y_min > 0 and y_max / max(y_min, 1e-12) > 50
+
+    def y_coord(v: float) -> int:
+        if log_y:
+            lo, hi = math.log(y_min), math.log(y_max)
+            t = (math.log(v) - lo) / (hi - lo) if hi > lo else 0.0
+        else:
+            t = (v - y_min) / (y_max - y_min) if y_max > y_min else 0.0
+        return int(round((height - 1) * (1.0 - t)))
+
+    def x_coord(x: float) -> int:
+        lo, hi = xs[0], xs[-1]
+        t = (x - lo) / (hi - lo) if hi > lo else 0.0
+        return int(round((width - 1) * t))
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, key in enumerate(keys):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, v in series[key]:
+            if math.isnan(v):
+                continue
+            canvas[y_coord(v)][x_coord(x)] = marker
+
+    def fmt(v: float) -> str:
+        return f"{v:.3g}"
+
+    out = io.StringIO()
+    if title:
+        out.write(title + ("  [log y]" if log_y else "") + "\n")
+    label_top, label_bot = fmt(y_max), fmt(y_min)
+    pad = max(len(label_top), len(label_bot))
+    for r, row in enumerate(canvas):
+        label = label_top if r == 0 else label_bot if r == height - 1 else ""
+        out.write(f"{label:>{pad}} |" + "".join(row) + "\n")
+    out.write(" " * pad + " +" + "-" * width + "\n")
+    x_axis = f"{xs[0]}x{xs[0]}" + " " * max(1, width - 12) + f"{xs[-1]}x{xs[-1]}"
+    out.write(" " * (pad + 2) + x_axis + "\n")
+    for idx, (w, rname) in enumerate(keys):
+        out.write(f"  {_MARKERS[idx % len(_MARKERS)]} = {w}/{rname}\n")
+    return out.getvalue()
+
+
+def to_csv(result: SweepResult) -> str:
+    """Raw records as CSV text (one line per measurement)."""
+    lines = ["rows,cols,workload,router,seed,depth,size,seconds,lower_bound"]
+    for r in result.records:
+        lines.append(
+            f"{r.rows},{r.cols},{r.workload},{r.router},{r.seed},"
+            f"{r.depth},{r.size},{r.seconds:.6f},{r.lower_bound}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class ClaimCheck:
+    """One qualitative paper claim evaluated against measured data."""
+
+    claim: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.claim} — {self.detail}"
+
+
+def check_claims(
+    result: SweepResult,
+    *,
+    local: str = "local",
+    ats: str = "ats",
+    min_size_for_time: int = 16,
+) -> list[ClaimCheck]:
+    """Evaluate the paper's Figure 4/5 claims on a sweep.
+
+    Checks (each on the largest grid sizes present):
+
+    * F4a: locality-aware depth < ATS depth on random permutations;
+    * F4b: locality-aware depth <= ~1.5x ATS depth on block-local
+      permutations ("similar depths");
+    * F5:  locality-aware is at least several times faster than ATS on
+      grids of size >= ``min_size_for_time`` (the paper: an order of
+      magnitude on larger grids).
+    """
+    checks: list[ClaimCheck] = []
+    sizes = result.grid_sizes()
+    if not sizes:
+        return checks
+    # The Fig5 speed claim is about "larger grids"; evaluate it only on
+    # sizes inside that regime rather than extrapolating from toy sweeps.
+    big = [n for n in sizes if n >= min_size_for_time]
+
+    def have(workload: str, router: str) -> bool:
+        return bool(result.filter(workload, router))
+
+    if have("random", local) and have("random", ats):
+        ok = all(
+            result.mean_depth("random", local, n)
+            < result.mean_depth("random", ats, n)
+            for n in sizes
+        )
+        ratios = [
+            result.mean_depth("random", ats, n)
+            / result.mean_depth("random", local, n)
+            for n in sizes
+        ]
+        checks.append(
+            ClaimCheck(
+                "Fig4: locality-aware beats ATS depth on random permutations",
+                ok,
+                f"ATS/local depth ratios by size: "
+                + ", ".join(f"{n}:{q:.2f}" for n, q in zip(sizes, ratios)),
+            )
+        )
+    if have("block_local", local) and have("block_local", ats):
+        ok = all(
+            result.mean_depth("block_local", local, n)
+            <= 1.5 * result.mean_depth("block_local", ats, n)
+            for n in sizes
+        )
+        checks.append(
+            ClaimCheck(
+                "Fig4: similar depth on disjoint-block-local permutations",
+                ok,
+                "local <= 1.5x ATS at every size",
+            )
+        )
+    if big and have("random", local) and have("random", ats):
+        speedups = [
+            result.mean_seconds("random", ats, n)
+            / max(result.mean_seconds("random", local, n), 1e-12)
+            for n in big
+        ]
+        ok = all(s >= 3.0 for s in speedups) and max(speedups, default=0) >= 8.0
+        checks.append(
+            ClaimCheck(
+                "Fig5: locality-aware much faster than ATS on larger grids",
+                ok,
+                "speedups: "
+                + ", ".join(f"{n}: {s:.1f}x" for n, s in zip(big, speedups)),
+            )
+        )
+    return checks

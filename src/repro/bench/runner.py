@@ -1,0 +1,164 @@
+"""Benchmark sweep runner.
+
+Produces the data behind every figure reproduction: a cartesian sweep of
+(grid size x workload x router x seed), recording schedule depth, size
+and router wall-clock time per instance, with mean aggregation across
+seeds. Used both by the pytest-benchmark targets under ``benchmarks/``
+and by the runnable examples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Callable, Iterable, Sequence
+
+from ..graphs.grid import GridGraph
+from ..perm.generators import WORKLOADS
+from ..perm.metrics import depth_lower_bound
+from ..perm.permutation import Permutation
+from ..routing.base import Router
+
+__all__ = ["SweepRecord", "SweepResult", "run_sweep", "aggregate"]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One (grid, workload, router, seed) measurement."""
+
+    rows: int
+    cols: int
+    workload: str
+    router: str
+    seed: int
+    depth: int
+    size: int
+    seconds: float
+    lower_bound: int
+
+    @property
+    def grid_label(self) -> str:
+        """Human-readable grid size, e.g. ``"16x16"``."""
+        return f"{self.rows}x{self.cols}"
+
+
+@dataclass
+class SweepResult:
+    """All records of a sweep plus convenient group/aggregate access."""
+
+    records: list[SweepRecord] = field(default_factory=list)
+
+    def filter(
+        self,
+        workload: str | None = None,
+        router: str | None = None,
+        rows: int | None = None,
+    ) -> list[SweepRecord]:
+        """Records matching all given criteria."""
+        out = self.records
+        if workload is not None:
+            out = [r for r in out if r.workload == workload]
+        if router is not None:
+            out = [r for r in out if r.router == router]
+        if rows is not None:
+            out = [r for r in out if r.rows == rows]
+        return out
+
+    def mean_depth(self, workload: str, router: str, rows: int) -> float:
+        """Mean schedule depth across seeds for one configuration."""
+        recs = self.filter(workload, router, rows)
+        return mean(r.depth for r in recs) if recs else float("nan")
+
+    def mean_seconds(self, workload: str, router: str, rows: int) -> float:
+        """Mean router wall-clock across seeds for one configuration."""
+        recs = self.filter(workload, router, rows)
+        return mean(r.seconds for r in recs) if recs else float("nan")
+
+    def grid_sizes(self) -> list[int]:
+        """Distinct square-grid sizes present, ascending."""
+        return sorted({r.rows for r in self.records})
+
+
+def run_sweep(
+    grid_sizes: Sequence[int],
+    workloads: Sequence[str],
+    routers: dict[str, Router],
+    seeds: Iterable[int] = (0, 1, 2),
+    workload_generators: dict[str, Callable[..., Permutation]] | None = None,
+    verify: bool = False,
+) -> SweepResult:
+    """Run the full sweep on square grids.
+
+    Parameters
+    ----------
+    grid_sizes:
+        Square grid side lengths.
+    workloads:
+        Workload names (keys of :data:`repro.perm.generators.WORKLOADS`
+        unless ``workload_generators`` overrides them).
+    routers:
+        Label -> router instance.
+    seeds:
+        Workload seeds; results are recorded per seed.
+    workload_generators:
+        Optional replacement/extension of the named generator registry.
+    verify:
+        Additionally verify every schedule (slower; for test sweeps).
+
+    Returns
+    -------
+    :class:`SweepResult` with one record per configuration per seed.
+    """
+    gens = dict(WORKLOADS)
+    if workload_generators:
+        gens.update(workload_generators)
+    result = SweepResult()
+    for n in grid_sizes:
+        grid = GridGraph(n, n)
+        for wname in workloads:
+            for seed in seeds:
+                perm = gens[wname](grid, seed=seed)
+                lb = depth_lower_bound(grid, perm)
+                for rname, router in routers.items():
+                    t0 = time.perf_counter()
+                    sched = router.route(grid, perm)
+                    dt = time.perf_counter() - t0
+                    if verify:
+                        sched.verify(grid, perm)
+                    result.records.append(
+                        SweepRecord(
+                            rows=n,
+                            cols=n,
+                            workload=wname,
+                            router=rname,
+                            seed=seed,
+                            depth=sched.depth,
+                            size=sched.size,
+                            seconds=dt,
+                            lower_bound=lb,
+                        )
+                    )
+    return result
+
+
+def aggregate(
+    result: SweepResult, value: str = "depth"
+) -> dict[tuple[str, str], list[tuple[int, float]]]:
+    """Series view: ``(workload, router) -> [(grid size, mean value)]``.
+
+    ``value`` is ``"depth"``, ``"size"`` or ``"seconds"``.
+    """
+    series: dict[tuple[str, str], list[tuple[int, float]]] = {}
+    keys = sorted(
+        {(r.workload, r.router) for r in result.records}
+    )
+    for wname, rname in keys:
+        points = []
+        for n in result.grid_sizes():
+            recs = result.filter(wname, rname, n)
+            if not recs:
+                continue
+            points.append((n, mean(getattr(r, value) for r in recs)))
+        series[(wname, rname)] = points
+    return series

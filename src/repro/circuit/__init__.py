@@ -1,0 +1,57 @@
+"""Quantum circuit substrate: gates, circuits, DAGs, QASM, library."""
+
+from .algorithms import (
+    bernstein_vazirani,
+    grover,
+    hidden_shift,
+    qaoa_maxcut_grid,
+    w_state,
+)
+from .circuit import QuantumCircuit
+from .dag import CircuitDag, circuit_layers
+from .gates import (
+    GATE_ARITY,
+    PSEUDO_GATES,
+    Gate,
+    gate_matrix,
+    is_pseudo_gate,
+    is_two_qubit,
+)
+from .library import (
+    brickwork_circuit,
+    cuccaro_adder,
+    ghz,
+    lattice_trotter,
+    permutation_circuit,
+    qft,
+    random_circuit,
+)
+from .qasm import dump_file, dumps, load_file, loads
+
+__all__ = [
+    "Gate",
+    "GATE_ARITY",
+    "PSEUDO_GATES",
+    "gate_matrix",
+    "is_two_qubit",
+    "is_pseudo_gate",
+    "QuantumCircuit",
+    "CircuitDag",
+    "circuit_layers",
+    "qft",
+    "ghz",
+    "lattice_trotter",
+    "cuccaro_adder",
+    "random_circuit",
+    "brickwork_circuit",
+    "permutation_circuit",
+    "bernstein_vazirani",
+    "grover",
+    "w_state",
+    "qaoa_maxcut_grid",
+    "hidden_shift",
+    "loads",
+    "dumps",
+    "load_file",
+    "dump_file",
+]

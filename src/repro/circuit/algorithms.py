@@ -1,0 +1,224 @@
+"""More benchmark algorithm families (beyond the core library).
+
+Standard routing-benchmark circuits with *functionally testable*
+semantics (each has a crisp statevector-level correctness property the
+test suite asserts):
+
+* :func:`bernstein_vazirani` — recovers a hidden bit string in one query;
+* :func:`grover` — amplitude amplification toward a marked basis state;
+* :func:`w_state` — the ``|W_n>`` uniform single-excitation state;
+* :func:`qaoa_maxcut_grid` — depth-``p`` QAOA ansatz whose interactions
+  follow the grid (a geometric workload like the Trotter circuits);
+* :func:`hidden_shift` — bent-function hidden-shift circuit (Clifford).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import CircuitError
+from ..graphs.grid import GridGraph
+from .circuit import QuantumCircuit
+
+__all__ = [
+    "bernstein_vazirani",
+    "grover",
+    "w_state",
+    "qaoa_maxcut_grid",
+    "hidden_shift",
+]
+
+
+def bernstein_vazirani(secret: str) -> QuantumCircuit:
+    """Bernstein–Vazirani circuit recovering ``secret`` (a bit string).
+
+    Uses ``len(secret) + 1`` qubits (the last is the phase ancilla).
+    Measuring the first ``n`` qubits yields ``secret`` with certainty;
+    bit ``i`` of the secret corresponds to qubit ``i``.
+
+    Raises
+    ------
+    CircuitError
+        If ``secret`` is empty or contains non-binary characters.
+    """
+    if not secret or any(c not in "01" for c in secret):
+        raise CircuitError(f"secret must be a non-empty bit string, got {secret!r}")
+    n = len(secret)
+    qc = QuantumCircuit(n + 1, name=f"bv{n}")
+    anc = n
+    qc.x(anc)
+    for q in range(n + 1):
+        qc.h(q)
+    for i, bit in enumerate(secret):
+        if bit == "1":
+            qc.cx(i, anc)
+    for q in range(n):
+        qc.h(q)
+    return qc
+
+
+def _multi_controlled_z(qc: QuantumCircuit, qubits: list[int]) -> None:
+    """Phase-flip |1...1> on ``qubits`` — exact, ancilla-free.
+
+    Uses the parity (Fourier) expansion of the AND function:
+    ``AND(x_1..x_k) = 2^{1-k} * sum over non-empty subsets T of
+    (-1)^{|T|+1} XOR(x_T)``, so ``C^{k-1}Z`` is a product of
+    parity-phase gates ``P(±pi / 2^{k-1})`` on XOR chains. Cost
+    ``O(k 2^k)`` gates — fine for the small oracles we build.
+    """
+    k = len(qubits)
+    if k == 1:
+        qc.z(qubits[0])
+        return
+    if k == 2:
+        qc.cz(qubits[0], qubits[1])
+        return
+    base = math.pi / (1 << (k - 1))
+    for mask in range(1, 1 << k):
+        members = [qubits[i] for i in range(k) if (mask >> i) & 1]
+        sign = 1.0 if len(members) % 2 == 1 else -1.0
+        target = members[-1]
+        for q in members[:-1]:
+            qc.cx(q, target)
+        qc.p(sign * base, target)
+        for q in reversed(members[:-1]):
+            qc.cx(q, target)
+
+
+def grover(n: int, marked: int, iterations: int | None = None) -> QuantumCircuit:
+    """Grover search over ``n`` qubits for the ``marked`` basis state.
+
+    Parameters
+    ----------
+    n:
+        Number of qubits (``2 <= n <= 8`` — dense oracle construction).
+    marked:
+        Index of the marked computational basis state.
+    iterations:
+        Grover iterations; defaults to ``round(pi/4 * sqrt(2^n))``.
+
+    Raises
+    ------
+    CircuitError
+        On out-of-range arguments.
+    """
+    if not (2 <= n <= 8):
+        raise CircuitError(f"grover supports 2..8 qubits, got {n}")
+    if not (0 <= marked < (1 << n)):
+        raise CircuitError(f"marked state {marked} out of range")
+    if iterations is None:
+        # floor of (pi/4)sqrt(N): rounding up overshoots past the optimum
+        # (visible already at n=2, where 1 iteration is exact)
+        iterations = max(1, int(math.pi / 4 * math.sqrt(2**n)))
+    qc = QuantumCircuit(n, name=f"grover{n}")
+    for q in range(n):
+        qc.h(q)
+    all_qubits = list(range(n))
+    zero_bits = [q for q in range(n) if not (marked >> q) & 1]
+    for _ in range(iterations):
+        # Oracle: phase-flip |marked>.
+        for q in zero_bits:
+            qc.x(q)
+        _multi_controlled_z(qc, all_qubits)
+        for q in zero_bits:
+            qc.x(q)
+        # Diffusion: reflect about the uniform state.
+        for q in range(n):
+            qc.h(q)
+            qc.x(q)
+        _multi_controlled_z(qc, all_qubits)
+        for q in range(n):
+            qc.x(q)
+            qc.h(q)
+    return qc
+
+
+def w_state(n: int) -> QuantumCircuit:
+    """Prepare ``|W_n> = (|10..0> + |01..0> + ... + |0..01>) / sqrt(n)``.
+
+    Standard cascade: rotate amplitude down the line with controlled
+    ``ry`` (decomposed to our vocabulary) and CNOTs.
+    """
+    if n < 1:
+        raise CircuitError(f"w_state needs n >= 1, got {n}")
+    qc = QuantumCircuit(n, name=f"w{n}")
+    qc.x(0)
+    for k in range(1, n):
+        # controlled-RY(theta) with control k-1, target k, where
+        # cos(theta/2) = sqrt(1/(n-k+1)): qubit k-1 keeps amplitude
+        # 1/sqrt(n-k+1) of the remaining excitation, handing the rest on.
+        theta = 2 * math.acos(math.sqrt(1.0 / (n - k + 1)))
+        # CRY(theta) = RY(theta/2) . CX . RY(-theta/2) . CX on target
+        qc.ry(theta / 2, k)
+        qc.cx(k - 1, k)
+        qc.ry(-theta / 2, k)
+        qc.cx(k - 1, k)
+        # move the excitation "handoff": swap roles via CX
+        qc.cx(k, k - 1)
+    return qc
+
+
+def qaoa_maxcut_grid(
+    grid: GridGraph, p: int = 1, gammas=None, betas=None, seed: int | None = None
+) -> QuantumCircuit:
+    """Depth-``p`` QAOA MaxCut ansatz on the grid's own edge set.
+
+    Like the Trotter circuits, a geometric workload: with the identity
+    mapping onto the same grid no routing is needed; any scrambled
+    mapping exercises local routing.
+
+    Parameters default to random angles (seeded) when not given.
+    """
+    if p < 1:
+        raise CircuitError(f"p must be >= 1, got {p}")
+    rng = np.random.default_rng(seed)
+    if gammas is None:
+        gammas = rng.uniform(0, math.pi, size=p)
+    if betas is None:
+        betas = rng.uniform(0, math.pi / 2, size=p)
+    if len(gammas) != p or len(betas) != p:
+        raise CircuitError("need exactly p gamma and beta angles")
+    m, n = grid.shape
+    qc = QuantumCircuit(m * n, name=f"qaoa{m}x{n}p{p}")
+    for q in range(m * n):
+        qc.h(q)
+    for layer in range(p):
+        for (u, v) in grid.edges:
+            qc.rzz(float(gammas[layer]), u, v)
+        for q in range(m * n):
+            qc.rx(2 * float(betas[layer]), q)
+    return qc
+
+
+def hidden_shift(shift: str) -> QuantumCircuit:
+    """Hidden-shift circuit for the Maiorana–McFarland bent function.
+
+    ``2n`` qubits for an ``n``-bit shift restricted to the first half
+    (the classic benchmark construction): measuring returns the shift on
+    the first ``n`` qubits. Clifford-only, so it stays simulable and
+    routing-heavy (CZ pairs across the two halves).
+    """
+    if not shift or any(c not in "01" for c in shift):
+        raise CircuitError(f"shift must be a non-empty bit string, got {shift!r}")
+    n = len(shift)
+    qc = QuantumCircuit(2 * n, name=f"hshift{n}")
+    for q in range(2 * n):
+        qc.h(q)
+    # f(x, y) = x . y shifted on the x half
+    for i, bit in enumerate(shift):
+        if bit == "1":
+            qc.x(i)
+    for i in range(n):
+        qc.cz(i, n + i)
+    for i, bit in enumerate(shift):
+        if bit == "1":
+            qc.x(i)
+    for q in range(2 * n):
+        qc.h(q)
+    for i in range(n):
+        qc.cz(i, n + i)
+    for q in range(2 * n):
+        qc.h(q)
+    return qc

@@ -1,0 +1,297 @@
+"""Quantum circuit container.
+
+A :class:`QuantumCircuit` is an ordered list of :class:`~repro.circuit.gates.Gate`
+applications over ``n_qubits`` logical qubits, with the handful of
+operations the routing/transpilation workflow needs: append (with named
+convenience methods), depth and size accounting, two-qubit-gate
+extraction, qubit remapping and composition. It deliberately stays far
+smaller than a general-purpose framework — it exists so the paper's
+router can be demonstrated inside a complete, dependency-free pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import CircuitError
+from .gates import GATE_ARITY, Gate, is_pseudo_gate, is_two_qubit
+
+__all__ = ["QuantumCircuit"]
+
+
+class QuantumCircuit:
+    """An ordered gate list on ``n_qubits`` qubits.
+
+    Parameters
+    ----------
+    n_qubits:
+        Number of qubits (positive).
+    name:
+        Optional label used in reprs and QASM round-trips.
+
+    Examples
+    --------
+    >>> qc = QuantumCircuit(2)
+    >>> _ = qc.h(0).cx(0, 1)    # fluent chaining returns the circuit
+    >>> qc.depth(), qc.size()
+    (2, 2)
+    """
+
+    __slots__ = ("n_qubits", "name", "_gates")
+
+    def __init__(self, n_qubits: int, name: str = "circuit") -> None:
+        if n_qubits <= 0:
+            raise CircuitError(f"circuit needs at least one qubit, got {n_qubits}")
+        self.n_qubits = int(n_qubits)
+        self.name = name
+        self._gates: list[Gate] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        name: str,
+        qubits: Sequence[int],
+        params: Sequence[float] = (),
+    ) -> "QuantumCircuit":
+        """Append a gate by name; returns ``self`` for chaining.
+
+        Raises
+        ------
+        CircuitError
+            On out-of-range qubits or an unknown gate.
+        """
+        gate = Gate(name, tuple(qubits), tuple(params))
+        for q in gate.qubits:
+            if not (0 <= q < self.n_qubits):
+                raise CircuitError(
+                    f"qubit {q} out of range for {self.n_qubits}-qubit circuit"
+                )
+        self._gates.append(gate)
+        return self
+
+    def append_gate(self, gate: Gate) -> "QuantumCircuit":
+        """Append an already-constructed :class:`Gate`."""
+        return self.append(gate.name, gate.qubits, gate.params)
+
+    # Convenience constructors for the common vocabulary. Each returns
+    # ``self`` so circuits can be built fluently.
+    def h(self, q: int) -> "QuantumCircuit":
+        """Hadamard."""
+        return self.append("h", (q,))
+
+    def x(self, q: int) -> "QuantumCircuit":
+        """Pauli-X."""
+        return self.append("x", (q,))
+
+    def y(self, q: int) -> "QuantumCircuit":
+        """Pauli-Y."""
+        return self.append("y", (q,))
+
+    def z(self, q: int) -> "QuantumCircuit":
+        """Pauli-Z."""
+        return self.append("z", (q,))
+
+    def s(self, q: int) -> "QuantumCircuit":
+        """Phase gate S."""
+        return self.append("s", (q,))
+
+    def sdg(self, q: int) -> "QuantumCircuit":
+        """S-dagger."""
+        return self.append("sdg", (q,))
+
+    def t(self, q: int) -> "QuantumCircuit":
+        """T gate."""
+        return self.append("t", (q,))
+
+    def tdg(self, q: int) -> "QuantumCircuit":
+        """T-dagger."""
+        return self.append("tdg", (q,))
+
+    def rx(self, theta: float, q: int) -> "QuantumCircuit":
+        """X-rotation."""
+        return self.append("rx", (q,), (theta,))
+
+    def ry(self, theta: float, q: int) -> "QuantumCircuit":
+        """Y-rotation."""
+        return self.append("ry", (q,), (theta,))
+
+    def rz(self, theta: float, q: int) -> "QuantumCircuit":
+        """Z-rotation."""
+        return self.append("rz", (q,), (theta,))
+
+    def p(self, lam: float, q: int) -> "QuantumCircuit":
+        """Phase gate with angle ``lam``."""
+        return self.append("p", (q,), (lam,))
+
+    def cx(self, c: int, t: int) -> "QuantumCircuit":
+        """CNOT with control ``c`` and target ``t``."""
+        return self.append("cx", (c, t))
+
+    def cz(self, a: int, b: int) -> "QuantumCircuit":
+        """Controlled-Z."""
+        return self.append("cz", (a, b))
+
+    def cp(self, lam: float, a: int, b: int) -> "QuantumCircuit":
+        """Controlled phase."""
+        return self.append("cp", (a, b), (lam,))
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        """SWAP."""
+        return self.append("swap", (a, b))
+
+    def rzz(self, theta: float, a: int, b: int) -> "QuantumCircuit":
+        """ZZ interaction ``exp(-i theta/2 Z⊗Z)``."""
+        return self.append("rzz", (a, b), (theta,))
+
+    def barrier(self, *qubits: int) -> "QuantumCircuit":
+        """Scheduling barrier (all qubits when none given)."""
+        qs = tuple(qubits) if qubits else tuple(range(self.n_qubits))
+        return self.append("barrier", qs)
+
+    def measure(self, q: int) -> "QuantumCircuit":
+        """Terminal measurement marker."""
+        return self.append("measure", (q,))
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        """The gate sequence (immutable view)."""
+        return tuple(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, i: int) -> Gate:
+        return self._gates[i]
+
+    def size(self, include_pseudo: bool = False) -> int:
+        """Number of gates (excluding barriers/measures by default)."""
+        if include_pseudo:
+            return len(self._gates)
+        return sum(1 for g in self._gates if not is_pseudo_gate(g))
+
+    def depth(self, include_pseudo: bool = False) -> int:
+        """Critical-path length: greedy per-qubit levelling.
+
+        Barriers synchronize their qubits but add no level of their own;
+        measures count as ordinary single-qubit operations when
+        ``include_pseudo``.
+        """
+        level = [0] * self.n_qubits
+        for g in self._gates:
+            if g.name == "barrier":
+                sync = max((level[q] for q in g.qubits), default=0)
+                for q in g.qubits:
+                    level[q] = sync
+                continue
+            if is_pseudo_gate(g) and not include_pseudo:
+                continue
+            t = max(level[q] for q in g.qubits) + 1
+            for q in g.qubits:
+                level[q] = t
+        return max(level, default=0)
+
+    def count_ops(self) -> dict[str, int]:
+        """Histogram of gate names."""
+        return dict(Counter(g.name for g in self._gates))
+
+    def two_qubit_gates(self) -> list[tuple[int, Gate]]:
+        """(index, gate) pairs for genuine two-qubit gates."""
+        return [(i, g) for i, g in enumerate(self._gates) if is_two_qubit(g)]
+
+    def num_two_qubit_gates(self) -> int:
+        """Count of genuine two-qubit gates."""
+        return sum(1 for g in self._gates if is_two_qubit(g))
+
+    def max_gate_arity(self) -> int:
+        """Largest qubit count of any non-barrier gate."""
+        return max(
+            (g.n_qubits for g in self._gates if g.name != "barrier"), default=0
+        )
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "QuantumCircuit":
+        """A shallow copy (gates are immutable)."""
+        out = QuantumCircuit(self.n_qubits, name or self.name)
+        out._gates = list(self._gates)
+        return out
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """New circuit: this one followed by ``other`` (equal widths)."""
+        if other.n_qubits != self.n_qubits:
+            raise CircuitError(
+                f"cannot compose {self.n_qubits}- and {other.n_qubits}-qubit circuits"
+            )
+        out = self.copy()
+        out._gates.extend(other._gates)
+        return out
+
+    def remap_qubits(self, mapping: Sequence[int]) -> "QuantumCircuit":
+        """New circuit with qubit ``q`` renamed to ``mapping[q]``.
+
+        ``mapping`` must be a bijection on ``0..n_qubits-1``.
+        """
+        m = [int(x) for x in mapping]
+        if sorted(m) != list(range(self.n_qubits)):
+            raise CircuitError("qubit remapping must be a bijection")
+        out = QuantumCircuit(self.n_qubits, self.name)
+        for g in self._gates:
+            out._gates.append(g.remap(m))
+        return out
+
+    def inverse(self) -> "QuantumCircuit":
+        """The adjoint circuit (reverses order, inverts parametrized gates).
+
+        Raises
+        ------
+        CircuitError
+            If the circuit contains measures/resets or gates without a
+            known inverse rule.
+        """
+        inv_fixed = {
+            "id": "id", "x": "x", "y": "y", "z": "z", "h": "h",
+            "s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t",
+            "cx": "cx", "cy": "cy", "cz": "cz", "ch": "ch", "swap": "swap",
+        }
+        negate = {"rx", "ry", "rz", "p", "u1", "cp", "cu1", "crz", "rxx", "ryy", "rzz"}
+        out = QuantumCircuit(self.n_qubits, f"{self.name}_dg")
+        for g in reversed(self._gates):
+            if g.name == "barrier":
+                out._gates.append(g)
+            elif g.name in inv_fixed:
+                out.append(inv_fixed[g.name], g.qubits)
+            elif g.name in negate:
+                out.append(g.name, g.qubits, tuple(-p for p in g.params))
+            elif g.name in ("u", "u3"):
+                th, ph, lam = g.params
+                out.append(g.name, g.qubits, (-th, -lam, -ph))
+            elif g.name == "u2":
+                ph, lam = g.params
+                out.append("u3", g.qubits, (-3.14159265358979 / 2, -lam, -ph))
+            else:
+                raise CircuitError(f"cannot invert gate {g.name!r}")
+        return out
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return self.n_qubits == other.n_qubits and self._gates == other._gates
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantumCircuit(name={self.name!r}, n_qubits={self.n_qubits}, "
+            f"size={self.size()}, depth={self.depth()})"
+        )

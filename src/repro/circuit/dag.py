@@ -1,0 +1,105 @@
+"""Dependency DAG and layering for circuits.
+
+Gates sharing a qubit are ordered by program order; gates on disjoint
+qubits commute *structurally* (we make no algebraic commutation claims).
+The DAG induces the ASAP layering used by the transpiler: layer ``t``
+holds every gate whose qubit-wise predecessors all sit in layers ``< t``.
+Barriers synchronize their qubits without occupying a layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CircuitError
+from .circuit import QuantumCircuit
+from .gates import Gate, is_pseudo_gate
+
+__all__ = ["CircuitDag", "circuit_layers"]
+
+
+@dataclass
+class CircuitDag:
+    """Explicit dependency DAG over gate indices of a circuit.
+
+    Attributes
+    ----------
+    circuit:
+        The underlying circuit.
+    preds, succs:
+        Adjacency lists over gate indices (barriers included as nodes so
+        their synchronization is preserved).
+    """
+
+    circuit: QuantumCircuit
+    preds: list[list[int]] = field(default_factory=list)
+    succs: list[list[int]] = field(default_factory=list)
+
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit) -> "CircuitDag":
+        """Build the qubit-wise dependency DAG (O(gates))."""
+        n_g = len(circuit)
+        preds: list[list[int]] = [[] for _ in range(n_g)]
+        succs: list[list[int]] = [[] for _ in range(n_g)]
+        last_on_qubit: dict[int, int] = {}
+        for i, gate in enumerate(circuit):
+            for q in gate.qubits:
+                j = last_on_qubit.get(q)
+                if j is not None and i not in succs[j]:
+                    succs[j].append(i)
+                    preds[i].append(j)
+                last_on_qubit[q] = i
+        return cls(circuit, preds, succs)
+
+    def topological_order(self) -> list[int]:
+        """Gate indices in a valid execution order (program order works
+        by construction; returned explicitly for symmetry/testing)."""
+        return list(range(len(self.circuit)))
+
+    def layers(self, include_pseudo: bool = False) -> list[list[int]]:
+        """ASAP layers of gate indices.
+
+        Barriers never occupy a layer; with ``include_pseudo`` False,
+        measures/resets are also skipped (but still synchronize their
+        qubit like a barrier would not — they simply don't appear).
+        """
+        level_of_qubit: dict[int, int] = {}
+        layers: list[list[int]] = []
+        for i, gate in enumerate(self.circuit):
+            if gate.name == "barrier":
+                sync = max((level_of_qubit.get(q, 0) for q in gate.qubits), default=0)
+                for q in gate.qubits:
+                    level_of_qubit[q] = sync
+                continue
+            if is_pseudo_gate(gate) and not include_pseudo:
+                continue
+            t = max((level_of_qubit.get(q, 0) for q in gate.qubits), default=0)
+            while len(layers) <= t:
+                layers.append([])
+            layers[t].append(i)
+            for q in gate.qubits:
+                level_of_qubit[q] = t + 1
+        return layers
+
+    def front_layer(self, executed: set[int]) -> list[int]:
+        """Gates whose predecessors are all executed and which are not.
+
+        Used by the transpiler's routing loop.
+        """
+        out = []
+        for i in range(len(self.circuit)):
+            if i in executed:
+                continue
+            if all(p in executed for p in self.preds[i]):
+                out.append(i)
+        return out
+
+
+def circuit_layers(
+    circuit: QuantumCircuit, include_pseudo: bool = False
+) -> list[list[Gate]]:
+    """Convenience: ASAP layers as gate objects (see :class:`CircuitDag`)."""
+    dag = CircuitDag.from_circuit(circuit)
+    return [
+        [circuit[i] for i in layer] for layer in dag.layers(include_pseudo)
+    ]

@@ -1,0 +1,234 @@
+"""Gate vocabulary: names, arities, parameters and unitary matrices.
+
+The transpiler and routers only care about which qubits a gate touches;
+the statevector simulator (used to *verify* transpilation end-to-end) also
+needs the unitaries. The vocabulary covers the OpenQASM 2 ``qelib1``
+standard gates that our circuit library emits — all one- and two-qubit.
+
+Matrix convention: little-endian qubit ordering (qubit 0 is the least
+significant bit of the basis index). For a two-qubit gate applied to
+``(control, target) = (q1, q0)`` the matrix rows/columns are indexed by
+``q1 q0`` bit pairs ``00, 01, 10, 11`` — i.e. the first listed qubit is
+the *high* bit within the gate's own matrix. The simulator handles the
+embedding, so users only ever supply matrices in this local convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import cos, pi, sin
+from typing import Callable
+
+import numpy as np
+
+from ..errors import CircuitError
+
+__all__ = [
+    "Gate",
+    "GATE_ARITY",
+    "gate_matrix",
+    "is_two_qubit",
+    "is_pseudo_gate",
+    "PSEUDO_GATES",
+]
+
+#: Gates with no unitary action (scheduling/IO markers).
+PSEUDO_GATES = frozenset({"barrier", "measure", "reset"})
+
+#: name -> (number of qubits, number of parameters)
+GATE_ARITY: dict[str, tuple[int, int]] = {
+    "id": (1, 0),
+    "x": (1, 0),
+    "y": (1, 0),
+    "z": (1, 0),
+    "h": (1, 0),
+    "s": (1, 0),
+    "sdg": (1, 0),
+    "t": (1, 0),
+    "tdg": (1, 0),
+    "sx": (1, 0),
+    "rx": (1, 1),
+    "ry": (1, 1),
+    "rz": (1, 1),
+    "p": (1, 1),
+    "u1": (1, 1),
+    "u2": (1, 2),
+    "u3": (1, 3),
+    "u": (1, 3),
+    "cx": (2, 0),
+    "cy": (2, 0),
+    "cz": (2, 0),
+    "ch": (2, 0),
+    "swap": (2, 0),
+    "iswap": (2, 0),
+    "cp": (2, 1),
+    "cu1": (2, 1),
+    "crz": (2, 1),
+    "rxx": (2, 1),
+    "ryy": (2, 1),
+    "rzz": (2, 1),
+    "measure": (1, 0),
+    "reset": (1, 0),
+    # barrier has variable arity; handled specially
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate application: a name, target qubits and real parameters.
+
+    Immutable and hashable so circuits can be compared and deduplicated.
+
+    Raises
+    ------
+    CircuitError
+        On arity/parameter-count mismatch or repeated qubits.
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"gate {self.name} repeats a qubit: {self.qubits}")
+        if self.name == "barrier":
+            if self.params:
+                raise CircuitError("barrier takes no parameters")
+            return
+        try:
+            nq, npar = GATE_ARITY[self.name]
+        except KeyError:
+            raise CircuitError(f"unknown gate {self.name!r}") from None
+        if len(self.qubits) != nq:
+            raise CircuitError(
+                f"gate {self.name} expects {nq} qubits, got {len(self.qubits)}"
+            )
+        if len(self.params) != npar:
+            raise CircuitError(
+                f"gate {self.name} expects {npar} params, got {len(self.params)}"
+            )
+
+    @property
+    def n_qubits(self) -> int:
+        """Number of qubits the gate touches."""
+        return len(self.qubits)
+
+    def remap(self, mapping) -> "Gate":
+        """The same gate acting on ``mapping[q]`` for each qubit ``q``."""
+        return Gate(self.name, tuple(int(mapping[q]) for q in self.qubits), self.params)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        ps = f"({', '.join(f'{p:g}' for p in self.params)})" if self.params else ""
+        return f"{self.name}{ps} {', '.join(map(str, self.qubits))}"
+
+
+def is_two_qubit(gate: Gate) -> bool:
+    """Whether the gate is a genuine two-qubit unitary (not a barrier)."""
+    return gate.name != "barrier" and gate.n_qubits == 2
+
+
+def is_pseudo_gate(gate: Gate) -> bool:
+    """Whether the gate has no unitary action."""
+    return gate.name == "barrier" or gate.name in PSEUDO_GATES
+
+
+# ----------------------------------------------------------------------
+# matrices
+# ----------------------------------------------------------------------
+_SQ2 = 1.0 / np.sqrt(2.0)
+
+
+def _u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    c, s = cos(theta / 2), sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ]
+    )
+
+
+def _rot(axis: str, theta: float) -> np.ndarray:
+    c, s = cos(theta / 2), sin(theta / 2)
+    if axis == "x":
+        return np.array([[c, -1j * s], [-1j * s, c]])
+    if axis == "y":
+        return np.array([[c, -s], [s, c]])
+    return np.array([[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]])
+
+
+def _controlled(u: np.ndarray) -> np.ndarray:
+    out = np.eye(4, dtype=complex)
+    out[2:, 2:] = u
+    return out
+
+
+def _two_qubit_rotation(pauli: str, theta: float) -> np.ndarray:
+    """exp(-i theta/2 P⊗P) for P in {X, Y, Z}."""
+    x = np.array([[0, 1], [1, 0]], dtype=complex)
+    y = np.array([[0, -1j], [1j, 0]])
+    z = np.array([[1, 0], [0, -1]], dtype=complex)
+    p = {"x": x, "y": y, "z": z}[pauli]
+    pp = np.kron(p, p)
+    return np.cos(theta / 2) * np.eye(4) - 1j * np.sin(theta / 2) * pp
+
+
+_FIXED: dict[str, np.ndarray] = {
+    "id": np.eye(2, dtype=complex),
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "y": np.array([[0, -1j], [1j, 0]]),
+    "z": np.diag([1, -1]).astype(complex),
+    "h": _SQ2 * np.array([[1, 1], [1, -1]], dtype=complex),
+    "s": np.diag([1, 1j]),
+    "sdg": np.diag([1, -1j]),
+    "t": np.diag([1, np.exp(1j * pi / 4)]),
+    "tdg": np.diag([1, np.exp(-1j * pi / 4)]),
+    "sx": 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]]),
+    "cx": _controlled(np.array([[0, 1], [1, 0]], dtype=complex)),
+    "cy": _controlled(np.array([[0, -1j], [1j, 0]])),
+    "cz": _controlled(np.diag([1, -1]).astype(complex)),
+    "ch": _controlled(_SQ2 * np.array([[1, 1], [1, -1]], dtype=complex)),
+    "swap": np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+    ),
+    "iswap": np.array(
+        [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]]
+    ),
+}
+
+_PARAMETRIC: dict[str, Callable[..., np.ndarray]] = {
+    "rx": lambda th: _rot("x", th),
+    "ry": lambda th: _rot("y", th),
+    "rz": lambda th: _rot("z", th),
+    "p": lambda lam: np.diag([1, np.exp(1j * lam)]),
+    "u1": lambda lam: np.diag([1, np.exp(1j * lam)]),
+    "u2": lambda phi, lam: _u3(pi / 2, phi, lam),
+    "u3": _u3,
+    "u": _u3,
+    "cp": lambda lam: np.diag([1, 1, 1, np.exp(1j * lam)]),
+    "cu1": lambda lam: np.diag([1, 1, 1, np.exp(1j * lam)]),
+    "crz": lambda lam: _controlled(_rot("z", lam)),
+    "rxx": lambda th: _two_qubit_rotation("x", th),
+    "ryy": lambda th: _two_qubit_rotation("y", th),
+    "rzz": lambda th: _two_qubit_rotation("z", th),
+}
+
+
+def gate_matrix(gate: Gate) -> np.ndarray:
+    """The unitary matrix of ``gate`` in its local qubit convention.
+
+    Raises
+    ------
+    CircuitError
+        For pseudo-gates (barrier/measure/reset) and unknown names.
+    """
+    if is_pseudo_gate(gate):
+        raise CircuitError(f"gate {gate.name!r} has no unitary matrix")
+    if gate.name in _FIXED:
+        return _FIXED[gate.name]
+    if gate.name in _PARAMETRIC:
+        return np.asarray(_PARAMETRIC[gate.name](*gate.params), dtype=complex)
+    raise CircuitError(f"no matrix known for gate {gate.name!r}")

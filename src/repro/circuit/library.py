@@ -1,0 +1,251 @@
+"""Benchmark circuit library.
+
+The circuit families the qubit-routing literature evaluates on, and the
+workloads the paper's introduction motivates:
+
+* :func:`qft` — the quantum Fourier transform, the canonical all-to-all
+  stress case (the paper's own worst-case example: QFT on a path needs
+  ``Omega(n)`` SWAPs per layer).
+* :func:`ghz` — linear-depth entangler, the friendly nearest-neighbour case.
+* :func:`lattice_trotter` — Trotterized time evolution of a 2-D
+  nearest-neighbour transverse-field Ising model, i.e. exactly the
+  "simulation of spatially local Hamiltonians" the paper says its router
+  should benefit; on the grid whose geometry matches the lattice, all
+  interactions are block-local.
+* :func:`cuccaro_adder` — ripple-carry adder (Toffolis decomposed to the
+  standard 6-CNOT network), a structured arithmetic benchmark.
+* :func:`random_circuit` — unstructured random 1q/2q circuits for
+  stress-testing.
+* :func:`permutation_circuit` — SWAP network from a routing schedule
+  (bridges routers back into circuit land).
+"""
+
+from __future__ import annotations
+
+from math import pi
+
+import numpy as np
+
+from ..errors import CircuitError
+from ..graphs.grid import GridGraph
+from ..routing.schedule import Schedule
+from .circuit import QuantumCircuit
+
+__all__ = [
+    "qft",
+    "ghz",
+    "lattice_trotter",
+    "cuccaro_adder",
+    "random_circuit",
+    "permutation_circuit",
+    "brickwork_circuit",
+]
+
+
+def qft(n: int, do_swaps: bool = True, approximation_degree: int = 0) -> QuantumCircuit:
+    """Quantum Fourier transform on ``n`` qubits.
+
+    Parameters
+    ----------
+    n:
+        Number of qubits.
+    do_swaps:
+        Append the final bit-reversal swaps.
+    approximation_degree:
+        Drop controlled phases with angle below ``pi / 2**(n-1-approx)``
+        (0 = exact QFT).
+
+    Notes
+    -----
+    With ``do_swaps=True`` the unitary equals the DFT matrix
+    ``U[y, x] = exp(2*pi*i*x*y / 2**n) / sqrt(2**n)`` in the simulator's
+    little-endian convention (verified in the test suite).
+    """
+    if n <= 0:
+        raise CircuitError(f"qft needs at least one qubit, got {n}")
+    qc = QuantumCircuit(n, name=f"qft{n}")
+    for i in range(n - 1, -1, -1):
+        qc.h(i)
+        for j in range(i - 1, -1, -1):
+            k = i - j
+            if approximation_degree and k >= n - approximation_degree:
+                continue
+            qc.cp(pi / 2**k, j, i)
+    if do_swaps:
+        for i in range(n // 2):
+            qc.swap(i, n - 1 - i)
+    return qc
+
+
+def ghz(n: int) -> QuantumCircuit:
+    """GHZ state preparation: ``H`` then a CNOT chain."""
+    if n <= 0:
+        raise CircuitError(f"ghz needs at least one qubit, got {n}")
+    qc = QuantumCircuit(n, name=f"ghz{n}")
+    qc.h(0)
+    for i in range(n - 1):
+        qc.cx(i, i + 1)
+    return qc
+
+
+def lattice_trotter(
+    grid: GridGraph,
+    steps: int = 1,
+    dt: float = 0.1,
+    coupling: float = 1.0,
+    field: float = 1.0,
+) -> QuantumCircuit:
+    """First-order Trotter circuit for a transverse-field Ising model on a grid.
+
+    One step applies ``exp(-i J dt Z_u Z_v)`` on every lattice edge
+    (horizontal edges first, then vertical — each set further split into
+    the two parallel matchings of the grid) followed by
+    ``exp(-i h dt X_v)`` on every site. Qubit ``q`` of the circuit is the
+    grid vertex ``q`` in row-major order, so on the matching coupling
+    graph every interaction is nearest-neighbour — the spatially-local
+    workload the paper's router targets.
+    """
+    if steps <= 0:
+        raise CircuitError(f"steps must be positive, got {steps}")
+    m, n = grid.shape
+    qc = QuantumCircuit(m * n, name=f"tfim{m}x{n}")
+    horiz = [[], []]
+    vert = [[], []]
+    for i in range(m):
+        for j in range(n - 1):
+            horiz[j % 2].append((grid.index(i, j), grid.index(i, j + 1)))
+    for j in range(n):
+        for i in range(m - 1):
+            vert[i % 2].append((grid.index(i, j), grid.index(i + 1, j)))
+    for _ in range(steps):
+        for group in (*horiz, *vert):
+            for a, b in group:
+                qc.rzz(2.0 * coupling * dt, a, b)
+        for q in range(m * n):
+            qc.rx(2.0 * field * dt, q)
+    return qc
+
+
+def _ccx(qc: QuantumCircuit, a: int, b: int, c: int) -> None:
+    """Standard 6-CNOT Toffoli decomposition onto ``(a, b) -> c``."""
+    qc.h(c)
+    qc.cx(b, c)
+    qc.tdg(c)
+    qc.cx(a, c)
+    qc.t(c)
+    qc.cx(b, c)
+    qc.tdg(c)
+    qc.cx(a, c)
+    qc.t(b)
+    qc.t(c)
+    qc.h(c)
+    qc.cx(a, b)
+    qc.t(a)
+    qc.tdg(b)
+    qc.cx(a, b)
+
+
+def cuccaro_adder(n_bits: int) -> QuantumCircuit:
+    """Cuccaro ripple-carry adder on ``2 * n_bits + 2`` qubits.
+
+    Layout: ``[cin, a_0, b_0, a_1, b_1, ..., a_{n-1}, b_{n-1}, cout]``;
+    computes ``b <- a + b`` with carry-in/out. Toffolis are decomposed to
+    the Clifford+T network so the circuit is purely 1q/2q.
+    """
+    if n_bits <= 0:
+        raise CircuitError(f"adder needs at least one bit, got {n_bits}")
+    n = 2 * n_bits + 2
+    qc = QuantumCircuit(n, name=f"adder{n_bits}")
+    a = [1 + 2 * i for i in range(n_bits)]
+    b = [2 + 2 * i for i in range(n_bits)]
+    cin, cout = 0, n - 1
+
+    def maj(x: int, y: int, z: int) -> None:
+        qc.cx(z, y)
+        qc.cx(z, x)
+        _ccx(qc, x, y, z)
+
+    def uma(x: int, y: int, z: int) -> None:
+        _ccx(qc, x, y, z)
+        qc.cx(z, x)
+        qc.cx(x, y)
+
+    maj(cin, b[0], a[0])
+    for i in range(1, n_bits):
+        maj(a[i - 1], b[i], a[i])
+    qc.cx(a[n_bits - 1], cout)
+    for i in range(n_bits - 1, 0, -1):
+        uma(a[i - 1], b[i], a[i])
+    uma(cin, b[0], a[0])
+    return qc
+
+
+def random_circuit(
+    n: int,
+    depth: int,
+    seed: int | None = None,
+    two_qubit_prob: float = 0.5,
+) -> QuantumCircuit:
+    """Random circuit of the given target depth.
+
+    Each layer greedily fills qubits with random ``cx``/``cz``/``rzz``
+    (probability ``two_qubit_prob``) on random *non-adjacent-unaware*
+    qubit pairs, or random 1q rotations — the unstructured stress case
+    for routing.
+    """
+    if n <= 0 or depth < 0:
+        raise CircuitError("random_circuit needs n > 0 and depth >= 0")
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(n, name=f"random{n}x{depth}")
+    one_q = ("h", "t", "s", "x")
+    two_q = ("cx", "cz")
+    for _ in range(depth):
+        free = list(rng.permutation(n))
+        while free:
+            q = free.pop()
+            if free and rng.random() < two_qubit_prob:
+                q2 = free.pop(int(rng.integers(len(free))))
+                name = two_q[int(rng.integers(len(two_q)))]
+                qc.append(name, (q, q2))
+            else:
+                name = one_q[int(rng.integers(len(one_q)))]
+                qc.append(name, (q,))
+    return qc
+
+
+def brickwork_circuit(n: int, depth: int, seed: int | None = None) -> QuantumCircuit:
+    """Nearest-neighbour brickwork of random ``rzz`` + 1q rotations.
+
+    Alternates even/odd adjacent pairs on a line — fully local, zero
+    routing needed on a path/grid numbering (a useful control workload).
+    """
+    if n <= 1 or depth < 0:
+        raise CircuitError("brickwork needs n > 1 and depth >= 0")
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(n, name=f"brick{n}x{depth}")
+    for d in range(depth):
+        start = d % 2
+        for q in range(start, n - 1, 2):
+            qc.rzz(float(rng.uniform(0, pi)), q, q + 1)
+        for q in range(n):
+            qc.rx(float(rng.uniform(0, pi)), q)
+    return qc
+
+
+def permutation_circuit(schedule: Schedule, name: str = "route") -> QuantumCircuit:
+    """The SWAP network of a routing schedule, as a circuit.
+
+    Layer boundaries are preserved with barriers so the circuit's depth
+    equals the schedule's depth (each layer's swaps are disjoint).
+    """
+    qc = QuantumCircuit(schedule.n_vertices, name=name)
+    first = True
+    for layer in schedule:
+        if not layer:
+            continue
+        if not first:
+            qc.barrier()
+        for u, v in layer:
+            qc.swap(u, v)
+        first = False
+    return qc

@@ -1,0 +1,202 @@
+"""OpenQASM 2.0 subset reader and writer.
+
+The paper's experimental ecosystem (and the qubit-routing literature at
+large) exchanges benchmark circuits as OpenQASM 2.0 files. This module
+implements the subset those benchmark suites actually use:
+
+* header (``OPENQASM 2.0;``, ``include "qelib1.inc";``)
+* register declarations (``qreg``/``creg``, multiple registers flattened
+  in declaration order)
+* applications of the ``qelib1`` gates in our vocabulary, with constant
+  parameter expressions (``pi``, ``+ - * /``, parentheses, unary minus)
+* ``measure q[i] -> c[j];``, ``barrier``, ``reset``
+* comments (``//``) and arbitrary whitespace
+
+Unsupported constructs (custom ``gate`` definitions, ``if``, ``opaque``,
+whole-register broadcast application) raise
+:class:`~repro.errors.QasmError` with the offending line — loud failure
+beats silently mangled benchmarks.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import re
+
+from ..errors import QasmError
+from .circuit import QuantumCircuit
+from .gates import GATE_ARITY
+
+__all__ = ["loads", "dumps", "load_file", "dump_file"]
+
+_TOKEN_RE = re.compile(
+    r"^\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*"
+    r"(?:\(\s*(?P<params>[^)]*)\s*\))?\s*"
+    r"(?P<args>[^;]*);\s*$"
+)
+_REG_RE = re.compile(r"^(?P<reg>[a-zA-Z_][a-zA-Z0-9_]*)\s*\[\s*(?P<idx>\d+)\s*\]$")
+
+
+def _eval_param(expr: str, line_no: int) -> float:
+    """Safely evaluate a constant arithmetic expression with ``pi``."""
+    try:
+        tree = ast.parse(expr, mode="eval")
+    except SyntaxError:
+        raise QasmError(f"line {line_no}: bad parameter expression {expr!r}") from None
+
+    def ev(node: ast.AST) -> float:
+        if isinstance(node, ast.Expression):
+            return ev(node.body)
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+            return float(node.value)
+        if isinstance(node, ast.Name) and node.id == "pi":
+            return math.pi
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            v = ev(node.operand)
+            return -v if isinstance(node.op, ast.USub) else v
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div)
+        ):
+            a, b = ev(node.left), ev(node.right)
+            if isinstance(node.op, ast.Add):
+                return a + b
+            if isinstance(node.op, ast.Sub):
+                return a - b
+            if isinstance(node.op, ast.Mult):
+                return a * b
+            return a / b
+        raise QasmError(
+            f"line {line_no}: unsupported construct in parameter {expr!r}"
+        )
+
+    return ev(tree)
+
+
+def loads(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2.0 source into a :class:`QuantumCircuit`.
+
+    Raises
+    ------
+    QasmError
+        On anything outside the supported subset (with the line number).
+    """
+    # Strip comments, then split on semicolons while keeping approximate
+    # line numbers for error messages.
+    qreg_offsets: dict[str, int] = {}
+    creg_names: set[str] = set()
+    total_qubits = 0
+    statements: list[tuple[int, str]] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("//", 1)[0].strip()
+        if not line:
+            continue
+        for stmt in line.split(";"):
+            stmt = stmt.strip()
+            if stmt:
+                statements.append((line_no, stmt + ";"))
+
+    gates: list[tuple[str, list[int], list[float]]] = []
+
+    def resolve(arg: str, line_no: int) -> int:
+        m = _REG_RE.match(arg.strip())
+        if not m:
+            raise QasmError(
+                f"line {line_no}: expected qubit reference like q[0], got {arg!r} "
+                "(whole-register broadcast is not supported)"
+            )
+        reg, idx = m.group("reg"), int(m.group("idx"))
+        if reg not in qreg_offsets:
+            raise QasmError(f"line {line_no}: unknown quantum register {reg!r}")
+        return qreg_offsets[reg] + idx
+
+    for line_no, stmt in statements:
+        if stmt.startswith("OPENQASM"):
+            continue
+        if stmt.startswith("include"):
+            continue
+        m = _TOKEN_RE.match(stmt)
+        if not m:
+            raise QasmError(f"line {line_no}: cannot parse statement {stmt!r}")
+        name = m.group("name")
+        params_src = m.group("params")
+        args_src = m.group("args").strip()
+
+        if name == "qreg":
+            rm = _REG_RE.match(args_src)
+            if not rm:
+                raise QasmError(f"line {line_no}: bad qreg declaration {stmt!r}")
+            qreg_offsets[rm.group("reg")] = total_qubits
+            total_qubits += int(rm.group("idx"))
+            continue
+        if name == "creg":
+            rm = _REG_RE.match(args_src)
+            if not rm:
+                raise QasmError(f"line {line_no}: bad creg declaration {stmt!r}")
+            creg_names.add(rm.group("reg"))
+            continue
+        if name in ("gate", "opaque", "if"):
+            raise QasmError(
+                f"line {line_no}: {name!r} definitions are outside the "
+                "supported OpenQASM subset"
+            )
+        if name == "measure":
+            parts = [p.strip() for p in args_src.split("->")]
+            if len(parts) != 2:
+                raise QasmError(f"line {line_no}: bad measure statement {stmt!r}")
+            gates.append(("measure", [resolve(parts[0], line_no)], []))
+            continue
+        if name == "barrier":
+            qubits = [resolve(a, line_no) for a in args_src.split(",") if a.strip()]
+            gates.append(("barrier", qubits, []))
+            continue
+
+        if name not in GATE_ARITY:
+            raise QasmError(f"line {line_no}: unknown gate {name!r}")
+        params = (
+            [_eval_param(p.strip(), line_no) for p in params_src.split(",")]
+            if params_src
+            else []
+        )
+        qubits = [resolve(a, line_no) for a in args_src.split(",") if a.strip()]
+        gates.append((name, qubits, params))
+
+    if total_qubits == 0:
+        raise QasmError("no qreg declared")
+    qc = QuantumCircuit(total_qubits, name="qasm")
+    for name, qubits, params in gates:
+        qc.append(name, qubits, params)
+    return qc
+
+
+def dumps(circuit: QuantumCircuit) -> str:
+    """Emit OpenQASM 2.0 for a circuit (single ``q``/``c`` registers)."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.n_qubits}];",
+        f"creg c[{circuit.n_qubits}];",
+    ]
+    for g in circuit:
+        args = ",".join(f"q[{q}]" for q in g.qubits)
+        if g.name == "measure":
+            q = g.qubits[0]
+            lines.append(f"measure q[{q}] -> c[{q}];")
+        elif g.params:
+            ps = ",".join(repr(p) for p in g.params)
+            lines.append(f"{g.name}({ps}) {args};")
+        else:
+            lines.append(f"{g.name} {args};")
+    return "\n".join(lines) + "\n"
+
+
+def load_file(path: str) -> QuantumCircuit:
+    """Read and parse an OpenQASM 2.0 file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads(fh.read())
+
+
+def dump_file(circuit: QuantumCircuit, path: str) -> None:
+    """Serialize a circuit to an OpenQASM 2.0 file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps(circuit))

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``route``
+    Route a generated workload (or the identity) on a grid and print
+    depth/size/time per router, optionally the ASCII schedule.
+``transpile``
+    Read an OpenQASM 2 file, map+route it onto a grid device, report
+    overheads and optionally write the physical circuit back to QASM.
+``sweep``
+    A small Figure-4/5 style sweep printed as tables with claim checks.
+``info``
+    List available routers and workload generators.
+
+The CLI is a thin veneer over the library — every code path it exercises
+is the public API, which keeps it honest as living documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from .bench import check_claims, run_sweep, series_table
+from .errors import ReproError
+from .graphs import GridGraph
+from .noise import NoiseModel
+from .perm import WORKLOADS, make_workload
+from .routing import available_routers, make_router
+from .routing.serialize import render_grid_schedule
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Locality-aware qubit routing for grid architectures "
+        "(reproduction of Banerjee, Liang, Tohid, IPPS 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_route = sub.add_parser("route", help="route a workload on a grid")
+    p_route.add_argument("--rows", type=int, default=8)
+    p_route.add_argument("--cols", type=int, default=8)
+    p_route.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="random"
+    )
+    p_route.add_argument("--seed", type=int, default=0)
+    p_route.add_argument(
+        "--router",
+        action="append",
+        choices=available_routers(),
+        help="repeatable; default: local, naive, ats",
+    )
+    p_route.add_argument(
+        "--show", action="store_true", help="render the best schedule as ASCII"
+    )
+    p_route.add_argument(
+        "--fidelity", action="store_true", help="estimate NISQ success probability"
+    )
+
+    p_trans = sub.add_parser("transpile", help="transpile an OpenQASM 2 file")
+    p_trans.add_argument("qasm", help="input .qasm path")
+    p_trans.add_argument("--rows", type=int, required=True)
+    p_trans.add_argument("--cols", type=int, required=True)
+    p_trans.add_argument("--router", choices=available_routers(), default="local")
+    p_trans.add_argument(
+        "--mapping",
+        choices=["identity", "random", "center", "annealed"],
+        default="identity",
+    )
+    p_trans.add_argument("--seed", type=int, default=0)
+    p_trans.add_argument("--out", help="write the physical circuit here")
+
+    p_sweep = sub.add_parser("sweep", help="mini Figure 4/5 sweep")
+    p_sweep.add_argument("--sizes", type=int, nargs="+", default=[8, 12, 16])
+    p_sweep.add_argument("--seeds", type=int, default=2)
+    p_sweep.add_argument(
+        "--workloads", nargs="+", choices=sorted(WORKLOADS),
+        default=["random", "block_local"],
+    )
+
+    sub.add_parser("info", help="list routers and workloads")
+    return parser
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    grid = GridGraph(args.rows, args.cols)
+    perm = make_workload(args.workload, grid, seed=args.seed)
+    router_names = args.router or ["local", "naive", "ats"]
+    noise = NoiseModel()
+    best = None
+    print(
+        f"{args.workload} permutation on {args.rows}x{args.cols} grid "
+        f"(seed {args.seed})"
+    )
+    for name in router_names:
+        router = make_router(name)
+        t0 = time.perf_counter()
+        sched = router.route(grid, perm)
+        dt = time.perf_counter() - t0
+        sched.verify(grid, perm)
+        line = (
+            f"  {name:8s} depth={sched.depth:4d} swaps={sched.size:5d} "
+            f"time={dt * 1e3:8.1f}ms"
+        )
+        if args.fidelity:
+            line += f" est.success={noise.schedule_fidelity(sched):.4f}"
+        print(line)
+        if best is None or sched.depth < best[1].depth:
+            best = (name, sched)
+    if args.show and best is not None:
+        print(f"\nschedule from {best[0]}:")
+        print(render_grid_schedule(grid, best[1]))
+    return 0
+
+
+def _cmd_transpile(args: argparse.Namespace) -> int:
+    from .circuit import dump_file, load_file
+    from .transpile import transpile
+
+    circuit = load_file(args.qasm)
+    grid = GridGraph(args.rows, args.cols)
+    result = transpile(
+        circuit, grid, router=args.router, mapping=args.mapping, seed=args.seed
+    )
+    print(result.summary())
+    print(
+        "final placement (logical -> physical): "
+        + ", ".join(f"{l}->{p}" for l, p in enumerate(result.final_mapping))
+    )
+    if args.out:
+        dump_file(result.physical, args.out)
+        print(f"physical circuit written to {args.out}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    routers = {name: make_router(name) for name in ("local", "naive", "ats")}
+    sweep = run_sweep(
+        args.sizes, args.workloads, routers, seeds=range(args.seeds)
+    )
+    print(series_table(sweep, "depth", title="depth (mean)"))
+    print(series_table(sweep, "seconds", title="router time (mean)"))
+    for check in check_claims(sweep):
+        print(check)
+    return 0
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    print("routers:  " + ", ".join(available_routers()))
+    print("workloads: " + ", ".join(sorted(WORKLOADS)))
+    return 0
+
+
+_COMMANDS = {
+    "route": _cmd_route,
+    "transpile": _cmd_transpile,
+    "sweep": _cmd_sweep,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate finer failure classes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "PermutationError",
+    "MatchingError",
+    "RoutingError",
+    "ScheduleError",
+    "CircuitError",
+    "QasmError",
+    "TranspileError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or an operation unsupported by a graph."""
+
+
+class PermutationError(ReproError):
+    """Malformed permutation data (not a bijection, wrong domain, ...)."""
+
+
+class MatchingError(ReproError):
+    """A matching-layer failure, e.g. no perfect matching where one is required."""
+
+
+class RoutingError(ReproError):
+    """A router could not produce a valid schedule for its input."""
+
+
+class ScheduleError(ReproError):
+    """A swap schedule violates an invariant (overlapping swaps, non-edges, ...)."""
+
+
+class CircuitError(ReproError):
+    """Invalid quantum-circuit construction or manipulation."""
+
+
+class QasmError(CircuitError):
+    """OpenQASM text that the subset parser cannot understand."""
+
+
+class TranspileError(ReproError):
+    """The transpiler could not produce a hardware-conformant circuit."""
+
+
+class SimulationError(ReproError):
+    """Simulator failure (dimension mismatch, non-unitary gate, ...)."""

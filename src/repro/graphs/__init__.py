@@ -1,0 +1,31 @@
+"""Coupling-graph substrate: grids, standard families, Cartesian products."""
+
+from .base import Edge, Graph, canonical_edge
+from .cartesian import CartesianProduct, cylinder_graph, torus_graph
+from .families import (
+    binary_tree,
+    complete_graph,
+    cycle_graph,
+    ladder_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from .grid import GridGraph
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "canonical_edge",
+    "GridGraph",
+    "CartesianProduct",
+    "torus_graph",
+    "cylinder_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "binary_tree",
+    "random_tree",
+    "ladder_graph",
+]

@@ -1,0 +1,115 @@
+"""Standard graph families used as coupling graphs and product factors.
+
+These constructors cover the factor graphs the paper's Cartesian-product
+extension mentions (paths first and foremost, then "path-like" graphs) and
+the auxiliary families used in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from .base import Graph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "binary_tree",
+    "random_tree",
+    "ladder_graph",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``P_n`` on vertices ``0 - 1 - ... - n-1``."""
+    if n <= 0:
+        raise GraphError(f"path needs at least one vertex, got {n}")
+    return Graph(n, [(i, i + 1) for i in range(n - 1)], name=f"path{n}")
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n``; requires ``n >= 3``."""
+    if n < 3:
+        raise GraphError(f"cycle needs at least 3 vertices, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph(n, edges, name=f"cycle{n}")
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n``."""
+    if n <= 0:
+        raise GraphError(f"complete graph needs at least one vertex, got {n}")
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return Graph(n, edges, name=f"complete{n}")
+
+
+def star_graph(n: int) -> Graph:
+    """The star ``K_{1,n-1}`` with center ``0`` and ``n - 1`` leaves."""
+    if n <= 0:
+        raise GraphError(f"star needs at least one vertex, got {n}")
+    return Graph(n, [(0, i) for i in range(1, n)], name=f"star{n}")
+
+
+def binary_tree(n: int) -> Graph:
+    """The complete binary tree on ``n`` vertices in heap order.
+
+    Vertex ``v`` has children ``2v + 1`` and ``2v + 2`` when they exist.
+    """
+    if n <= 0:
+        raise GraphError(f"tree needs at least one vertex, got {n}")
+    edges = []
+    for v in range(n):
+        for c in (2 * v + 1, 2 * v + 2):
+            if c < n:
+                edges.append((v, c))
+    return Graph(n, edges, name=f"bintree{n}")
+
+
+def random_tree(n: int, seed: int | None = None) -> Graph:
+    """A uniformly random labelled tree on ``n`` vertices (Prüfer decoding).
+
+    Parameters
+    ----------
+    n:
+        Number of vertices (``n >= 1``).
+    seed:
+        Seed for reproducibility.
+    """
+    if n <= 0:
+        raise GraphError(f"tree needs at least one vertex, got {n}")
+    if n == 1:
+        return Graph(1, [], name="tree1")
+    if n == 2:
+        return Graph(2, [(0, 1)], name="tree2")
+    rng = np.random.default_rng(seed)
+    prufer = rng.integers(0, n, size=n - 2)
+    degree = np.ones(n, dtype=np.int64)
+    for x in prufer:
+        degree[x] += 1
+    edges: list[tuple[int, int]] = []
+    # Standard O(n log n) decoding with a leaf min-heap kept as sorted scan:
+    # n here is small (factor graphs), so a simple pointer scan suffices.
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for x in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, int(x)))
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, int(x))
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    return Graph(n, edges, name=f"randtree{n}")
+
+
+def ladder_graph(n: int) -> Graph:
+    """The ladder ``P_2 x P_n`` (a 2-by-n grid), kept for convenience."""
+    from .grid import GridGraph
+
+    return GridGraph(2, n)

@@ -1,0 +1,17 @@
+"""Matching substrate: Hopcroft–Karp, column multigraph, MCBBM."""
+
+from .bottleneck import bottleneck_assignment, max_cardinality_bottleneck_matching
+from .decompose import Decomposition, naive_decomposition, windowed_decomposition
+from .hopcroft_karp import hopcroft_karp, is_perfect_matching_possible
+from .multigraph import ColumnMultigraph
+
+__all__ = [
+    "hopcroft_karp",
+    "is_perfect_matching_possible",
+    "ColumnMultigraph",
+    "Decomposition",
+    "naive_decomposition",
+    "windowed_decomposition",
+    "bottleneck_assignment",
+    "max_cardinality_bottleneck_matching",
+]

@@ -1,0 +1,5 @@
+"""NISQ noise model for fidelity-based router comparison."""
+
+from .model import SWAP_CNOT_COST, NoiseModel, swaps_as_cnots
+
+__all__ = ["NoiseModel", "swaps_as_cnots", "SWAP_CNOT_COST"]

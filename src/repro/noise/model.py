@@ -1,0 +1,137 @@
+"""NISQ error model: turn depth/size into estimated fidelity.
+
+The paper's motivation is that extra SWAPs "invariably make it more
+likely that the output of Q_P will deviate significantly from that of
+Q_L". This module quantifies that: a standard independent-error model
+(constant depolarizing error per 1q/2q gate, idle decay per layer per
+qubit, optional readout error) estimates the success probability of a
+circuit or swap schedule, so routers can be compared in the unit that
+actually matters on hardware.
+
+Model
+-----
+``log F = n1*log(1-e1) + n2*log(1-e2) + idle*log(1-ei) [+ nq*log(1-er)]``
+
+where ``idle`` counts (layer, qubit) slots in which the qubit is idle —
+computed from the same greedy levelling as circuit depth, so a *deeper*
+circuit with the same gate count scores worse, exactly the depth-vs-size
+trade-off the routing-via-matchings objective captures.
+
+Defaults are loosely typical of published superconducting-qubit numbers
+(circa the paper's era): ``e1 = 3e-4``, ``e2 = 3e-3``, idle ``1e-4`` per
+layer, readout ``1e-2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import is_pseudo_gate
+from ..routing.schedule import Schedule
+
+__all__ = ["NoiseModel", "swaps_as_cnots"]
+
+#: A SWAP compiles to three CNOTs on CNOT-native hardware.
+SWAP_CNOT_COST = 3
+
+
+def swaps_as_cnots(schedule: Schedule) -> tuple[int, int]:
+    """(two-qubit gate count, depth) of a schedule compiled to CNOTs.
+
+    Each swap layer becomes three CNOT layers; sizes triple.
+    """
+    return SWAP_CNOT_COST * schedule.size, SWAP_CNOT_COST * schedule.depth
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Independent-error NISQ model; see module docstring.
+
+    Attributes
+    ----------
+    error_1q, error_2q:
+        Depolarizing error per one-/two-qubit gate.
+    error_idle:
+        Error per (layer, idle qubit) slot.
+    error_readout:
+        Per-qubit measurement error (applied by
+        :meth:`success_probability` when ``measured`` is true).
+    """
+
+    error_1q: float = 3e-4
+    error_2q: float = 3e-3
+    error_idle: float = 1e-4
+    error_readout: float = 1e-2
+
+    def __post_init__(self) -> None:
+        for name in ("error_1q", "error_2q", "error_idle", "error_readout"):
+            v = getattr(self, name)
+            if not (0.0 <= v < 1.0):
+                raise ReproError(f"{name} must be in [0, 1), got {v}")
+
+    # ------------------------------------------------------------------
+    def log_fidelity(self, circuit: QuantumCircuit) -> float:
+        """Natural-log fidelity estimate of a circuit (<= 0)."""
+        n1 = n2 = 0
+        level = [0] * circuit.n_qubits
+        busy = [0] * circuit.n_qubits  # busy slots per qubit
+        for g in circuit:
+            if g.name == "barrier":
+                sync = max((level[q] for q in g.qubits), default=0)
+                for q in g.qubits:
+                    level[q] = sync
+                continue
+            if is_pseudo_gate(g):
+                continue
+            if g.n_qubits == 1:
+                n1 += 1
+            else:
+                n2 += 1
+            t = max(level[q] for q in g.qubits) + 1
+            for q in g.qubits:
+                level[q] = t
+                busy[q] += 1
+        depth = max(level, default=0)
+        idle = sum(depth - b for b in busy)
+        out = 0.0
+        if n1:
+            out += n1 * math.log1p(-self.error_1q)
+        if n2:
+            out += n2 * math.log1p(-self.error_2q)
+        if idle and self.error_idle:
+            out += idle * math.log1p(-self.error_idle)
+        return out
+
+    def success_probability(
+        self, circuit: QuantumCircuit, measured: bool = False
+    ) -> float:
+        """Estimated probability the circuit runs error-free.
+
+        With ``measured``, adds readout error on every qubit.
+        """
+        logf = self.log_fidelity(circuit)
+        if measured and self.error_readout:
+            logf += circuit.n_qubits * math.log1p(-self.error_readout)
+        return math.exp(logf)
+
+    def schedule_fidelity(self, schedule: Schedule) -> float:
+        """Success estimate of a swap schedule compiled to CNOTs.
+
+        Uses the CNOT compilation (3 two-qubit gates per swap, depth
+        tripled) plus idle decay on untouched qubits, so both the size
+        *and* depth objectives of the routing problem show up in the
+        score.
+        """
+        n2, depth = swaps_as_cnots(schedule)
+        idle = schedule.n_vertices * depth - 2 * n2
+        out = n2 * math.log1p(-self.error_2q)
+        if idle > 0 and self.error_idle:
+            out += idle * math.log1p(-self.error_idle)
+        return math.exp(out)
+
+    def compare_schedules(self, schedules: dict[str, Schedule]) -> dict[str, float]:
+        """Success estimates for several routers' schedules, by label."""
+        return {k: self.schedule_fidelity(s) for k, s in schedules.items()}

@@ -1,0 +1,50 @@
+"""Permutation substrate: permutations, partial permutations, workloads."""
+
+from .generators import (
+    WORKLOADS,
+    block_local_permutation,
+    column_rotation_permutation,
+    make_workload,
+    mirror_permutation,
+    overlapping_block_permutation,
+    random_permutation,
+    row_rotation_permutation,
+    skinny_cycle_permutation,
+    transpose_permutation,
+)
+from .metrics import (
+    cycle_bounding_boxes,
+    depth_lower_bound,
+    displacements,
+    locality_radius,
+    max_displacement,
+    mean_displacement,
+    swap_count_lower_bound,
+    total_displacement,
+)
+from .partial import PartialPermutation, complete_partial
+from .permutation import Permutation
+
+__all__ = [
+    "Permutation",
+    "PartialPermutation",
+    "complete_partial",
+    "displacements",
+    "total_displacement",
+    "max_displacement",
+    "mean_displacement",
+    "depth_lower_bound",
+    "swap_count_lower_bound",
+    "cycle_bounding_boxes",
+    "locality_radius",
+    "random_permutation",
+    "block_local_permutation",
+    "overlapping_block_permutation",
+    "skinny_cycle_permutation",
+    "row_rotation_permutation",
+    "column_rotation_permutation",
+    "mirror_permutation",
+    "transpose_permutation",
+    "WORKLOADS",
+    "make_workload",
+]

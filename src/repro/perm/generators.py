@@ -1,0 +1,283 @@
+"""Workload generators: the permutation classes of the paper's evaluation.
+
+Section V of the paper evaluates routers on "a wide range of grid sizes and
+multiple random mapping schemes (local and global)". The discussion names
+four structurally distinct classes, all generated here:
+
+``random_permutation``
+    Global, uniformly random — the case where the locality-aware router
+    beats ATS on depth (Figure 4, green vs brown).
+``block_local_permutation``
+    Cycles confined to disjoint blocks — the case where both routers tie
+    (Figure 4, blue vs red).
+``overlapping_block_permutation``
+    Cycles spanning overlapping blocks — the case the paper reports ATS
+    winning.
+``skinny_cycle_permutation``
+    Long, skinny cycles stretched in orthogonal directions — the paper's
+    explicitly constructed worst case for the locality-aware scheme ("our
+    locality aware scheme will fail to optimize for both cycles
+    simultaneously").
+
+All generators accept a ``seed`` and are deterministic given it. They
+operate on any graph exposing the grid coordinate protocol
+(``shape``, ``index``, ``coord``): both :class:`~repro.graphs.grid.GridGraph`
+and :class:`~repro.graphs.cartesian.CartesianProduct`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..errors import PermutationError
+from .permutation import Permutation
+
+__all__ = [
+    "random_permutation",
+    "block_local_permutation",
+    "overlapping_block_permutation",
+    "skinny_cycle_permutation",
+    "row_rotation_permutation",
+    "column_rotation_permutation",
+    "mirror_permutation",
+    "transpose_permutation",
+    "WORKLOADS",
+    "make_workload",
+]
+
+
+class _GridLike(Protocol):
+    """Anything with a 2-D coordinate system over its vertices."""
+
+    @property
+    def shape(self) -> tuple[int, int]: ...  # pragma: no cover - protocol
+
+    def index(self, row: int, col: int) -> int: ...  # pragma: no cover
+
+    def coord(self, v: int) -> tuple[int, int]: ...  # pragma: no cover
+
+
+def random_permutation(grid: _GridLike, seed: int | None = None) -> Permutation:
+    """A uniformly random (global) permutation of the grid's vertices."""
+    m, n = grid.shape
+    rng = np.random.default_rng(seed)
+    return Permutation(rng.permutation(m * n))
+
+
+def _block_starts(extent: int, block: int, stride: int) -> list[int]:
+    """Start offsets of blocks of size ``block`` every ``stride`` cells."""
+    if extent <= block:
+        return [0]
+    starts = list(range(0, extent - block + 1, stride))
+    # Ensure the final cells are covered by a (possibly overlapping) block.
+    if starts[-1] + block < extent:
+        starts.append(extent - block)
+    return starts
+
+
+def block_local_permutation(
+    grid: _GridLike,
+    block_rows: int = 4,
+    block_cols: int = 4,
+    seed: int | None = None,
+) -> Permutation:
+    """Random permutation whose cycles stay inside disjoint blocks.
+
+    The grid is tiled by ``block_rows x block_cols`` blocks (edge blocks
+    may be smaller when the grid dimensions are not multiples); each block
+    receives an independent uniformly random permutation of its cells.
+
+    Raises
+    ------
+    PermutationError
+        If a block dimension is not positive.
+    """
+    if block_rows <= 0 or block_cols <= 0:
+        raise PermutationError("block dimensions must be positive")
+    m, n = grid.shape
+    rng = np.random.default_rng(seed)
+    targets = np.arange(m * n)
+    for r0 in range(0, m, block_rows):
+        for c0 in range(0, n, block_cols):
+            cells = np.array(
+                [
+                    grid.index(i, j)
+                    for i in range(r0, min(r0 + block_rows, m))
+                    for j in range(c0, min(c0 + block_cols, n))
+                ]
+            )
+            targets[cells] = cells[rng.permutation(cells.size)]
+    return Permutation(targets)
+
+
+def overlapping_block_permutation(
+    grid: _GridLike,
+    block_rows: int = 4,
+    block_cols: int = 4,
+    overlap: int = 2,
+    seed: int | None = None,
+) -> Permutation:
+    """Composition of random permutations of *overlapping* blocks.
+
+    Blocks of size ``block_rows x block_cols`` are laid out with stride
+    ``block - overlap`` in each direction, so adjacent blocks share cells;
+    composing their random permutations yields cycles that straddle block
+    boundaries. This is the regime where the paper reports ATS beating the
+    locality-aware router.
+
+    Raises
+    ------
+    PermutationError
+        If ``overlap`` is negative or >= the block dimension.
+    """
+    if block_rows <= 0 or block_cols <= 0:
+        raise PermutationError("block dimensions must be positive")
+    if not (0 <= overlap < min(block_rows, block_cols)):
+        raise PermutationError(
+            f"overlap must satisfy 0 <= overlap < min(block dims), got {overlap}"
+        )
+    m, n = grid.shape
+    rng = np.random.default_rng(seed)
+    targets = np.arange(m * n)  # running composition, applied left to right
+    for r0 in _block_starts(m, block_rows, block_rows - overlap):
+        for c0 in _block_starts(n, block_cols, block_cols - overlap):
+            cells = np.array(
+                [
+                    grid.index(i, j)
+                    for i in range(r0, min(r0 + block_rows, m))
+                    for j in range(c0, min(c0 + block_cols, n))
+                ]
+            )
+            # Compose: the current destinations of these cells are permuted
+            # among themselves by a fresh random block permutation.
+            targets[cells] = targets[cells[rng.permutation(cells.size)]]
+    return Permutation(targets)
+
+
+def skinny_cycle_permutation(
+    grid: _GridLike,
+    n_row_cycles: int | None = None,
+    n_col_cycles: int | None = None,
+    seed: int | None = None,
+) -> Permutation:
+    """Long skinny cycles in orthogonal directions (paper's hard case).
+
+    ``n_row_cycles`` full rows are cyclically shifted horizontally (each a
+    width-1, length-``n`` cycle); ``n_col_cycles`` columns are cyclically
+    shifted vertically over the cells *not* in the shifted rows (each a
+    height-1 cycle of length ``m - n_row_cycles``). Defaults pick about a
+    quarter of the rows and columns.
+
+    Raises
+    ------
+    PermutationError
+        If the requested cycle counts do not fit the grid.
+    """
+    m, n = grid.shape
+    rng = np.random.default_rng(seed)
+    if n_row_cycles is None:
+        n_row_cycles = max(1, m // 4)
+    if n_col_cycles is None:
+        n_col_cycles = max(1, n // 4)
+    if not (0 <= n_row_cycles <= m):
+        raise PermutationError(f"n_row_cycles={n_row_cycles} out of range")
+    if not (0 <= n_col_cycles <= n):
+        raise PermutationError(f"n_col_cycles={n_col_cycles} out of range")
+    if n_row_cycles >= m and n_col_cycles > 0:
+        raise PermutationError(
+            "cannot place column cycles when every row is a row cycle"
+        )
+
+    rows = rng.choice(m, size=n_row_cycles, replace=False)
+    cols = rng.choice(n, size=n_col_cycles, replace=False)
+    targets = np.arange(m * n)
+
+    # Horizontal cycles: row i shifted by one position cyclically.
+    for i in rows:
+        cells = np.array([grid.index(int(i), j) for j in range(n)])
+        targets[cells] = np.roll(cells, -1)
+
+    # Vertical cycles: column j shifted along the rows not already used.
+    free_rows = [i for i in range(m) if i not in set(int(r) for r in rows)]
+    if len(free_rows) >= 2:
+        for j in cols:
+            cells = np.array([grid.index(i, int(j)) for i in free_rows])
+            targets[cells] = np.roll(cells, -1)
+    return Permutation(targets)
+
+
+def row_rotation_permutation(grid: _GridLike, shift: int = 1) -> Permutation:
+    """Every row cyclically shifted right by ``shift`` columns."""
+    m, n = grid.shape
+    targets = np.empty(m * n, dtype=np.int64)
+    for i in range(m):
+        for j in range(n):
+            targets[grid.index(i, j)] = grid.index(i, (j + shift) % n)
+    return Permutation(targets)
+
+
+def column_rotation_permutation(grid: _GridLike, shift: int = 1) -> Permutation:
+    """Every column cyclically shifted down by ``shift`` rows."""
+    m, n = grid.shape
+    targets = np.empty(m * n, dtype=np.int64)
+    for i in range(m):
+        for j in range(n):
+            targets[grid.index(i, j)] = grid.index((i + shift) % m, j)
+    return Permutation(targets)
+
+
+def mirror_permutation(grid: _GridLike) -> Permutation:
+    """Point reflection ``(i, j) -> (m-1-i, n-1-j)`` — every token far away."""
+    m, n = grid.shape
+    targets = np.empty(m * n, dtype=np.int64)
+    for i in range(m):
+        for j in range(n):
+            targets[grid.index(i, j)] = grid.index(m - 1 - i, n - 1 - j)
+    return Permutation(targets)
+
+
+def transpose_permutation(grid: _GridLike) -> Permutation:
+    """``(i, j) -> (j, i)`` on a square grid.
+
+    Raises
+    ------
+    PermutationError
+        If the grid is not square.
+    """
+    m, n = grid.shape
+    if m != n:
+        raise PermutationError("transpose permutation needs a square grid")
+    targets = np.empty(m * n, dtype=np.int64)
+    for i in range(m):
+        for j in range(n):
+            targets[grid.index(i, j)] = grid.index(j, i)
+    return Permutation(targets)
+
+
+#: Named workload registry used by the benchmark harness. Every entry is a
+#: ``f(grid, seed) -> Permutation`` using the paper-representative defaults.
+WORKLOADS: dict[str, Callable[..., Permutation]] = {
+    "random": random_permutation,
+    "block_local": block_local_permutation,
+    "overlapping": overlapping_block_permutation,
+    "skinny": skinny_cycle_permutation,
+}
+
+
+def make_workload(name: str, grid: _GridLike, seed: int | None = None) -> Permutation:
+    """Generate the named workload on ``grid`` (see :data:`WORKLOADS`).
+
+    Raises
+    ------
+    PermutationError
+        On an unknown workload name.
+    """
+    try:
+        gen = WORKLOADS[name]
+    except KeyError:
+        raise PermutationError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+    return gen(grid, seed=seed)

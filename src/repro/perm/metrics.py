@@ -1,0 +1,103 @@
+"""Displacement and locality statistics for routing instances.
+
+These quantities serve three roles:
+
+* **Lower bounds** used by tests and benchmarks. Any routing schedule needs
+  depth at least ``max_v d(v, pi(v))`` (a token moves one edge per layer),
+  and any swap sequence needs at least ``ceil(sum_v d(v, pi(v)) / 2)``
+  swaps (a swap reduces total displacement by at most 2).
+* **Workload characterization**: the paper distinguishes "local" from
+  "global" permutations; the locality statistics quantify that distinction
+  in the experiment logs.
+* **Sanity checks** for the approximate token swapping baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..graphs.base import Graph
+from ..graphs.grid import GridGraph
+from .permutation import Permutation
+
+__all__ = [
+    "displacements",
+    "total_displacement",
+    "max_displacement",
+    "mean_displacement",
+    "depth_lower_bound",
+    "swap_count_lower_bound",
+    "cycle_bounding_boxes",
+    "locality_radius",
+]
+
+
+def displacements(graph: Graph, perm: Permutation) -> np.ndarray:
+    """Per-token distance from start to destination, as an array."""
+    d = graph.distance_matrix()
+    src = np.arange(perm.size)
+    return d[src, perm.targets]
+
+
+def total_displacement(graph: Graph, perm: Permutation) -> int:
+    """Sum of all token displacements."""
+    return int(displacements(graph, perm).sum())
+
+
+def max_displacement(graph: Graph, perm: Permutation) -> int:
+    """Largest single token displacement."""
+    return int(displacements(graph, perm).max())
+
+
+def mean_displacement(graph: Graph, perm: Permutation) -> float:
+    """Average token displacement."""
+    return float(displacements(graph, perm).mean())
+
+
+def depth_lower_bound(graph: Graph, perm: Permutation) -> int:
+    """A valid lower bound on any matching-schedule depth for ``perm``.
+
+    Each layer moves a token across at most one edge, so the farthest
+    token's distance bounds the depth from below.
+    """
+    return max_displacement(graph, perm)
+
+
+def swap_count_lower_bound(graph: Graph, perm: Permutation) -> int:
+    """A valid lower bound on the number of swaps in any serial routing.
+
+    One swap moves two tokens one edge each, decreasing the total
+    displacement by at most 2.
+    """
+    return math.ceil(total_displacement(graph, perm) / 2)
+
+
+def cycle_bounding_boxes(
+    grid: GridGraph, perm: Permutation
+) -> list[tuple[int, int, int, int]]:
+    """Bounding box ``(min_row, min_col, max_row, max_col)`` per nontrivial cycle.
+
+    The paper's "local" permutations have cycles whose bounding boxes are
+    small relative to the grid; its adversarial cases have long skinny
+    boxes in orthogonal directions.
+    """
+    boxes: list[tuple[int, int, int, int]] = []
+    for cyc in perm.cycles():
+        rows = [grid.coord(v)[0] for v in cyc]
+        cols = [grid.coord(v)[1] for v in cyc]
+        boxes.append((min(rows), min(cols), max(rows), max(cols)))
+    return boxes
+
+
+def locality_radius(grid: GridGraph, perm: Permutation) -> int:
+    """Largest cycle bounding-box extent (max of height/width over cycles).
+
+    Zero for the identity. A permutation confined to ``b x b`` blocks has
+    ``locality_radius <= b - 1``.
+    """
+    radius = 0
+    for r0, c0, r1, c1 in cycle_bounding_boxes(grid, perm):
+        radius = max(radius, r1 - r0, c1 - c0)
+    return radius

@@ -1,0 +1,280 @@
+"""Permutations of vertex sets.
+
+A routing instance is a permutation ``pi`` on the vertices of the coupling
+graph: the token (logical qubit) that starts on vertex ``v`` must end on
+vertex ``pi(v)``. :class:`Permutation` is a thin, validated, numpy-backed
+wrapper that supplies the algebra the routers need (composition, inversion,
+cycle structure, relabelling under graph isomorphisms such as the grid
+transpose).
+
+Conventions
+-----------
+* ``perm[v]`` / ``perm(v)`` is the **destination** of the token that starts
+  at ``v``.
+* ``compose``: ``(p @ q)(v) == p(q(v))`` — ``q`` is applied first.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import PermutationError
+
+__all__ = ["Permutation"]
+
+
+class Permutation:
+    """A permutation of ``{0, ..., n-1}`` stored as a destination array.
+
+    Parameters
+    ----------
+    targets:
+        Sequence where entry ``v`` is the destination of the token starting
+        at ``v``. Must be a bijection on ``{0, ..., n-1}``.
+
+    Examples
+    --------
+    >>> p = Permutation([1, 0, 2])
+    >>> p(0), p(1), p(2)
+    (1, 0, 2)
+    >>> p.cycles()
+    [(0, 1)]
+    """
+
+    __slots__ = ("_t",)
+
+    def __init__(self, targets: Sequence[int] | np.ndarray) -> None:
+        t = np.asarray(targets, dtype=np.int64).copy()
+        if t.ndim != 1:
+            raise PermutationError(f"targets must be 1-D, got shape {t.shape}")
+        n = t.shape[0]
+        if n == 0:
+            raise PermutationError("empty permutation is not allowed")
+        seen = np.zeros(n, dtype=bool)
+        if (t < 0).any() or (t >= n).any():
+            raise PermutationError("targets out of range")
+        seen[t] = True
+        if not seen.all():
+            raise PermutationError("targets is not a bijection")
+        t.setflags(write=False)
+        self._t = t
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, n: int) -> "Permutation":
+        """The identity permutation on ``n`` elements."""
+        if n <= 0:
+            raise PermutationError(f"size must be positive, got {n}")
+        return cls(np.arange(n))
+
+    @classmethod
+    def from_cycles(cls, n: int, cycles: Iterable[Sequence[int]]) -> "Permutation":
+        """Build from disjoint cycles; unmentioned points are fixed.
+
+        Each cycle ``(a, b, c)`` means ``a -> b -> c -> a``.
+
+        Raises
+        ------
+        PermutationError
+            If the cycles are not disjoint or reference invalid points.
+        """
+        t = np.arange(n)
+        used: set[int] = set()
+        for cyc in cycles:
+            cyc = list(cyc)
+            if len(cyc) == 0:
+                continue
+            for x in cyc:
+                if not (0 <= x < n):
+                    raise PermutationError(f"cycle element {x} out of range")
+                if x in used:
+                    raise PermutationError(f"element {x} appears in two cycles")
+                used.add(x)
+            for a, b in zip(cyc, cyc[1:] + cyc[:1]):
+                t[a] = b
+        return cls(t)
+
+    @classmethod
+    def from_mapping(cls, n: int, mapping: Mapping[int, int]) -> "Permutation":
+        """Build from a complete ``{source: destination}`` mapping."""
+        t = np.arange(n)
+        for s, d in mapping.items():
+            t[s] = d
+        return cls(t)
+
+    @classmethod
+    def random(cls, n: int, seed: int | None = None) -> "Permutation":
+        """A uniformly random permutation (Fisher–Yates via numpy)."""
+        rng = np.random.default_rng(seed)
+        return cls(rng.permutation(n))
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of elements ``n``."""
+        return int(self._t.shape[0])
+
+    @property
+    def targets(self) -> np.ndarray:
+        """The read-only destination array (``targets[v]`` = destination)."""
+        return self._t
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __call__(self, v: int) -> int:
+        """Destination of the token starting at ``v``."""
+        return int(self._t[v])
+
+    def __getitem__(self, v: int) -> int:
+        return int(self._t[v])
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._t.tolist())
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def inverse(self) -> "Permutation":
+        """The inverse permutation (destination -> source)."""
+        inv = np.empty_like(self._t)
+        inv[self._t] = np.arange(self.size)
+        return Permutation(inv)
+
+    def compose(self, first: "Permutation") -> "Permutation":
+        """``self ∘ first``: apply ``first``, then ``self``."""
+        if first.size != self.size:
+            raise PermutationError(
+                f"size mismatch: {self.size} vs {first.size}"
+            )
+        return Permutation(self._t[first._t])
+
+    def __matmul__(self, other: "Permutation") -> "Permutation":
+        return self.compose(other)
+
+    def relabel(self, mapping: Sequence[int] | np.ndarray) -> "Permutation":
+        """Conjugate by a vertex relabelling.
+
+        If ``mapping`` sends old vertex ids to new vertex ids (a bijection),
+        the result ``q`` satisfies ``q(mapping[v]) == mapping[self(v)]`` —
+        the same permutation expressed in the new labels. This implements
+        the paper's transpose trick ``pi^T(j, i) = (j', i') iff
+        pi(i, j) = (i', j')`` when ``mapping`` is the grid transpose.
+        """
+        m = np.asarray(mapping, dtype=np.int64)
+        if m.shape != self._t.shape:
+            raise PermutationError("relabel mapping has wrong size")
+        new = np.empty_like(self._t)
+        new[m] = m[self._t]
+        return Permutation(new)
+
+    def power(self, k: int) -> "Permutation":
+        """The ``k``-th power (``k`` may be negative)."""
+        if k < 0:
+            return self.inverse().power(-k)
+        result = Permutation.identity(self.size)
+        base = self
+        while k:
+            if k & 1:
+                result = base.compose(result)
+            base = base.compose(base)
+            k >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def is_identity(self) -> bool:
+        """Whether every point is fixed."""
+        return bool((self._t == np.arange(self.size)).all())
+
+    def fixed_points(self) -> np.ndarray:
+        """Array of points ``v`` with ``self(v) == v``."""
+        return np.flatnonzero(self._t == np.arange(self.size))
+
+    def support(self) -> np.ndarray:
+        """Array of non-fixed points."""
+        return np.flatnonzero(self._t != np.arange(self.size))
+
+    def cycles(self, include_fixed: bool = False) -> list[tuple[int, ...]]:
+        """Disjoint cycle decomposition.
+
+        Parameters
+        ----------
+        include_fixed:
+            Whether to include length-1 cycles.
+
+        Returns
+        -------
+        list of tuples, each cycle starting at its smallest element, sorted
+        by that element.
+        """
+        n = self.size
+        visited = np.zeros(n, dtype=bool)
+        out: list[tuple[int, ...]] = []
+        t = self._t
+        for start in range(n):
+            if visited[start]:
+                continue
+            cyc = [start]
+            visited[start] = True
+            nxt = int(t[start])
+            while nxt != start:
+                visited[nxt] = True
+                cyc.append(nxt)
+                nxt = int(t[nxt])
+            if len(cyc) > 1 or include_fixed:
+                out.append(tuple(cyc))
+        return out
+
+    def order(self) -> int:
+        """Multiplicative order (lcm of cycle lengths)."""
+        from math import lcm
+
+        result = 1
+        for cyc in self.cycles():
+            result = lcm(result, len(cyc))
+        return result
+
+    def two_involution_factorization(self) -> tuple["Permutation", "Permutation"]:
+        """Write ``self = b ∘ a`` with ``a``, ``b`` involutions.
+
+        Every permutation is the product of two involutions; per cycle
+        ``(c_0, ..., c_{k-1})`` the classic construction uses the two
+        "reflection" involutions of a dihedral group. This powers the
+        2-round complete-graph router.
+        """
+        n = self.size
+        a = np.arange(n)
+        b = np.arange(n)
+        for cyc in self.cycles():
+            k = len(cyc)
+            # a: reflection i -> -i (mod k); b: reflection i -> 1-i (mod k).
+            # Then b(a(c_i)) = c_{i+1}.
+            for i in range(k):
+                a[cyc[i]] = cyc[(-i) % k]
+                b[cyc[i]] = cyc[(1 - i) % k]
+        pa, pb = Permutation(a), Permutation(b)
+        return pa, pb
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        return self.size == other.size and bool((self._t == other._t).all())
+
+    def __hash__(self) -> int:
+        return hash(self._t.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.size <= 16:
+            return f"Permutation({self._t.tolist()})"
+        return f"Permutation(n={self.size}, {len(self.cycles())} cycles)"

@@ -1,0 +1,64 @@
+"""Routing-via-matchings: schedules, primitives, grid and product routers."""
+
+from .base import Router, available_routers, make_router, register_router, route
+from .cartesian_route import (
+    CartesianRouter,
+    CompleteFactorRouter,
+    CycleFactorRouter,
+    FactorRouter,
+    GenericFactorRouter,
+    PathFactorRouter,
+    factor_router_for,
+    path_order,
+)
+from .complete_route import CompleteRouter, involution_matching
+from .cycle_route import CycleRouter, cycle_order
+from .exact import ExactRouter, all_matchings, optimal_depth
+from .grid_local import LocalGridRouter, LocalRouteInfo, delta_weights
+from .grid_naive import (
+    NaiveGridRouter,
+    grid_route_with_sigmas,
+    route_both_orientations,
+    sigmas_from_decomposition,
+)
+from .hybrid import BestOfRouter, make_hybrid_router
+from .path_oet import oet_depth, oet_rounds, oet_rounds_batched
+from .schedule import Schedule
+from .tree_route import TreeRouter
+
+__all__ = [
+    "Schedule",
+    "Router",
+    "register_router",
+    "make_router",
+    "available_routers",
+    "route",
+    "oet_rounds",
+    "oet_rounds_batched",
+    "oet_depth",
+    "grid_route_with_sigmas",
+    "sigmas_from_decomposition",
+    "route_both_orientations",
+    "NaiveGridRouter",
+    "LocalGridRouter",
+    "LocalRouteInfo",
+    "delta_weights",
+    "CycleRouter",
+    "cycle_order",
+    "CompleteRouter",
+    "involution_matching",
+    "ExactRouter",
+    "all_matchings",
+    "optimal_depth",
+    "TreeRouter",
+    "BestOfRouter",
+    "make_hybrid_router",
+    "CartesianRouter",
+    "FactorRouter",
+    "PathFactorRouter",
+    "CycleFactorRouter",
+    "CompleteFactorRouter",
+    "GenericFactorRouter",
+    "factor_router_for",
+    "path_order",
+]

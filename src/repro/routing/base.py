@@ -1,0 +1,125 @@
+"""Router protocol and registry.
+
+Every routing algorithm in this package — the paper's locality-aware grid
+router, the ACG baseline, the token-swapping baseline, the Cartesian
+product generalization — implements the same tiny interface: consume a
+coupling graph and a permutation, produce a :class:`~repro.routing.schedule.Schedule`.
+This is the "drop-in primitive" property the paper emphasizes ("our routing
+algorithm can be used in any transpiler that uses the above framework").
+
+The registry maps short names (``"local"``, ``"naive"``, ``"ats"``,
+``"hybrid"``, ...) to router factories so benchmarks and the transpiler can
+select routers from configuration strings.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import RoutingError
+from ..graphs.base import Graph
+from ..perm.permutation import Permutation
+from .schedule import Schedule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..perm.partial import PartialPermutation
+
+__all__ = ["Router", "register_router", "make_router", "available_routers", "route"]
+
+
+class Router(ABC):
+    """Abstract routing algorithm: permutation in, swap schedule out."""
+
+    #: Short human-readable identifier (used in benchmark tables).
+    name: str = "router"
+
+    @abstractmethod
+    def route(self, graph: Graph, perm: Permutation) -> Schedule:
+        """Compute a swap schedule realizing ``perm`` on ``graph``.
+
+        Implementations must return a schedule such that
+        ``schedule.verify(graph, perm)`` passes.
+
+        Raises
+        ------
+        RoutingError
+            If the router does not support the given graph or fails to
+            produce a valid schedule.
+        """
+
+    def __call__(self, graph: Graph, perm: Permutation) -> Schedule:
+        return self.route(graph, perm)
+
+    def route_partial(
+        self,
+        graph: Graph,
+        partial: "PartialPermutation",
+        completion: str = "minimal",
+    ) -> Schedule:
+        """Route a partial permutation (the paper's ``f : S -> R``).
+
+        The transpiler setting: only some qubits have destinations; the
+        rest are don't-cares. The partial map is completed to a full
+        permutation (strategy per
+        :func:`repro.perm.partial.complete_partial`) and routed. The
+        returned schedule moves every constrained token from its source
+        to its destination; don't-care tokens end wherever the
+        completion put them.
+        """
+        from ..perm.partial import complete_partial
+
+        perm = complete_partial(partial, graph, strategy=completion)
+        return self.route(graph, perm)
+
+    def _check_sizes(self, graph: Graph, perm: Permutation) -> None:
+        if graph.n_vertices != perm.size:
+            raise RoutingError(
+                f"{self.name}: permutation size {perm.size} does not match "
+                f"graph size {graph.n_vertices}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: dict[str, Callable[..., Router]] = {}
+
+
+def register_router(name: str) -> Callable[[Callable[..., Router]], Callable[..., Router]]:
+    """Class/factory decorator adding a router under ``name``."""
+
+    def deco(factory: Callable[..., Router]) -> Callable[..., Router]:
+        if name in _REGISTRY:
+            raise RoutingError(f"router {name!r} already registered")
+        _REGISTRY[name] = factory
+        return factory
+
+    return deco
+
+
+def make_router(name: str, **kwargs) -> Router:
+    """Instantiate a registered router by name.
+
+    Raises
+    ------
+    RoutingError
+        On an unknown name.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise RoutingError(
+            f"unknown router {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_routers() -> list[str]:
+    """Registered router names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def route(graph: Graph, perm: Permutation, method: str = "local", **kwargs) -> Schedule:
+    """One-shot convenience: route ``perm`` on ``graph`` with router ``method``."""
+    return make_router(method, **kwargs).route(graph, perm)

@@ -1,0 +1,75 @@
+"""Routing on complete graphs: depth 2 via two involutions.
+
+A classical fact (routing number of ``K_n`` is at most 2): every
+permutation factors as a product of two involutions, and an involution is
+a disjoint union of transpositions, i.e. a matching of ``K_n``. The
+factorization is built per cycle from the two reflections generating the
+dihedral group; see
+:meth:`repro.perm.permutation.Permutation.two_involution_factorization`.
+
+Included both as a routing primitive for Cartesian products with complete
+factors and as an exactly-analyzable reference point in tests (depth is
+provably <= 2, and exactly 2 iff the permutation is not itself an
+involution... it is 1 when the permutation is a nontrivial involution and
+0 for the identity).
+"""
+
+from __future__ import annotations
+
+from ..errors import RoutingError
+from ..graphs.base import Graph
+from ..perm.permutation import Permutation
+from .base import Router, register_router
+from .schedule import Schedule
+
+__all__ = ["CompleteRouter", "involution_matching"]
+
+
+def involution_matching(p: Permutation) -> list[tuple[int, int]]:
+    """The transpositions of an involution, as a matching of ``K_n``.
+
+    Raises
+    ------
+    RoutingError
+        If ``p`` is not an involution.
+    """
+    pairs: list[tuple[int, int]] = []
+    for v in range(p.size):
+        w = p(v)
+        if p(w) != v:
+            raise RoutingError("permutation is not an involution")
+        if v < w:
+            pairs.append((v, w))
+    return pairs
+
+
+@register_router("complete")
+class CompleteRouter(Router):
+    """Depth-(<= 2) routing on complete graphs.
+
+    Parameters
+    ----------
+    validate:
+        Verify the produced schedule.
+    """
+
+    name = "complete"
+
+    def __init__(self, validate: bool = False) -> None:
+        self.validate = validate
+
+    def route(self, graph: Graph, perm: Permutation) -> Schedule:
+        self._check_sizes(graph, perm)
+        n = graph.n_vertices
+        if graph.n_edges != n * (n - 1) // 2:
+            raise RoutingError(
+                f"{self.name} router requires a complete graph, got {graph.name}"
+            )
+        first, second = perm.two_involution_factorization()
+        layers = [
+            m for m in (involution_matching(first), involution_matching(second)) if m
+        ]
+        sched = Schedule(n, layers)
+        if self.validate:
+            sched.verify(graph, perm)
+        return sched

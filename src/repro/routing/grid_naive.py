@@ -1,0 +1,296 @@
+"""The Alon–Chung–Graham 3-phase grid routing (``GridRoute``) and the naive
+baseline router built on it.
+
+``GridRoute(G, pi; sigma_1, ..., sigma_n)`` (paper Section IV) routes in
+three rounds:
+
+1. **Column phase** — inside every column ``j`` in parallel, move the token
+   at row ``i`` to the intermediate row ``sigma_j(i)``.
+2. **Row phase** — inside every row in parallel, move every token to its
+   destination column. This is well-defined precisely because the
+   ``sigma_j`` were derived from a perfect-matching decomposition of the
+   column multigraph: after phase 1, each row holds exactly one token per
+   destination column.
+3. **Column phase** — inside every column in parallel, move every token to
+   its destination row.
+
+Each phase routes paths with odd–even transposition, so every round of the
+schedule is a matching of the grid. The *naive* router instantiates the
+decomposition arbitrarily (the original [ACG94] choice) and assigns the
+``k``-th peeled matching to row ``k`` — exactly the baseline the paper's
+locality-aware algorithm improves on.
+
+This module also hosts :func:`route_both_orientations`, the paper's
+Algorithm 1 wrapper: run a grid router in column–row–column orientation
+and again on the transposed grid (row–column–row), keep the shallower
+schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import RoutingError
+from ..graphs.base import Graph
+from ..graphs.grid import GridGraph
+from ..matching.decompose import Decomposition, naive_decomposition
+from ..matching.multigraph import ColumnMultigraph
+from ..perm.permutation import Permutation
+from .base import Router, register_router
+from .path_oet import oet_rounds_batched
+from .schedule import Schedule
+
+__all__ = [
+    "grid_route_with_sigmas",
+    "sigmas_from_decomposition",
+    "route_both_orientations",
+    "NaiveGridRouter",
+]
+
+
+def sigmas_from_decomposition(
+    dec: Decomposition, assignment: np.ndarray, shape: tuple[int, int]
+) -> np.ndarray:
+    """Build the intermediate-row matrix from a decomposition + row assignment.
+
+    Parameters
+    ----------
+    dec:
+        Perfect-matching decomposition of the column multigraph.
+    assignment:
+        ``assignment[k]`` = intermediate row assigned to matching ``k``.
+    shape:
+        ``(m, n)`` grid shape.
+
+    Returns
+    -------
+    ``(m, n)`` array ``sig`` with ``sig[i, j]`` = the intermediate row of
+    the token that starts at ``(i, j)``; every column is a permutation of
+    ``0..m-1`` (validated).
+
+    Raises
+    ------
+    RoutingError
+        If the decomposition/assignment do not cover every token exactly
+        once per (column, row) slot.
+    """
+    m, n = shape
+    if len(dec.matchings) != m:
+        raise RoutingError(
+            f"expected {m} matchings, got {len(dec.matchings)}"
+        )
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if sorted(assignment.tolist()) != list(range(m)):
+        raise RoutingError("assignment must be a bijection onto the rows")
+    sig = np.full((m, n), -1, dtype=np.int64)
+    for k, tokens in enumerate(dec.matchings):
+        sig[tokens // n, tokens % n] = assignment[k]
+    if not (np.sort(sig, axis=0) == np.arange(m)[:, None]).all():
+        raise RoutingError(
+            "decomposition does not induce a per-column permutation of rows"
+        )
+    return sig
+
+
+def _best_parity_rounds(
+    dest: np.ndarray, optimize_parity: bool
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Batched OET rounds, trying both starting parities when requested.
+
+    Either parity yields the same post-phase token placement (OET fully
+    sorts), so the choice is purely a depth optimization.
+    """
+    rounds0 = oet_rounds_batched(dest, start_parity=0, validate=False)
+    if not optimize_parity:
+        return rounds0
+    rounds1 = oet_rounds_batched(dest, start_parity=1, validate=False)
+    return rounds1 if len(rounds1) < len(rounds0) else rounds0
+
+
+def grid_route_with_sigmas(
+    grid: GridGraph,
+    perm: Permutation,
+    sigmas: np.ndarray,
+    *,
+    optimize_parity: bool = True,
+    compact: bool = True,
+    validate: bool = False,
+) -> Schedule:
+    """The ``GridRoute`` subroutine: 3-phase routing given the ``sigma_j``.
+
+    Parameters
+    ----------
+    grid:
+        The ``m x n`` grid.
+    perm:
+        Permutation to route (token at ``v`` must reach ``perm(v)``).
+    sigmas:
+        ``(m, n)`` intermediate-row matrix (see
+        :func:`sigmas_from_decomposition`).
+    optimize_parity:
+        Try both OET starting parities per phase, keep the shallower.
+    compact:
+        ASAP-compact the concatenated phases (lets phase boundaries
+        overlap; never increases depth).
+    validate:
+        Additionally re-simulate and check the realized permutation
+        (silent O(size) cost; routers expose it for tests).
+
+    Raises
+    ------
+    RoutingError
+        On malformed ``sigmas`` or (with ``validate``) a semantic failure.
+    """
+    m, n = grid.shape
+    N = m * n
+    if perm.size != N:
+        raise RoutingError(f"permutation size {perm.size} != grid size {N}")
+    sigmas = np.asarray(sigmas, dtype=np.int64)
+    if sigmas.shape != (m, n):
+        raise RoutingError(f"sigmas shape {sigmas.shape} != grid shape {(m, n)}")
+    if not (np.sort(sigmas, axis=0) == np.arange(m)[:, None]).all():
+        raise RoutingError("each sigmas column must be a permutation of rows")
+
+    dst = perm.targets
+    dst_row = dst // n
+    dst_col = dst % n
+    layers: list[list[tuple[int, int]]] = []
+
+    # ------------------------------------------------------------------
+    # Phase 1: within columns, token at (i, j) -> row sigmas[i, j].
+    # Paths are the n columns (length m).
+    # ------------------------------------------------------------------
+    occ2d = np.arange(N).reshape(m, n)  # occ2d[i, j] = token at (i, j)
+    for pos, cc in _best_parity_rounds(sigmas, optimize_parity):
+        u = pos * n + cc
+        layers.append(list(zip(u.tolist(), (u + n).tolist())))
+    new = np.empty_like(occ2d)
+    new[sigmas, np.broadcast_to(np.arange(n), (m, n))] = occ2d
+    occ2d = new
+
+    # ------------------------------------------------------------------
+    # Phase 2: within rows, token at (r, j) -> its destination column.
+    # Paths are the m rows (length n); OET input is (n, m).
+    # ------------------------------------------------------------------
+    dest_cols = dst_col[occ2d]  # (m, n): destination column per position
+    if not (np.sort(dest_cols, axis=1) == np.arange(n)[None, :]).all():
+        raise RoutingError(
+            "phase-2 precondition violated: a row holds duplicate "
+            "destination columns (invalid sigma decomposition)"
+        )
+    for pos, rr in _best_parity_rounds(dest_cols.T, optimize_parity):
+        u = rr * n + pos
+        layers.append(list(zip(u.tolist(), (u + 1).tolist())))
+    new = np.empty_like(occ2d)
+    new[np.broadcast_to(np.arange(m)[:, None], (m, n)), dest_cols] = occ2d
+    occ2d = new
+
+    # ------------------------------------------------------------------
+    # Phase 3: within columns, token at (i, j) -> its destination row.
+    # ------------------------------------------------------------------
+    dest_rows = dst_row[occ2d]
+    if not (np.sort(dest_rows, axis=0) == np.arange(m)[:, None]).all():
+        raise RoutingError(
+            "phase-3 precondition violated: a column holds duplicate "
+            "destination rows"
+        )
+    for pos, cc in _best_parity_rounds(dest_rows, optimize_parity):
+        u = pos * n + cc
+        layers.append(list(zip(u.tolist(), (u + n).tolist())))
+    new = np.empty_like(occ2d)
+    new[dest_rows, np.broadcast_to(np.arange(n), (m, n))] = occ2d
+    occ2d = new
+
+    if validate and not np.array_equal(dst[occ2d.ravel()], np.arange(N)):
+        raise RoutingError("grid routing realized the wrong permutation")
+
+    sched = Schedule(N, layers)
+    if compact:
+        sched = sched.compact()
+    return sched
+
+
+def route_both_orientations(
+    oriented_route: Callable[[GridGraph, Permutation], Schedule],
+    grid: GridGraph,
+    perm: Permutation,
+) -> tuple[Schedule, str]:
+    """Algorithm 1: run both orientations, return the shallower schedule.
+
+    ``oriented_route`` is executed on ``(grid, perm)`` (column–row–column)
+    and on the transposed instance (equivalent to row–column–row on the
+    original grid); the transposed schedule is relabelled back to the
+    original grid's vertex ids.
+
+    Returns
+    -------
+    (schedule, orientation):
+        ``orientation`` is ``"primary"`` or ``"transposed"``.
+    """
+    s1 = oriented_route(grid, perm)
+    N = grid.n_vertices
+    mapping = grid.transpose_vertices(np.arange(N))
+    perm_t = perm.relabel(mapping)
+    grid_t = grid.transpose()
+    s2_t = oriented_route(grid_t, perm_t)
+    back = grid_t.transpose_vertices(np.arange(N))
+    s2 = s2_t.relabel(back)
+    if s1.depth <= s2.depth:
+        return s1, "primary"
+    return s2, "transposed"
+
+
+@register_router("naive")
+class NaiveGridRouter(Router):
+    """ACG 3-phase grid routing with arbitrary matching decomposition.
+
+    Parameters
+    ----------
+    transpose_strategy:
+        Also try the transposed orientation and keep the shallower
+        schedule (off by default: the historical baseline routes one way).
+    optimize_parity, compact, validate:
+        Forwarded to :func:`grid_route_with_sigmas`.
+    """
+
+    name = "naive"
+
+    def __init__(
+        self,
+        transpose_strategy: bool = False,
+        optimize_parity: bool = True,
+        compact: bool = True,
+        validate: bool = False,
+    ) -> None:
+        self.transpose_strategy = transpose_strategy
+        self.optimize_parity = optimize_parity
+        self.compact = compact
+        self.validate = validate
+
+    def _route_oriented(self, grid: GridGraph, perm: Permutation) -> Schedule:
+        mg = ColumnMultigraph(grid.shape, perm)
+        dec = naive_decomposition(mg)
+        sig = sigmas_from_decomposition(
+            dec, np.arange(grid.shape[0]), grid.shape
+        )
+        return grid_route_with_sigmas(
+            grid,
+            perm,
+            sig,
+            optimize_parity=self.optimize_parity,
+            compact=self.compact,
+            validate=self.validate,
+        )
+
+    def route(self, graph: Graph, perm: Permutation) -> Schedule:
+        if not isinstance(graph, GridGraph):
+            raise RoutingError(
+                f"{self.name} router requires a GridGraph, got {type(graph).__name__}"
+            )
+        self._check_sizes(graph, perm)
+        if self.transpose_strategy:
+            sched, _ = route_both_orientations(self._route_oriented, graph, perm)
+            return sched
+        return self._route_oriented(graph, perm)

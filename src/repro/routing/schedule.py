@@ -1,0 +1,267 @@
+"""Swap schedules: sequences of matchings (the routing-via-matchings output).
+
+In the routing-via-matchings model a routing schedule is an ordered list of
+*layers*; each layer is a matching of the coupling graph, executed as a set
+of parallel SWAP gates. The **depth** of the schedule (its number of
+non-empty layers) is the quantity the paper's Figure 4 plots; the **size**
+(total number of swaps) is the serial token-swapping objective.
+
+:class:`Schedule` is the common output type of every router in this
+package, so the benchmark harness and the transpiler treat the paper's
+algorithm, the ACG baseline and the ATS baseline uniformly.
+
+Key operations
+--------------
+* :meth:`Schedule.simulate` — the permutation a schedule actually realizes.
+* :meth:`Schedule.verify` — assert validity (each layer a matching of the
+  graph) *and* semantic correctness against a target permutation.
+* :meth:`Schedule.compact` — ASAP re-timing: every swap moves to the
+  earliest layer after the last use of either of its endpoints. This
+  preserves the per-vertex order of swaps (hence the realized permutation)
+  and never increases depth. It is how a serial ATS swap list becomes a
+  parallel schedule, and how the three phases of grid routing are allowed
+  to overlap at their boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import ScheduleError
+from ..graphs.base import Graph, canonical_edge
+from ..perm.permutation import Permutation
+
+__all__ = ["Schedule"]
+
+
+class Schedule:
+    """An ordered sequence of swap layers over ``n_vertices`` vertices.
+
+    Parameters
+    ----------
+    n_vertices:
+        Size of the vertex set the schedule acts on.
+    layers:
+        Iterable of layers; each layer is an iterable of ``(u, v)`` swaps.
+        Swaps are canonicalized to ``(min, max)``. Layers are validated to
+        be vertex-disjoint within themselves (edge membership in a graph
+        is checked separately by :meth:`check_against`/:meth:`verify`).
+
+    Raises
+    ------
+    ScheduleError
+        If a layer reuses a vertex or a swap is out of range / a self-loop.
+    """
+
+    __slots__ = ("_n", "_layers")
+
+    def __init__(
+        self,
+        n_vertices: int,
+        layers: Iterable[Iterable[tuple[int, int]]] = (),
+    ) -> None:
+        if n_vertices <= 0:
+            raise ScheduleError(f"n_vertices must be positive, got {n_vertices}")
+        self._n = int(n_vertices)
+        built: list[tuple[tuple[int, int], ...]] = []
+        for li, layer in enumerate(layers):
+            seen: set[int] = set()
+            canon: list[tuple[int, int]] = []
+            for u, v in layer:
+                u, v = int(u), int(v)
+                if u == v:
+                    raise ScheduleError(f"layer {li}: self-swap on vertex {u}")
+                if not (0 <= u < self._n and 0 <= v < self._n):
+                    raise ScheduleError(
+                        f"layer {li}: swap ({u}, {v}) out of range"
+                    )
+                if u in seen or v in seen:
+                    raise ScheduleError(
+                        f"layer {li}: vertex reuse in swap ({u}, {v})"
+                    )
+                seen.add(u)
+                seen.add(v)
+                canon.append(canonical_edge(u, v))
+            built.append(tuple(sorted(canon)))
+        self._layers = tuple(built)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, n_vertices: int) -> "Schedule":
+        """A schedule with no layers (realizes the identity)."""
+        return cls(n_vertices, ())
+
+    @classmethod
+    def from_serial_swaps(
+        cls, n_vertices: int, swaps: Sequence[tuple[int, int]]
+    ) -> "Schedule":
+        """One swap per layer, in order (use :meth:`compact` to parallelize)."""
+        return cls(n_vertices, ([s] for s in swaps))
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        """Vertex-set size."""
+        return self._n
+
+    @property
+    def layers(self) -> tuple[tuple[tuple[int, int], ...], ...]:
+        """The layers, each a sorted tuple of canonical swaps."""
+        return self._layers
+
+    @property
+    def depth(self) -> int:
+        """Number of non-empty layers (the paper's depth objective)."""
+        return sum(1 for layer in self._layers if layer)
+
+    @property
+    def n_layers(self) -> int:
+        """Total number of layers including empty ones."""
+        return len(self._layers)
+
+    @property
+    def size(self) -> int:
+        """Total number of swaps (the serial token-swapping objective)."""
+        return sum(len(layer) for layer in self._layers)
+
+    def serial_swaps(self) -> list[tuple[int, int]]:
+        """All swaps flattened in layer order (within-layer order arbitrary
+        but fixed; within-layer swaps commute since they are disjoint)."""
+        return [s for layer in self._layers for s in layer]
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __iter__(self) -> Iterator[tuple[tuple[int, int], ...]]:
+        return iter(self._layers)
+
+    def __getitem__(self, i: int) -> tuple[tuple[int, int], ...]:
+        return self._layers[i]
+
+    # ------------------------------------------------------------------
+    # semantics
+    # ------------------------------------------------------------------
+    def simulate(self) -> Permutation:
+        """The permutation realized by the schedule.
+
+        Returns the map *start vertex of a token* → *its final vertex*.
+        """
+        occ = np.arange(self._n)  # occ[position] = token currently there
+        for layer in self._layers:
+            for u, v in layer:
+                occ[u], occ[v] = occ[v], occ[u]
+        realized = np.empty(self._n, dtype=np.int64)
+        realized[occ] = np.arange(self._n)
+        return Permutation(realized)
+
+    def apply_to_occupancy(self, occ: np.ndarray) -> None:
+        """In-place update of an occupancy array (position → token)."""
+        if occ.shape != (self._n,):
+            raise ScheduleError("occupancy array has wrong shape")
+        for layer in self._layers:
+            for u, v in layer:
+                occ[u], occ[v] = occ[v], occ[u]
+
+    def check_against(self, graph: Graph) -> None:
+        """Raise unless every layer is a matching of ``graph``."""
+        if graph.n_vertices != self._n:
+            raise ScheduleError(
+                f"schedule on {self._n} vertices vs graph on {graph.n_vertices}"
+            )
+        for li, layer in enumerate(self._layers):
+            for u, v in layer:
+                if not graph.has_edge(u, v):
+                    raise ScheduleError(
+                        f"layer {li}: swap ({u}, {v}) is not an edge of {graph.name}"
+                    )
+        # vertex-disjointness was enforced at construction
+
+    def verify(self, graph: Graph, perm: Permutation) -> None:
+        """Full validity check: matchings of ``graph`` realizing ``perm``.
+
+        Raises
+        ------
+        ScheduleError
+            On any structural or semantic violation.
+        """
+        self.check_against(graph)
+        realized = self.simulate()
+        if realized != perm:
+            bad = int(np.flatnonzero(realized.targets != perm.targets)[0])
+            raise ScheduleError(
+                f"schedule realizes the wrong permutation "
+                f"(first mismatch at vertex {bad}: token ends at "
+                f"{realized(bad)}, expected {perm(bad)})"
+            )
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def trimmed(self) -> "Schedule":
+        """Copy with empty layers removed."""
+        return Schedule(self._n, (l for l in self._layers if l))
+
+    def compact(self) -> "Schedule":
+        """ASAP re-timing (see module docstring). Depth never increases."""
+        avail = np.zeros(self._n, dtype=np.int64)  # earliest free layer per vertex
+        new_layers: list[list[tuple[int, int]]] = []
+        for layer in self._layers:
+            for u, v in layer:
+                t = int(max(avail[u], avail[v]))
+                while len(new_layers) <= t:
+                    new_layers.append([])
+                new_layers[t].append((u, v))
+                avail[u] = avail[v] = t + 1
+        return Schedule(self._n, new_layers)
+
+    def inverse(self) -> "Schedule":
+        """Layers reversed; realizes the inverse permutation."""
+        return Schedule(self._n, reversed(self._layers))
+
+    def concat(self, other: "Schedule") -> "Schedule":
+        """This schedule followed by ``other``."""
+        if other._n != self._n:
+            raise ScheduleError("cannot concatenate schedules of different sizes")
+        return Schedule(self._n, self._layers + other._layers)
+
+    def __add__(self, other: "Schedule") -> "Schedule":
+        return self.concat(other)
+
+    def relabel(self, mapping: Sequence[int] | np.ndarray) -> "Schedule":
+        """Rename vertices: swap ``(u, v)`` becomes ``(mapping[u], mapping[v])``.
+
+        Used to pull a schedule computed on the transposed grid back to the
+        original grid's vertex ids.
+        """
+        m = np.asarray(mapping, dtype=np.int64)
+        if m.shape != (self._n,):
+            raise ScheduleError("relabel mapping has wrong size")
+        if len(set(m.tolist())) != self._n:
+            raise ScheduleError("relabel mapping is not a bijection")
+        return Schedule(
+            self._n,
+            ([(int(m[u]), int(m[v])) for u, v in layer] for layer in self._layers),
+        )
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self._n == other._n and self._layers == other._layers
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._layers))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule(n_vertices={self._n}, depth={self.depth}, "
+            f"size={self.size})"
+        )

@@ -1,0 +1,122 @@
+"""Schedule serialization (JSON) and ASCII visualization.
+
+Serialization lets schedules be cached, shipped to a device control
+stack, or diffed between router versions. The visualizer renders a grid
+schedule layer by layer as ASCII frames — invaluable when debugging a
+router (every example in the paper's figures is effectively one of these
+frames).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ScheduleError
+from ..graphs.grid import GridGraph
+from .schedule import Schedule
+
+__all__ = [
+    "schedule_to_json",
+    "schedule_from_json",
+    "render_grid_layer",
+    "render_grid_schedule",
+]
+
+_FORMAT_VERSION = 1
+
+
+def schedule_to_json(schedule: Schedule, indent: int | None = None) -> str:
+    """Serialize a schedule to a JSON document.
+
+    The document records the format version, vertex count and layers;
+    round-trips exactly through :func:`schedule_from_json`.
+    """
+    doc = {
+        "format": "repro.schedule",
+        "version": _FORMAT_VERSION,
+        "n_vertices": schedule.n_vertices,
+        "layers": [[[u, v] for (u, v) in layer] for layer in schedule],
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def schedule_from_json(text: str) -> Schedule:
+    """Parse a schedule serialized by :func:`schedule_to_json`.
+
+    Raises
+    ------
+    ScheduleError
+        On malformed documents or unsupported versions (the payload is
+        re-validated by the :class:`~repro.routing.schedule.Schedule`
+        constructor, so corrupt layers are rejected too).
+    """
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScheduleError(f"invalid schedule JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != "repro.schedule":
+        raise ScheduleError("not a repro.schedule document")
+    if doc.get("version") != _FORMAT_VERSION:
+        raise ScheduleError(
+            f"unsupported schedule format version {doc.get('version')!r}"
+        )
+    try:
+        n = int(doc["n_vertices"])
+        layers = [
+            [(int(u), int(v)) for (u, v) in layer] for layer in doc["layers"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ScheduleError(f"malformed schedule document: {exc}") from exc
+    return Schedule(n, layers)
+
+
+def render_grid_layer(grid: GridGraph, layer) -> str:
+    """One layer as ASCII art: ``o`` vertices, ``===``/``#`` swapped edges.
+
+    Horizontal swaps render as ``o===o``, vertical swaps as ``#`` between
+    the rows; idle couplings are drawn faintly (``---`` / ``|``).
+    """
+    m, n = grid.shape
+    horiz = set()
+    vert = set()
+    for u, v in layer:
+        (iu, ju), (iv, jv) = grid.coord(u), grid.coord(v)
+        if iu == iv:
+            horiz.add((iu, min(ju, jv)))
+        elif ju == jv:
+            vert.add((min(iu, iv), ju))
+        else:  # pragma: no cover - guarded by Schedule.check_against
+            raise ScheduleError(f"swap ({u}, {v}) is not a grid edge")
+    lines: list[str] = []
+    for i in range(m):
+        row = []
+        for j in range(n):
+            row.append("o")
+            if j + 1 < n:
+                row.append("===" if (i, j) in horiz else "---")
+        lines.append("".join(row))
+        if i + 1 < m:
+            sep = []
+            for j in range(n):
+                sep.append("#" if (i, j) in vert else "|")
+                if j + 1 < n:
+                    sep.append("   ")
+            lines.append("".join(sep))
+    return "\n".join(lines)
+
+
+def render_grid_schedule(grid: GridGraph, schedule: Schedule) -> str:
+    """All non-empty layers of a schedule as sequential ASCII frames."""
+    if schedule.n_vertices != grid.n_vertices:
+        raise ScheduleError("schedule size does not match the grid")
+    frames = []
+    t = 0
+    for layer in schedule:
+        if not layer:
+            continue
+        frames.append(f"layer {t} ({len(layer)} swaps):")
+        frames.append(render_grid_layer(grid, layer))
+        t += 1
+    if not frames:
+        return "(empty schedule)"
+    return "\n".join(frames)

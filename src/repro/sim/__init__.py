@@ -1,0 +1,20 @@
+"""Statevector/unitary simulation for end-to-end verification."""
+
+from .statevector import apply_gate, basis_state, simulate, zero_state
+from .unitary import (
+    allclose_up_to_global_phase,
+    circuit_unitary,
+    permute_wires,
+    wire_permutation_unitary,
+)
+
+__all__ = [
+    "simulate",
+    "apply_gate",
+    "zero_state",
+    "basis_state",
+    "circuit_unitary",
+    "permute_wires",
+    "wire_permutation_unitary",
+    "allclose_up_to_global_phase",
+]

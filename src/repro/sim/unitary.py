@@ -1,0 +1,114 @@
+"""Unitary extraction and permutation-aware equivalence checks.
+
+The key verification primitive: a transpiled circuit does not implement
+the logical unitary itself — it implements it *up to wire relocation*
+(the initial mapping on the way in, the routing-induced permutation on
+the way out). These helpers build the small unitaries and wire
+permutation operators needed to state that equality exactly, and compare
+unitaries up to global phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..circuit.circuit import QuantumCircuit
+from ..perm.permutation import Permutation
+from .statevector import basis_state, simulate
+
+__all__ = [
+    "circuit_unitary",
+    "permute_wires",
+    "wire_permutation_unitary",
+    "allclose_up_to_global_phase",
+]
+
+_MAX_UNITARY_QUBITS = 12
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """The full ``2^n x 2^n`` unitary of a circuit (small ``n`` only).
+
+    Built column by column via statevector simulation of basis states.
+
+    Raises
+    ------
+    SimulationError
+        If the circuit has more than 12 qubits.
+    """
+    n = circuit.n_qubits
+    if n > _MAX_UNITARY_QUBITS:
+        raise SimulationError(
+            f"refusing unitary extraction beyond {_MAX_UNITARY_QUBITS} qubits"
+        )
+    dim = 1 << n
+    out = np.empty((dim, dim), dtype=complex)
+    for j in range(dim):
+        out[:, j] = simulate(circuit, basis_state(n, j))
+    return out
+
+
+def _bit_map(wire_map: np.ndarray, n: int) -> np.ndarray:
+    """index -> index map moving bit ``q`` to bit ``wire_map[q]``."""
+    xs = np.arange(1 << n, dtype=np.int64)
+    ys = np.zeros_like(xs)
+    for q in range(n):
+        ys |= ((xs >> q) & 1) << int(wire_map[q])
+    return ys
+
+
+def permute_wires(
+    state: np.ndarray, wire_map: Permutation | np.ndarray
+) -> np.ndarray:
+    """Relocate qubit ``q``'s amplitude role to wire ``wire_map[q]``.
+
+    If ``state`` assigns amplitudes over wires ``0..n-1``, the result is
+    the same quantum state with the content of wire ``q`` living on wire
+    ``wire_map[q]``.
+    """
+    wm = wire_map.targets if isinstance(wire_map, Permutation) else np.asarray(wire_map)
+    n = int(wm.shape[0])
+    if state.shape != (1 << n,):
+        raise SimulationError(
+            f"state length {state.shape} does not match {n} wires"
+        )
+    ys = _bit_map(wm, n)
+    out = np.empty_like(state)
+    out[ys] = state
+    return out
+
+
+def wire_permutation_unitary(wire_map: Permutation | np.ndarray) -> np.ndarray:
+    """The unitary matrix of :func:`permute_wires` (small sizes only)."""
+    wm = wire_map.targets if isinstance(wire_map, Permutation) else np.asarray(wire_map)
+    n = int(wm.shape[0])
+    if n > _MAX_UNITARY_QUBITS:
+        raise SimulationError(
+            f"refusing permutation unitary beyond {_MAX_UNITARY_QUBITS} qubits"
+        )
+    ys = _bit_map(wm, n)
+    dim = 1 << n
+    out = np.zeros((dim, dim), dtype=complex)
+    out[ys, np.arange(dim)] = 1.0
+    return out
+
+
+def allclose_up_to_global_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = 1e-9
+) -> bool:
+    """Whether two matrices/vectors agree up to one global complex phase."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    flat_a, flat_b = a.ravel(), b.ravel()
+    idx = int(np.argmax(np.abs(flat_a)))
+    if abs(flat_a[idx]) < atol:
+        return bool(np.allclose(a, b, atol=atol))
+    if abs(flat_b[idx]) < atol:
+        return False
+    phase = flat_b[idx] / flat_a[idx]
+    if not np.isclose(abs(phase), 1.0, atol=1e-7):
+        return False
+    return bool(np.allclose(a * phase, b, atol=atol))

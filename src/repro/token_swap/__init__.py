@@ -1,0 +1,12 @@
+"""Token swapping baseline: serial 4-approximation + parallelization."""
+
+from .ats import approximate_token_swapping
+from .parallel import TokenSwapRouter, parallelize_swaps
+from .partial_ats import partial_token_swapping
+
+__all__ = [
+    "approximate_token_swapping",
+    "partial_token_swapping",
+    "parallelize_swaps",
+    "TokenSwapRouter",
+]

@@ -1,0 +1,181 @@
+"""Partial token swapping: route only the tokens that matter.
+
+The transpiler's routing phase usually constrains only the qubits in the
+upcoming gates (the paper's bijection ``f : S -> R``); the remaining
+tokens are *don't-cares*. Completing to a full permutation (see
+:meth:`repro.routing.base.Router.route_partial`) is one option; the
+other — used by the Childs, Schoute, Unsal transpiler the paper cites —
+is to adapt token swapping itself: don't-care tokens have no destination
+and never resist displacement, so swap chains terminate on them for
+free.
+
+Differences to the full algorithm (:mod:`repro.token_swap.ats`):
+
+* a token with no destination contributes no out-arcs to the
+  improvement digraph and is never counted as misplaced;
+* the "unhappy swap" at the end of a maximal chain now rests on either
+  a placed token or a don't-care token — displacing a don't-care costs
+  nothing, which is where the swap savings come from.
+
+The result is typically *far fewer swaps* than completing + fully
+routing when only a few tokens are constrained, at the price of an
+uncontrolled final placement of the don't-cares (returned to the caller
+so placements can be tracked).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import RoutingError
+from ..graphs.base import Graph
+from ..perm.partial import PartialPermutation
+
+__all__ = ["partial_token_swapping"]
+
+
+def partial_token_swapping(
+    graph: Graph,
+    partial: PartialPermutation | Mapping[int, int],
+    seed: int | None = None,
+) -> tuple[list[tuple[int, int]], np.ndarray]:
+    """Serial swaps moving every constrained token to its destination.
+
+    Parameters
+    ----------
+    graph:
+        Connected coupling graph.
+    partial:
+        ``{source vertex: destination vertex}`` for the constrained
+        tokens (a partial bijection), or a
+        :class:`~repro.perm.partial.PartialPermutation`.
+    seed:
+        Tie-breaking seed (``None`` = deterministic neighbour order).
+
+    Returns
+    -------
+    (swaps, final_positions):
+        The swap list, and an array mapping every start vertex to the
+        vertex its token ends on (a full permutation: don't-care tokens
+        included, wherever they were pushed).
+
+    Raises
+    ------
+    RoutingError
+        On disconnected graphs, out-of-range vertices, or failure to
+        converge within the swap budget.
+    """
+    n = graph.n_vertices
+    if isinstance(partial, PartialPermutation):
+        if partial.n != n:
+            raise RoutingError(
+                f"partial permutation ambient size {partial.n} != graph size {n}"
+            )
+        mapping = partial.mapping()
+    else:
+        mapping = dict(partial)
+        probe = PartialPermutation(n, mapping)  # validates bijectivity/range
+        del probe
+
+    dist_mat = graph.distance_matrix()
+    if (dist_mat < 0).any():
+        raise RoutingError("partial token swapping requires a connected graph")
+    dist = dist_mat.tolist()
+    nbrs = [list(graph.neighbors(v)) for v in range(n)]
+
+    # dest[token] = target vertex or -1 for don't-care; tokens are named
+    # by their start vertex.
+    dest = [-1] * n
+    for s, d in mapping.items():
+        dest[s] = d
+
+    tok_at = list(range(n))
+    active = {s for s, d in mapping.items() if s != d}
+    swaps: list[tuple[int, int]] = []
+    total_disp = sum(dist[s][d] for s, d in mapping.items())
+    swap_cap = 4 * total_disp + 4 * n + 16
+
+    rng = np.random.default_rng(seed) if seed is not None else None
+    if rng is not None:
+        for ns in nbrs:
+            rng.shuffle(ns)
+
+    def out_arcs(u: int) -> list[int]:
+        t = tok_at[u]
+        d = dest[t]
+        if d < 0 or d == u:
+            return []
+        du = dist[u][d]
+        drow = dist[d]
+        return [v for v in nbrs[u] if drow[v] < du]
+
+    color = [0] * n
+    stamp = [0] * n
+    version = 0
+
+    def find_cycle() -> list[int] | None:
+        nonlocal version
+        version += 1
+
+        def col(x: int) -> int:
+            return color[x] if stamp[x] == version else 0
+
+        for s in sorted(active):
+            if col(s) != 0:
+                continue
+            stack = [(s, out_arcs(s), 0)]
+            stamp[s], color[s] = version, 1
+            while stack:
+                u, arcs, idx = stack[-1]
+                if idx >= len(arcs):
+                    color[u] = 2
+                    stack.pop()
+                    continue
+                stack[-1] = (u, arcs, idx + 1)
+                v = arcs[idx]
+                cv = col(v)
+                if cv == 1:
+                    verts = [frame[0] for frame in stack]
+                    return verts[verts.index(v):]
+                if cv == 0:
+                    stamp[v], color[v] = version, 1
+                    stack.append((v, out_arcs(v), 0))
+        return None
+
+    def do_swap(u: int, v: int) -> None:
+        tok_at[u], tok_at[v] = tok_at[v], tok_at[u]
+        swaps.append((u, v))
+        for w in (u, v):
+            t = tok_at[w]
+            if dest[t] >= 0 and dest[t] != w:
+                active.add(w)
+            else:
+                active.discard(w)
+
+    while active:
+        cycle = find_cycle()
+        if cycle is not None:
+            for i in range(len(cycle) - 2, -1, -1):
+                do_swap(cycle[i], cycle[i + 1])
+        else:
+            u = min(active)
+            path = [u]
+            while True:
+                arcs = out_arcs(path[-1])
+                if not arcs:
+                    break
+                path.append(arcs[0])
+            if len(path) < 2:  # pragma: no cover - connected graphs only
+                raise RoutingError("partial token swapping stuck")
+            do_swap(path[-2], path[-1])
+        if len(swaps) > swap_cap:  # pragma: no cover - defensive
+            raise RoutingError(
+                f"partial token swapping exceeded its budget ({swap_cap})"
+            )
+
+    final = np.empty(n, dtype=np.int64)
+    for pos, t in enumerate(tok_at):
+        final[t] = pos
+    return swaps, final

@@ -1,0 +1,34 @@
+"""Transpilation: initial mapping + routing pass + verification."""
+
+from .mapping import (
+    annealed_mapping,
+    center_mapping,
+    identity_mapping,
+    initial_mapping,
+    interaction_cost,
+    random_mapping,
+)
+from .router_pass import RoutingPassResult, route_circuit
+from .sabre import sabre_route_circuit
+from .transpiler import (
+    TranspileResult,
+    check_hardware_conformance,
+    transpile,
+    verify_transpilation,
+)
+
+__all__ = [
+    "initial_mapping",
+    "identity_mapping",
+    "random_mapping",
+    "center_mapping",
+    "annealed_mapping",
+    "interaction_cost",
+    "route_circuit",
+    "RoutingPassResult",
+    "sabre_route_circuit",
+    "transpile",
+    "TranspileResult",
+    "check_hardware_conformance",
+    "verify_transpilation",
+]

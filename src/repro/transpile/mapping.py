@@ -1,0 +1,212 @@
+"""Initial mapping strategies (the "mapping" half of mapping+routing).
+
+The paper focuses on the routing phase and assumes the mapping phase is
+someone else's job ("we assume this extension has already been determined
+by the transpiler"). To run end to end we still need initial placements;
+three standard strategies are provided:
+
+``identity``
+    Logical qubit ``l`` starts on physical vertex ``l``. The right choice
+    for geometrically matched workloads (e.g. lattice Trotter circuits on
+    the same grid).
+``random``
+    Uniformly random placement — the adversarial baseline.
+``center``
+    Busy logical qubits (by two-qubit-gate participation) go to
+    high-centrality physical vertices (small total distance to the rest),
+    a cheap degree-of-interaction heuristic.
+``annealed``
+    Simulated annealing on the weighted interaction cost
+    ``sum_{gates (a,b)} d(phys(a), phys(b))`` starting from the center
+    heuristic — slower but consistently lower routing pressure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TranspileError
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import is_two_qubit
+from ..graphs.base import Graph
+
+__all__ = [
+    "initial_mapping",
+    "identity_mapping",
+    "random_mapping",
+    "center_mapping",
+    "annealed_mapping",
+    "interaction_cost",
+]
+
+
+def identity_mapping(n_logical: int, graph: Graph) -> np.ndarray:
+    """``logical l -> physical l``."""
+    if n_logical > graph.n_vertices:
+        raise TranspileError(
+            f"{n_logical} logical qubits exceed {graph.n_vertices} physical"
+        )
+    return np.arange(n_logical, dtype=np.int64)
+
+
+def random_mapping(
+    n_logical: int, graph: Graph, seed: int | None = None
+) -> np.ndarray:
+    """Uniformly random injection of logical into physical qubits."""
+    if n_logical > graph.n_vertices:
+        raise TranspileError(
+            f"{n_logical} logical qubits exceed {graph.n_vertices} physical"
+        )
+    rng = np.random.default_rng(seed)
+    return rng.permutation(graph.n_vertices)[:n_logical].astype(np.int64)
+
+
+def center_mapping(circuit: QuantumCircuit, graph: Graph) -> np.ndarray:
+    """Busiest logical qubits onto the most central physical vertices."""
+    n_logical = circuit.n_qubits
+    if n_logical > graph.n_vertices:
+        raise TranspileError(
+            f"{n_logical} logical qubits exceed {graph.n_vertices} physical"
+        )
+    activity = np.zeros(n_logical, dtype=np.int64)
+    for g in circuit:
+        if is_two_qubit(g):
+            for q in g.qubits:
+                activity[q] += 1
+    # centrality: negative total distance (higher = more central)
+    dist = graph.distance_matrix()
+    centrality = -dist.sum(axis=1)
+    physical_order = np.argsort(-centrality, kind="stable")
+    logical_order = np.argsort(-activity, kind="stable")
+    mapping = np.empty(n_logical, dtype=np.int64)
+    mapping[logical_order] = physical_order[:n_logical]
+    return mapping
+
+
+def interaction_cost(
+    circuit: QuantumCircuit, graph: Graph, mapping: np.ndarray
+) -> int:
+    """Total coupling distance of every two-qubit gate under ``mapping``.
+
+    The quantity the mapping phase tries to minimize: each unit above
+    the gate count is (roughly) a SWAP the router must insert.
+    """
+    dist = graph.distance_matrix()
+    total = 0
+    for g in circuit:
+        if is_two_qubit(g):
+            a, b = g.qubits
+            total += int(dist[mapping[a], mapping[b]])
+    return total
+
+
+def annealed_mapping(
+    circuit: QuantumCircuit,
+    graph: Graph,
+    seed: int | None = None,
+    iterations: int = 2000,
+    t_start: float = 2.0,
+    t_end: float = 0.01,
+) -> np.ndarray:
+    """Simulated-annealing refinement of the interaction cost.
+
+    Starts from :func:`center_mapping`; each move swaps the physical
+    homes of two logical qubits (or relocates one onto a free vertex)
+    and is accepted by the Metropolis rule under a geometric temperature
+    schedule. Deterministic given ``seed``.
+    """
+    n_logical = circuit.n_qubits
+    if n_logical > graph.n_vertices:
+        raise TranspileError(
+            f"{n_logical} logical qubits exceed {graph.n_vertices} physical"
+        )
+    rng = np.random.default_rng(seed)
+    mapping = center_mapping(circuit, graph).copy()
+
+    # Per-logical-qubit interaction lists for incremental cost deltas.
+    weights: dict[tuple[int, int], int] = {}
+    for g in circuit:
+        if is_two_qubit(g):
+            a, b = g.qubits
+            key = (min(a, b), max(a, b))
+            weights[key] = weights.get(key, 0) + 1
+    partners: list[list[tuple[int, int]]] = [[] for _ in range(n_logical)]
+    for (a, b), w in weights.items():
+        partners[a].append((b, w))
+        partners[b].append((a, w))
+
+    dist = graph.distance_matrix()
+    free = [v for v in range(graph.n_vertices) if v not in set(mapping.tolist())]
+
+    def local_cost(l: int, phys: int, override: dict[int, int]) -> int:
+        total = 0
+        for other, w in partners[l]:
+            p_other = override.get(other, mapping[other])
+            total += w * int(dist[phys, p_other])
+        return total
+
+    if t_start <= 0 or t_end <= 0 or iterations < 1:
+        raise TranspileError("invalid annealing schedule")
+    cool = (t_end / t_start) ** (1.0 / max(iterations - 1, 1))
+    temp = t_start
+    for _ in range(iterations):
+        if free and rng.random() < 0.3:
+            # relocate one logical qubit to a free physical vertex
+            l = int(rng.integers(n_logical))
+            slot = int(rng.integers(len(free)))
+            new_phys = free[slot]
+            delta = local_cost(l, new_phys, {}) - local_cost(l, int(mapping[l]), {})
+            if delta <= 0 or rng.random() < np.exp(-delta / temp):
+                free[slot] = int(mapping[l])
+                mapping[l] = new_phys
+        else:
+            a = int(rng.integers(n_logical))
+            b = int(rng.integers(n_logical))
+            if a != b:
+                pa, pb = int(mapping[a]), int(mapping[b])
+                before = local_cost(a, pa, {}) + local_cost(b, pb, {a: pa})
+                after = local_cost(a, pb, {b: pa}) + local_cost(b, pa, {a: pb})
+                delta = after - before
+                if delta <= 0 or rng.random() < np.exp(-delta / temp):
+                    mapping[a], mapping[b] = pb, pa
+        temp *= cool
+    return mapping
+
+
+def initial_mapping(
+    strategy,
+    circuit: QuantumCircuit,
+    graph: Graph,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Resolve a strategy name / explicit array into a mapping array.
+
+    Raises
+    ------
+    TranspileError
+        On unknown strategy names, non-injective arrays, or size issues.
+    """
+    if isinstance(strategy, str):
+        if strategy == "identity":
+            return identity_mapping(circuit.n_qubits, graph)
+        if strategy == "random":
+            return random_mapping(circuit.n_qubits, graph, seed)
+        if strategy == "center":
+            return center_mapping(circuit, graph)
+        if strategy == "annealed":
+            return annealed_mapping(circuit, graph, seed=seed)
+        raise TranspileError(
+            f"unknown mapping strategy {strategy!r}; use 'identity', "
+            "'random', 'center', 'annealed' or an explicit array"
+        )
+    arr = np.asarray(strategy, dtype=np.int64)
+    if arr.shape != (circuit.n_qubits,):
+        raise TranspileError(
+            f"mapping must have one entry per logical qubit "
+            f"({circuit.n_qubits}), got shape {arr.shape}"
+        )
+    if len(set(arr.tolist())) != arr.size:
+        raise TranspileError("mapping must be injective")
+    if arr.min() < 0 or arr.max() >= graph.n_vertices:
+        raise TranspileError("mapping targets out of physical range")
+    return arr

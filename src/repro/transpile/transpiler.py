@@ -1,0 +1,223 @@
+"""End-to-end transpilation: mapping + routing + metrics + verification.
+
+Combines an initial-mapping strategy with the routing pass and reports
+the metrics the evaluation cares about (added SWAPs, depth inflation,
+router time). :func:`verify_transpilation` closes the loop functionally:
+for small instances it checks that the physical circuit equals the
+logical unitary conjugated by the tracked wire relocations — a complete
+semantic check of the whole pipeline (mapping bookkeeping, permutation
+completion, router schedules, SWAP emission).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TranspileError
+from ..circuit.circuit import QuantumCircuit
+from ..graphs.base import Graph
+from ..perm.permutation import Permutation
+from ..routing.base import Router, make_router
+from .mapping import initial_mapping as resolve_mapping
+from .router_pass import RoutingPassResult, route_circuit
+
+__all__ = ["TranspileResult", "transpile", "verify_transpilation"]
+
+
+@dataclass
+class TranspileResult:
+    """Everything about one transpilation run.
+
+    Attributes
+    ----------
+    logical, physical:
+        Input and output circuits.
+    initial_mapping, final_mapping:
+        Logical-to-physical placement arrays (before / after).
+    physical_permutation:
+        Full-device permutation realized by all inserted SWAPs combined.
+    router_name:
+        The routing algorithm used.
+    n_swaps, routing_invocations, routing_time, swap_depth:
+        Routing statistics (see :class:`~repro.transpile.router_pass.RoutingPassResult`).
+    """
+
+    logical: QuantumCircuit
+    physical: QuantumCircuit
+    initial_mapping: np.ndarray
+    final_mapping: np.ndarray
+    physical_permutation: Permutation
+    router_name: str
+    n_swaps: int
+    routing_invocations: int
+    routing_time: float
+    swap_depth: int
+
+    @property
+    def depth_overhead(self) -> float:
+        """Physical depth divided by logical depth (>= 1 in practice)."""
+        ld = self.logical.depth()
+        return self.physical.depth() / ld if ld else float("inf")
+
+    @property
+    def size_overhead(self) -> float:
+        """Physical gate count divided by logical gate count."""
+        ls = self.logical.size()
+        return self.physical.size() / ls if ls else float("inf")
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        return (
+            f"{self.logical.name}: {self.logical.n_qubits} qubits, "
+            f"depth {self.logical.depth()} -> {self.physical.depth()} "
+            f"(x{self.depth_overhead:.2f}), size {self.logical.size()} -> "
+            f"{self.physical.size()} (+{self.n_swaps} swaps), router "
+            f"{self.router_name} called {self.routing_invocations}x "
+            f"({self.routing_time * 1e3:.1f} ms)"
+        )
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    graph: Graph,
+    router: Router | str = "local",
+    mapping="identity",
+    seed: int | None = None,
+    completion: str = "minimal",
+    **router_kwargs,
+) -> TranspileResult:
+    """Map and route ``circuit`` onto ``graph``.
+
+    Parameters
+    ----------
+    circuit:
+        Logical circuit (1q/2q gates).
+    graph:
+        Coupling graph.
+    router:
+        A :class:`~repro.routing.base.Router` instance or registry name
+        (``"local"``, ``"naive"``, ``"ats"``, ``"hybrid"``, ...), or the
+        special name ``"sabre"`` selecting the gate-at-a-time lookahead
+        pass (:mod:`repro.transpile.sabre`) instead of permutation
+        routing.
+    mapping:
+        ``"identity"`` / ``"random"`` / ``"center"`` or an explicit array.
+    seed:
+        Seed for randomized mapping strategies.
+    completion:
+        Don't-care completion strategy for routing permutations.
+    router_kwargs:
+        Forwarded to the router factory when ``router`` is a name.
+
+    Raises
+    ------
+    TranspileError
+        See :func:`~repro.transpile.router_pass.route_circuit`.
+    """
+    tau0 = resolve_mapping(mapping, circuit, graph, seed=seed)
+    if isinstance(router, str) and router == "sabre":
+        from .sabre import sabre_route_circuit
+
+        res: RoutingPassResult = sabre_route_circuit(circuit, graph, tau0)
+        router_name = "sabre"
+    else:
+        router_obj = (
+            make_router(router, **router_kwargs)
+            if isinstance(router, str)
+            else router
+        )
+        res = route_circuit(circuit, graph, router_obj, tau0, completion=completion)
+        router_name = router_obj.name
+    return TranspileResult(
+        logical=circuit,
+        physical=res.circuit,
+        initial_mapping=res.initial_mapping,
+        final_mapping=res.final_mapping,
+        physical_permutation=res.physical_permutation,
+        router_name=router_name,
+        n_swaps=res.n_swaps,
+        routing_invocations=res.routing_invocations,
+        routing_time=res.routing_time,
+        swap_depth=res.swap_depth,
+    )
+
+
+def check_hardware_conformance(result: TranspileResult, graph: Graph) -> None:
+    """Raise unless every physical 2q gate acts on a coupled pair."""
+    for g in result.physical:
+        if g.name != "barrier" and g.n_qubits == 2:
+            u, v = g.qubits
+            if not graph.has_edge(u, v):
+                raise TranspileError(
+                    f"gate {g} acts on uncoupled physical pair ({u}, {v})"
+                )
+
+
+def verify_transpilation(result: TranspileResult, graph: Graph) -> None:
+    """Full semantic verification (small circuits only).
+
+    Checks, in order:
+
+    1. hardware conformance (every 2q gate on a coupled pair);
+    2. mapping consistency: ``final = physical_permutation ∘ initial``;
+    3. unitary equivalence: with ``P_in`` placing logical wires at their
+       initial physical homes (don't-care wires filling the rest in
+       index order) and ``P_out`` the same placement pushed through the
+       routing permutation,
+       ``U_phys = P_out (U_log ⊗ I) P_in^{-1}`` up to global phase.
+
+    Raises
+    ------
+    TranspileError
+        On any violation (or if the instance is too large to simulate).
+    """
+    from ..errors import SimulationError
+    from ..sim.unitary import (
+        allclose_up_to_global_phase,
+        circuit_unitary,
+        wire_permutation_unitary,
+    )
+
+    check_hardware_conformance(result, graph)
+
+    expected_final = result.physical_permutation.targets[result.initial_mapping]
+    if not np.array_equal(expected_final, result.final_mapping):
+        raise TranspileError(
+            "final mapping disagrees with the composed routing permutation"
+        )
+
+    n_log = result.logical.n_qubits
+    n_phys = result.physical.n_qubits
+    if n_phys > 12:
+        raise TranspileError(
+            f"unitary verification infeasible for {n_phys} physical qubits"
+        )
+
+    # Wire placement: logical l -> tau0[l]; don't-care extras fill the
+    # remaining physical wires in index order.
+    tau0 = result.initial_mapping
+    extras = [v for v in range(n_phys) if v not in set(tau0.tolist())]
+    wire_in = np.concatenate([tau0, np.asarray(extras, dtype=np.int64)])
+    wire_out = result.physical_permutation.targets[wire_in]
+
+    # Pad the logical circuit to the physical width (identity on extras).
+    padded = QuantumCircuit(n_phys, name=result.logical.name)
+    for g in result.logical:
+        padded.append(g.name, g.qubits, g.params)
+
+    try:
+        u_log = circuit_unitary(padded)
+        u_phys = circuit_unitary(result.physical)
+    except SimulationError as exc:  # pragma: no cover - guarded above
+        raise TranspileError(str(exc)) from exc
+
+    p_in = wire_permutation_unitary(wire_in)
+    p_out = wire_permutation_unitary(wire_out)
+    expected = p_out @ u_log @ p_in.conj().T
+    if not allclose_up_to_global_phase(expected, u_phys, atol=1e-7):
+        raise TranspileError(
+            "physical circuit is not equivalent to the logical circuit "
+            "under the tracked wire relocations"
+        )

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GridGraph
+from repro.graphs import complete_graph, cycle_graph, path_graph
+
+
+@pytest.fixture
+def grid44() -> GridGraph:
+    """A 4x4 grid."""
+    return GridGraph(4, 4)
+
+
+@pytest.fixture
+def grid35() -> GridGraph:
+    """A rectangular 3x5 grid."""
+    return GridGraph(3, 5)
+
+
+@pytest.fixture
+def path6():
+    """The path P6."""
+    return path_graph(6)
+
+
+@pytest.fixture
+def cycle6():
+    """The cycle C6."""
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def k5():
+    """The complete graph K5."""
+    return complete_graph(5)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed RNG for deterministic tests."""
+    return np.random.default_rng(12345)

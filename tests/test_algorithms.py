@@ -1,0 +1,176 @@
+"""Functional tests for the extended algorithm circuit library.
+
+Each family has a crisp statevector-level correctness property — these
+are semantic tests of real quantum algorithms running on our simulator,
+which in turn exercises every gate decomposition used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    QuantumCircuit,
+    bernstein_vazirani,
+    grover,
+    hidden_shift,
+    qaoa_maxcut_grid,
+    w_state,
+)
+from repro.circuit.algorithms import _multi_controlled_z
+from repro.errors import CircuitError
+from repro.graphs import GridGraph
+from repro.sim import circuit_unitary, simulate
+
+
+class TestMultiControlledZ:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_exact_unitary(self, k):
+        qc = QuantumCircuit(k)
+        _multi_controlled_z(qc, list(range(k)))
+        u = circuit_unitary(qc)
+        expect = np.eye(2**k, dtype=complex)
+        expect[-1, -1] = -1
+        assert np.allclose(u, expect, atol=1e-9)
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("secret", ["0", "1", "101", "1100", "01111"])
+    def test_recovers_secret(self, secret):
+        n = len(secret)
+        psi = simulate(bernstein_vazirani(secret))
+        probs = np.abs(psi) ** 2
+        marginal = np.zeros(1 << n)
+        for idx, p in enumerate(probs):
+            marginal[idx & ((1 << n) - 1)] += p
+        best = int(np.argmax(marginal))
+        expected = sum((secret[i] == "1") << i for i in range(n))
+        assert best == expected
+        assert marginal[best] > 0.999
+
+    def test_single_query(self):
+        qc = bernstein_vazirani("1011")
+        assert qc.count_ops().get("cx", 0) == 3  # one per secret bit
+
+    def test_rejects_bad_secret(self):
+        with pytest.raises(CircuitError):
+            bernstein_vazirani("")
+        with pytest.raises(CircuitError):
+            bernstein_vazirani("10a")
+
+
+class TestGrover:
+    @pytest.mark.parametrize("n,marked", [(2, 3), (3, 5), (4, 11), (4, 0)])
+    def test_amplifies_marked_state(self, n, marked):
+        psi = simulate(grover(n, marked))
+        probs = np.abs(psi) ** 2
+        assert int(np.argmax(probs)) == marked
+        assert probs[marked] > 0.8
+
+    def test_iteration_count_default(self):
+        # more iterations than optimal overshoots: explicit 1 iteration on
+        # n=2 is already exact (p=1), the classic special case
+        psi = simulate(grover(2, marked=1, iterations=1))
+        probs = np.abs(psi) ** 2
+        assert np.isclose(probs[1], 1.0, atol=1e-9)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(CircuitError):
+            grover(1, 0)
+        with pytest.raises(CircuitError):
+            grover(9, 0)
+        with pytest.raises(CircuitError):
+            grover(3, 8)
+
+
+class TestWState:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 7])
+    def test_uniform_single_excitation(self, n):
+        psi = simulate(w_state(n))
+        probs = np.abs(psi) ** 2
+        support = {i for i, p in enumerate(probs) if p > 1e-12}
+        assert support == {1 << q for q in range(n)}
+        for idx in support:
+            assert np.isclose(probs[idx], 1.0 / n, atol=1e-9)
+
+    def test_rejects_zero(self):
+        with pytest.raises(CircuitError):
+            w_state(0)
+
+
+class TestQaoa:
+    def test_interactions_follow_grid(self):
+        g = GridGraph(3, 3)
+        qc = qaoa_maxcut_grid(g, p=2, seed=3)
+        for gate in qc:
+            if gate.n_qubits == 2:
+                assert g.has_edge(*gate.qubits)
+
+    def test_gate_counts(self):
+        g = GridGraph(2, 3)
+        qc = qaoa_maxcut_grid(g, p=2, seed=0)
+        ops = qc.count_ops()
+        assert ops["rzz"] == 2 * g.n_edges
+        assert ops["rx"] == 2 * 6
+        assert ops["h"] == 6
+
+    def test_explicit_angles(self):
+        g = GridGraph(2, 2)
+        qc = qaoa_maxcut_grid(g, p=1, gammas=[0.5], betas=[0.25])
+        rzz = [x for x in qc if x.name == "rzz"]
+        assert all(x.params == (0.5,) for x in rzz)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(CircuitError):
+            qaoa_maxcut_grid(GridGraph(2, 2), p=0)
+        with pytest.raises(CircuitError):
+            qaoa_maxcut_grid(GridGraph(2, 2), p=2, gammas=[1.0], betas=[1.0, 2.0])
+
+    def test_zero_angles_give_uniform_state(self):
+        g = GridGraph(2, 2)
+        qc = qaoa_maxcut_grid(g, p=1, gammas=[0.0], betas=[0.0])
+        psi = simulate(qc)
+        assert np.allclose(np.abs(psi) ** 2, 1 / 16, atol=1e-12)
+
+
+class TestHiddenShift:
+    @pytest.mark.parametrize("shift", ["1", "10", "101", "0110"])
+    def test_recovers_shift(self, shift):
+        n = len(shift)
+        psi = simulate(hidden_shift(shift))
+        probs = np.abs(psi) ** 2
+        best = int(np.argmax(probs))
+        expected = sum((shift[i] == "1") << i for i in range(n))
+        assert best & ((1 << n) - 1) == expected
+        assert probs[best] > 0.999
+
+    def test_clifford_only(self):
+        ops = set(hidden_shift("101").count_ops())
+        assert ops <= {"h", "x", "cz"}
+
+    def test_rejects_bad_shift(self):
+        with pytest.raises(CircuitError):
+            hidden_shift("")
+
+
+class TestRoutingTheAlgorithms:
+    """The new families as routing workloads (transpile + verify)."""
+
+    @pytest.mark.parametrize("router", ["local", "sabre"])
+    def test_grover_transpiles_and_verifies(self, router):
+        from repro.transpile import transpile, verify_transpilation
+
+        grid = GridGraph(2, 2)
+        res = transpile(grover(4, marked=9), grid, router=router)
+        verify_transpilation(res, grid)
+
+    def test_hidden_shift_crosses_halves(self):
+        """CZ pairs span the two halves -> real routing on a line."""
+        from repro.graphs import path_graph
+        from repro.transpile import transpile, verify_transpilation
+
+        g = path_graph(6)
+        res = transpile(hidden_shift("110"), g, router="ats")
+        assert res.n_swaps > 0
+        verify_transpilation(res, g)

@@ -1,0 +1,99 @@
+"""Tests for the simulated-annealing initial mapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import QuantumCircuit, ghz, qft, random_circuit
+from repro.errors import TranspileError
+from repro.graphs import GridGraph
+from repro.transpile import (
+    annealed_mapping,
+    center_mapping,
+    initial_mapping,
+    interaction_cost,
+    transpile,
+    verify_transpilation,
+)
+
+
+class TestInteractionCost:
+    def test_adjacent_gates_cost_one(self):
+        g = GridGraph(2, 2)
+        qc = QuantumCircuit(4).cx(0, 1)
+        import numpy as np
+
+        assert interaction_cost(qc, g, np.arange(4)) == 1
+
+    def test_counts_multiplicity(self):
+        g = GridGraph(2, 2)
+        qc = QuantumCircuit(4).cx(0, 3).cx(0, 3)
+        import numpy as np
+
+        assert interaction_cost(qc, g, np.arange(4)) == 4  # distance 2, twice
+
+
+class TestAnnealedMapping:
+    def test_injective_and_in_range(self):
+        g = GridGraph(3, 3)
+        qc = random_circuit(7, 8, seed=1)
+        m = annealed_mapping(qc, g, seed=0)
+        assert len(set(m.tolist())) == 7
+        assert m.min() >= 0 and m.max() < 9
+
+    def test_deterministic_given_seed(self):
+        g = GridGraph(3, 3)
+        qc = random_circuit(9, 6, seed=2)
+        a = annealed_mapping(qc, g, seed=5)
+        b = annealed_mapping(qc, g, seed=5)
+        assert (a == b).all()
+
+    def test_never_worse_than_center_on_average(self):
+        g = GridGraph(4, 4)
+        wins = ties = 0
+        for seed in range(4):
+            qc = random_circuit(16, 10, seed=seed)
+            base = interaction_cost(qc, g, center_mapping(qc, g))
+            ann = interaction_cost(qc, g, annealed_mapping(qc, g, seed=seed))
+            if ann < base:
+                wins += 1
+            elif ann == base:
+                ties += 1
+        assert wins + ties >= 3  # annealing rarely regresses
+
+    def test_linear_chain_maps_to_low_cost(self):
+        """GHZ interactions form a path: annealing should find a
+        placement whose cost is close to the gate count."""
+        g = GridGraph(4, 4)
+        qc = ghz(16)
+        m = annealed_mapping(qc, g, seed=3, iterations=4000)
+        cost = interaction_cost(qc, g, m)
+        assert cost <= 2 * qc.num_two_qubit_gates()
+
+    def test_rejects_oversized(self):
+        with pytest.raises(TranspileError):
+            annealed_mapping(ghz(10), GridGraph(3, 3))
+
+    def test_rejects_bad_schedule(self):
+        with pytest.raises(TranspileError):
+            annealed_mapping(ghz(4), GridGraph(2, 2), t_start=-1.0)
+
+
+class TestIntegration:
+    def test_strategy_resolution(self):
+        g = GridGraph(2, 3)
+        qc = qft(6)
+        m = initial_mapping("annealed", qc, g, seed=1)
+        assert len(set(m.tolist())) == 6
+
+    def test_transpile_with_annealed_mapping_verifies(self):
+        g = GridGraph(2, 3)
+        res = transpile(qft(6), g, router="local", mapping="annealed", seed=2)
+        verify_transpilation(res, g)
+
+    def test_annealed_reduces_swaps_vs_random(self):
+        g = GridGraph(4, 4)
+        qc = random_circuit(16, 8, seed=7)
+        swaps_random = transpile(qc, g, router="local", mapping="random", seed=1).n_swaps
+        swaps_annealed = transpile(qc, g, router="local", mapping="annealed", seed=1).n_swaps
+        assert swaps_annealed <= swaps_random + 5

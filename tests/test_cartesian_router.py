@@ -1,0 +1,159 @@
+"""Unit tests for the Cartesian-product router and factor routers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.graphs import (
+    CartesianProduct,
+    GridGraph,
+    binary_tree,
+    complete_graph,
+    cycle_graph,
+    cylinder_graph,
+    path_graph,
+    torus_graph,
+)
+from repro.perm import Permutation, random_permutation
+from repro.routing import (
+    CartesianRouter,
+    CompleteFactorRouter,
+    CycleFactorRouter,
+    GenericFactorRouter,
+    PathFactorRouter,
+    factor_router_for,
+    path_order,
+)
+
+
+class TestPathOrder:
+    def test_natural_path(self):
+        assert path_order(path_graph(5)) == [0, 1, 2, 3, 4]
+
+    def test_single_vertex(self):
+        assert path_order(path_graph(1)) == [0]
+
+    def test_scrambled_path(self):
+        from repro.graphs import Graph
+
+        g = Graph(4, [(2, 0), (0, 3), (3, 1)])  # path 2-0-3-1
+        order = path_order(g)
+        assert order in ([1, 3, 0, 2], [2, 0, 3, 1])
+
+    def test_rejects_cycle_and_star(self):
+        assert path_order(cycle_graph(4)) is None
+        from repro.graphs import star_graph
+
+        assert path_order(star_graph(4)) is None
+
+
+class TestFactorRouterSelection:
+    def test_selection(self):
+        assert isinstance(factor_router_for(path_graph(4)), PathFactorRouter)
+        assert isinstance(factor_router_for(cycle_graph(4)), CycleFactorRouter)
+        assert isinstance(factor_router_for(complete_graph(4)), CompleteFactorRouter)
+        assert isinstance(factor_router_for(binary_tree(5)), GenericFactorRouter)
+
+    def test_constructors_validate(self):
+        with pytest.raises(RoutingError):
+            PathFactorRouter(cycle_graph(4))
+        with pytest.raises(RoutingError):
+            CycleFactorRouter(path_graph(4))
+        with pytest.raises(RoutingError):
+            CompleteFactorRouter(path_graph(3))
+
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(5), cycle_graph(5), complete_graph(5), binary_tree(5)],
+        ids=lambda g: g.name,
+    )
+    def test_factor_router_correctness(self, graph):
+        router = factor_router_for(graph)
+        n = graph.n_vertices
+        for seed in range(3):
+            dest = np.random.default_rng(seed).permutation(n)
+            rounds = router.route_destinations(dest)
+            # replay
+            occ = np.arange(n)
+            for rnd in rounds:
+                seen = set()
+                for a, b in rnd:
+                    assert graph.has_edge(a, b)
+                    assert a not in seen and b not in seen
+                    seen.update((a, b))
+                    occ[a], occ[b] = occ[b], occ[a]
+            # token v must be at dest[v]
+            for pos in range(n):
+                assert dest[occ[pos]] == pos
+
+
+PRODUCTS = [
+    CartesianProduct(path_graph(3), path_graph(4)),
+    torus_graph(3, 4),
+    cylinder_graph(3, 4),
+    CartesianProduct(complete_graph(3), path_graph(3)),
+    CartesianProduct(binary_tree(3), cycle_graph(3)),
+]
+
+
+class TestCartesianRouter:
+    @pytest.mark.parametrize("prod", PRODUCTS, ids=lambda g: g.name)
+    @pytest.mark.parametrize("locality", [True, False])
+    def test_correct_on_products(self, prod, locality):
+        router = CartesianRouter(locality=locality)
+        for seed in range(3):
+            perm = Permutation.random(prod.n_vertices, seed=seed)
+            sched = router.route(prod, perm)
+            sched.verify(prod, perm)
+
+    def test_identity(self):
+        prod = torus_graph(3, 3)
+        sched = CartesianRouter().route(prod, Permutation.identity(9))
+        assert sched.depth == 0
+
+    def test_accepts_grid_and_matches_grid_router(self):
+        """On a grid, the product router must also be valid (and similar
+        in quality to the specialized grid router)."""
+        g = GridGraph(4, 4)
+        perm = random_permutation(g, seed=5)
+        sched = CartesianRouter().route(g, perm)
+        sched.verify(g, perm)
+        from repro.routing import LocalGridRouter
+
+        grid_depth = LocalGridRouter().route(g, perm).depth
+        assert sched.depth <= 2 * grid_depth + 4
+
+    def test_rejects_plain_graph(self):
+        with pytest.raises(RoutingError):
+            CartesianRouter().route(cycle_graph(4), Permutation.identity(4))
+
+    def test_orientation_helps_or_ties(self):
+        prod = CartesianProduct(path_graph(2), path_graph(6))
+        perm = Permutation.random(12, seed=3)
+        both = CartesianRouter(both_orientations=True).route(prod, perm)
+        single = CartesianRouter(both_orientations=False).route(prod, perm)
+        assert both.depth <= single.depth
+        both.verify(prod, perm)
+
+    def test_torus_beats_grid_on_rotation(self):
+        """Wrap-around edges should make rotations cheaper on the torus
+        than the same permutation on the grid."""
+        from repro.perm import row_rotation_permutation
+
+        m = n = 5
+        torus = torus_graph(m, n)
+        grid = GridGraph(m, n)
+        perm = row_rotation_permutation(grid, shift=1)
+        torus_sched = CartesianRouter().route(torus, perm)
+        torus_sched.verify(torus, perm)
+        grid_sched = CartesianRouter().route(grid, perm)
+        assert torus_sched.depth <= grid_sched.depth
+
+    def test_registry(self):
+        from repro.routing import make_router
+
+        router = make_router("cartesian", locality=False)
+        assert isinstance(router, CartesianRouter)
+        assert router.locality is False

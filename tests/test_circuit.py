@@ -1,0 +1,124 @@
+"""Unit tests for repro.circuit.circuit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.errors import CircuitError
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+
+    def test_append_range_check(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            qc.h(2)
+        with pytest.raises(CircuitError):
+            qc.cx(0, 5)
+
+    def test_fluent_chaining(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).rz(0.3, 1)
+        assert len(qc) == 3
+
+    def test_convenience_methods_cover_vocabulary(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).x(1).y(2).z(0).s(1).sdg(2).t(0).tdg(1)
+        qc.rx(0.1, 0).ry(0.2, 1).rz(0.3, 2).p(0.4, 0)
+        qc.cx(0, 1).cz(1, 2).cp(0.5, 0, 2).swap(0, 1).rzz(0.6, 1, 2)
+        qc.barrier().measure(0)
+        assert qc.size(include_pseudo=True) == len(qc)
+
+
+class TestMetrics:
+    def test_depth_serial_vs_parallel(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 1).cx(2, 3)  # parallel
+        assert qc.depth() == 1
+        qc.cx(1, 2)  # depends on both
+        assert qc.depth() == 2
+
+    def test_depth_ignores_barrier_level(self):
+        qc = QuantumCircuit(2).h(0).barrier().h(1)
+        # barrier synchronizes: h(1) must come after h(0)'s level
+        assert qc.depth() == 2
+
+    def test_depth_excludes_measure_by_default(self):
+        qc = QuantumCircuit(1).h(0).measure(0)
+        assert qc.depth() == 1
+        assert qc.depth(include_pseudo=True) == 2
+
+    def test_size_excludes_pseudo(self):
+        qc = QuantumCircuit(2).h(0).barrier().measure(0)
+        assert qc.size() == 1
+        assert qc.size(include_pseudo=True) == 3
+
+    def test_count_ops(self):
+        qc = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        assert qc.count_ops() == {"h": 2, "cx": 1}
+
+    def test_two_qubit_gates(self):
+        qc = QuantumCircuit(3).h(0).cx(0, 1).swap(1, 2).barrier()
+        assert [i for i, _ in qc.two_qubit_gates()] == [1, 2]
+        assert qc.num_two_qubit_gates() == 2
+
+    def test_max_gate_arity(self):
+        qc = QuantumCircuit(3).h(0)
+        assert qc.max_gate_arity() == 1
+        qc.cx(0, 1)
+        assert qc.max_gate_arity() == 2
+        qc.barrier()  # barrier does not count
+        assert qc.max_gate_arity() == 2
+
+
+class TestTransformations:
+    def test_copy_is_independent(self):
+        a = QuantumCircuit(2).h(0)
+        b = a.copy()
+        b.x(1)
+        assert len(a) == 1 and len(b) == 2
+
+    def test_compose(self):
+        a = QuantumCircuit(2).h(0)
+        b = QuantumCircuit(2).cx(0, 1)
+        ab = a.compose(b)
+        assert [g.name for g in ab] == ["h", "cx"]
+        with pytest.raises(CircuitError):
+            a.compose(QuantumCircuit(3))
+
+    def test_remap_qubits(self):
+        qc = QuantumCircuit(3).cx(0, 1)
+        r = qc.remap_qubits([2, 0, 1])
+        assert r[0].qubits == (2, 0)
+        with pytest.raises(CircuitError):
+            qc.remap_qubits([0, 0, 1])
+
+    def test_inverse_is_functional_inverse(self):
+        from repro.sim import circuit_unitary
+
+        qc = QuantumCircuit(2).h(0).t(1).cx(0, 1).rz(0.7, 1).cp(0.3, 0, 1)
+        u = circuit_unitary(qc)
+        u_inv = circuit_unitary(qc.inverse())
+        assert np.allclose(u_inv @ u, np.eye(4), atol=1e-10)
+
+    def test_inverse_rejects_measure(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(1).measure(0).inverse()
+
+
+class TestDunder:
+    def test_equality(self):
+        a = QuantumCircuit(2).h(0)
+        b = QuantumCircuit(2).h(0)
+        assert a == b
+        b.x(0)
+        assert a != b
+
+    def test_indexing_and_iteration(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        assert qc[1].name == "cx"
+        assert [g.name for g in qc] == ["h", "cx"]

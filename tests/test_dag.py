@@ -1,0 +1,74 @@
+"""Unit tests for repro.circuit.dag."""
+
+from __future__ import annotations
+
+from repro.circuit import CircuitDag, QuantumCircuit, circuit_layers
+
+
+class TestDagStructure:
+    def test_chain_dependencies(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).h(1)
+        dag = CircuitDag.from_circuit(qc)
+        assert dag.preds[0] == []
+        assert dag.preds[1] == [0]
+        assert dag.preds[2] == [1]
+        assert dag.succs[0] == [1]
+
+    def test_no_duplicate_edges_for_shared_qubits(self):
+        qc = QuantumCircuit(2).cx(0, 1).cx(0, 1)
+        dag = CircuitDag.from_circuit(qc)
+        assert dag.preds[1] == [0]  # one edge even though both qubits shared
+
+    def test_independent_gates(self):
+        qc = QuantumCircuit(4).cx(0, 1).cx(2, 3)
+        dag = CircuitDag.from_circuit(qc)
+        assert dag.preds[1] == []
+
+
+class TestLayers:
+    def test_parallel_layering(self):
+        qc = QuantumCircuit(4).cx(0, 1).cx(2, 3).cx(1, 2)
+        layers = CircuitDag.from_circuit(qc).layers()
+        assert layers == [[0, 1], [2]]
+
+    def test_layers_match_depth(self):
+        import numpy as np
+
+        from repro.circuit import random_circuit
+
+        for seed in range(5):
+            qc = random_circuit(6, 8, seed=seed)
+            layers = CircuitDag.from_circuit(qc).layers()
+            assert len(layers) == qc.depth()
+
+    def test_barrier_synchronizes_without_layer(self):
+        qc = QuantumCircuit(2).h(0).barrier().h(1)
+        layers = CircuitDag.from_circuit(qc).layers()
+        # h(1) forced after h(0) even though disjoint qubits
+        assert layers == [[0], [2]]
+
+    def test_measures_excluded_by_default(self):
+        qc = QuantumCircuit(1).h(0).measure(0)
+        assert CircuitDag.from_circuit(qc).layers() == [[0]]
+        assert CircuitDag.from_circuit(qc).layers(include_pseudo=True) == [[0], [1]]
+
+    def test_circuit_layers_helper(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        layers = circuit_layers(qc)
+        assert layers[0][0].name == "h"
+        assert layers[1][0].name == "cx"
+
+
+class TestFrontLayer:
+    def test_progression(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).h(1)
+        dag = CircuitDag.from_circuit(qc)
+        assert dag.front_layer(set()) == [0]
+        assert dag.front_layer({0}) == [1]
+        assert dag.front_layer({0, 1}) == [2]
+        assert dag.front_layer({0, 1, 2}) == []
+
+    def test_parallel_front(self):
+        qc = QuantumCircuit(4).cx(0, 1).cx(2, 3)
+        dag = CircuitDag.from_circuit(qc)
+        assert dag.front_layer(set()) == [0, 1]

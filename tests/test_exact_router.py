@@ -1,0 +1,116 @@
+"""Tests for the exact minimum-depth router and heuristic-vs-OPT checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.graphs import GridGraph, complete_graph, cycle_graph, path_graph
+from repro.perm import Permutation, depth_lower_bound, random_permutation
+from repro.routing import (
+    CompleteRouter,
+    CycleRouter,
+    ExactRouter,
+    LocalGridRouter,
+    NaiveGridRouter,
+    all_matchings,
+    oet_rounds,
+    optimal_depth,
+)
+
+
+class TestAllMatchings:
+    def test_path3(self):
+        # P3 has edges (0,1),(1,2): matchings {01},{12}
+        ms = all_matchings(path_graph(3))
+        assert sorted(ms) == [((0, 1),), ((1, 2),)]
+
+    def test_path4_count(self):
+        # P4: {01},{12},{23},{01,23} -> 4 non-empty matchings
+        assert len(all_matchings(path_graph(4))) == 4
+
+    def test_counts_follow_hosoya(self):
+        # number of matchings (incl. empty) of P_n is Fibonacci(n+1)
+        fib = [1, 1, 2, 3, 5, 8, 13, 21]
+        for n in range(2, 7):
+            assert len(all_matchings(path_graph(n))) + 1 == fib[n + 1 - 1]
+
+    def test_all_are_matchings(self):
+        g = GridGraph(2, 3)
+        for m in all_matchings(g):
+            assert g.is_matching(m)
+
+
+class TestExactRouter:
+    def test_identity(self):
+        g = path_graph(4)
+        assert ExactRouter().route(g, Permutation.identity(4)).depth == 0
+
+    def test_single_swap(self):
+        g = path_graph(4)
+        assert optimal_depth(g, Permutation.from_cycles(4, [(1, 2)])) == 1
+
+    @pytest.mark.parametrize("n,expected", [(2, 1), (3, 3), (4, 4), (5, 5)])
+    def test_path_reversal_routing_number(self, n, expected):
+        """rt(P_n, reversal) = n for n >= 3 (classical result)."""
+        g = path_graph(n)
+        perm = Permutation(list(range(n - 1, -1, -1)))
+        assert optimal_depth(g, perm) == expected
+
+    def test_depth_at_least_lower_bound(self):
+        g = GridGraph(2, 3)
+        for seed in range(5):
+            perm = random_permutation(g, seed=seed)
+            assert optimal_depth(g, perm) >= depth_lower_bound(g, perm)
+
+    def test_rejects_large(self):
+        with pytest.raises(RoutingError):
+            ExactRouter().route(GridGraph(3, 3), Permutation.identity(9))
+
+    def test_schedule_is_verified(self):
+        g = cycle_graph(5)
+        perm = Permutation.random(5, seed=3)
+        sched = ExactRouter().route(g, perm)
+        sched.verify(g, perm)
+
+
+class TestHeuristicsVersusOptimal:
+    """The payoff: measure heuristic overheads against ground truth."""
+
+    def test_complete_router_is_optimal(self):
+        g = complete_graph(5)
+        for seed in range(6):
+            perm = Permutation.random(5, seed=seed)
+            assert CompleteRouter().route(g, perm).depth == optimal_depth(g, perm)
+
+    def test_oet_within_two_of_optimal_on_small_paths(self):
+        for n in (3, 4, 5, 6):
+            g = path_graph(n)
+            for seed in range(5):
+                perm = Permutation.random(n, seed=seed)
+                inv = perm.inverse()
+                # OET destination indices: token at position i wants
+                # position perm(i)
+                depth = len(oet_rounds([perm(i) for i in range(n)]))
+                assert depth <= optimal_depth(g, perm) + 2
+
+    def test_grid_routers_overhead_on_2x3(self):
+        g = GridGraph(2, 3)
+        worst_local = 0
+        for seed in range(8):
+            perm = random_permutation(g, seed=seed)
+            opt = optimal_depth(g, perm)
+            local = LocalGridRouter().route(g, perm).depth
+            naive = NaiveGridRouter().route(g, perm).depth
+            assert local <= 3 * opt + 2
+            assert naive <= 3 * opt + 3
+            worst_local = max(worst_local, local - opt)
+        # the locality-aware router stays close to optimal at this size
+        assert worst_local <= 4
+
+    def test_cycle_router_overhead(self):
+        g = cycle_graph(6)
+        for seed in range(5):
+            perm = Permutation.random(6, seed=seed)
+            heur = CycleRouter().route(g, perm).depth
+            assert heur <= optimal_depth(g, perm) + 3

@@ -1,0 +1,121 @@
+"""Unit tests for repro.circuit.gates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import GATE_ARITY, Gate, gate_matrix, is_pseudo_gate, is_two_qubit
+from repro.errors import CircuitError
+
+
+class TestGateConstruction:
+    def test_basic(self):
+        g = Gate("cx", (0, 1))
+        assert g.n_qubits == 2 and g.params == ()
+
+    def test_parametric(self):
+        g = Gate("rx", (0,), (0.5,))
+        assert g.params == (0.5,)
+
+    def test_rejects_unknown(self):
+        with pytest.raises(CircuitError):
+            Gate("frobnicate", (0,))
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(CircuitError):
+            Gate("cx", (0,))
+        with pytest.raises(CircuitError):
+            Gate("h", (0, 1))
+
+    def test_rejects_wrong_params(self):
+        with pytest.raises(CircuitError):
+            Gate("rx", (0,))
+        with pytest.raises(CircuitError):
+            Gate("h", (0,), (1.0,))
+
+    def test_rejects_repeated_qubits(self):
+        with pytest.raises(CircuitError):
+            Gate("cx", (1, 1))
+
+    def test_barrier_any_arity(self):
+        g = Gate("barrier", (0, 1, 2, 3, 4))
+        assert g.n_qubits == 5
+        with pytest.raises(CircuitError):
+            Gate("barrier", (0,), (1.0,))
+
+    def test_remap(self):
+        g = Gate("cx", (0, 1)).remap([2, 0, 1])
+        assert g.qubits == (2, 0)
+
+    def test_hashable(self):
+        assert Gate("h", (0,)) == Gate("h", (0,))
+        assert len({Gate("h", (0,)), Gate("h", (0,))}) == 1
+
+
+class TestClassification:
+    def test_two_qubit(self):
+        assert is_two_qubit(Gate("cx", (0, 1)))
+        assert not is_two_qubit(Gate("h", (0,)))
+        assert not is_two_qubit(Gate("barrier", (0, 1)))
+
+    def test_pseudo(self):
+        assert is_pseudo_gate(Gate("barrier", (0, 1)))
+        assert is_pseudo_gate(Gate("measure", (0,)))
+        assert not is_pseudo_gate(Gate("x", (0,)))
+
+
+class TestMatrices:
+    @pytest.mark.parametrize(
+        "name",
+        [n for n, (nq, npar) in GATE_ARITY.items()
+         if npar == 0 and n not in ("measure", "reset")],
+    )
+    def test_fixed_gates_unitary(self, name):
+        nq, _ = GATE_ARITY[name]
+        g = Gate(name, tuple(range(nq)))
+        u = gate_matrix(g)
+        dim = 2**nq
+        assert u.shape == (dim, dim)
+        assert np.allclose(u @ u.conj().T, np.eye(dim), atol=1e-12)
+
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("rx", (0.7,)), ("ry", (1.1,)), ("rz", (-0.3,)), ("p", (2.0,)),
+            ("u1", (0.5,)), ("u2", (0.1, 0.2)), ("u3", (0.1, 0.2, 0.3)),
+            ("u", (1.0, 2.0, 3.0)), ("cp", (0.4,)), ("cu1", (0.4,)),
+            ("crz", (0.9,)), ("rxx", (0.6,)), ("ryy", (0.6,)), ("rzz", (0.6,)),
+        ],
+    )
+    def test_parametric_gates_unitary(self, name, params):
+        nq, _ = GATE_ARITY[name]
+        u = gate_matrix(Gate(name, tuple(range(nq)), params))
+        dim = 2**nq
+        assert np.allclose(u @ u.conj().T, np.eye(dim), atol=1e-12)
+
+    def test_known_values(self):
+        x = gate_matrix(Gate("x", (0,)))
+        assert np.allclose(x, [[0, 1], [1, 0]])
+        cx = gate_matrix(Gate("cx", (0, 1)))
+        # |10> -> |11> in the gate's local (control=high bit) convention
+        assert cx[3, 2] == 1 and cx[2, 3] == 1 and cx[0, 0] == 1
+
+    def test_rotation_identities(self):
+        rz_pi = gate_matrix(Gate("rz", (0,), (np.pi,)))
+        z = gate_matrix(Gate("z", (0,)))
+        assert np.allclose(rz_pi, -1j * z)
+        assert np.allclose(
+            gate_matrix(Gate("sx", (0,))) @ gate_matrix(Gate("sx", (0,))),
+            gate_matrix(Gate("x", (0,))),
+        )
+
+    def test_swap_rule(self):
+        swap = gate_matrix(Gate("swap", (0, 1)))
+        assert swap[1, 2] == 1 and swap[2, 1] == 1
+
+    def test_pseudo_gates_have_no_matrix(self):
+        with pytest.raises(CircuitError):
+            gate_matrix(Gate("barrier", (0,)))
+        with pytest.raises(CircuitError):
+            gate_matrix(Gate("measure", (0,)))

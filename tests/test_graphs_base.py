@@ -1,0 +1,144 @@
+"""Unit tests for repro.graphs.base."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import Graph, canonical_edge, path_graph
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(3, 1) == (1, 3)
+        assert canonical_edge(1, 3) == (1, 3)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            canonical_edge(2, 2)
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.n_vertices == 3
+        assert g.n_edges == 2
+        assert g.edges == ((0, 1), (1, 2))
+
+    def test_deduplicates_and_canonicalizes(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.n_edges == 1
+
+    def test_rejects_empty_vertex_set(self):
+        with pytest.raises(GraphError):
+            Graph(0, [])
+
+    def test_rejects_out_of_range_edges(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 2)])
+        with pytest.raises(GraphError):
+            Graph(2, [(-1, 0)])
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(1, 1)])
+
+    def test_edgeless_graph_is_valid(self):
+        g = Graph(4, [])
+        assert g.n_edges == 0
+        assert g.max_degree() == 0
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = Graph(4, [(2, 0), (2, 3), (2, 1)])
+        assert g.neighbors(2) == (0, 1, 3)
+
+    def test_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_has_edge_both_orientations(self):
+        g = Graph(3, [(0, 2)])
+        assert g.has_edge(0, 2) and g.has_edge(2, 0)
+        assert not g.has_edge(0, 1)
+        assert not g.has_edge(1, 1)
+
+    def test_vertex_range_checks(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            g.neighbors(3)
+        with pytest.raises(GraphError):
+            g.degree(-1)
+
+    def test_max_degree(self):
+        assert path_graph(5).max_degree() == 2
+
+
+class TestDistances:
+    def test_bfs_on_path(self):
+        g = path_graph(5)
+        assert g.bfs_distances(0).tolist() == [0, 1, 2, 3, 4]
+        assert g.bfs_distances(2).tolist() == [2, 1, 0, 1, 2]
+
+    def test_distance_matrix_symmetric(self):
+        g = path_graph(6)
+        d = g.distance_matrix()
+        assert (d == d.T).all()
+        assert (np.diag(d) == 0).all()
+
+    def test_distance_matrix_cached_and_readonly(self):
+        g = path_graph(4)
+        d1 = g.distance_matrix()
+        d2 = g.distance_matrix()
+        assert d1 is d2
+        with pytest.raises(ValueError):
+            d1[0, 0] = 5
+
+    def test_disconnected_distances(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.distance(0, 3) == -1
+        assert not g.is_connected()
+        with pytest.raises(GraphError):
+            g.diameter()
+
+    def test_diameter(self):
+        assert path_graph(7).diameter() == 6
+
+    def test_single_vertex_connected(self):
+        assert Graph(1, []).is_connected()
+
+
+class TestMatchingChecks:
+    def test_valid_matching(self):
+        g = path_graph(6)
+        assert g.is_matching([(0, 1), (2, 3)])
+        g.check_matching([(0, 1), (2, 3)])
+
+    def test_empty_matching(self):
+        assert path_graph(3).is_matching([])
+
+    def test_non_edge_fails(self):
+        g = path_graph(4)
+        assert not g.is_matching([(0, 2)])
+        with pytest.raises(GraphError):
+            g.check_matching([(0, 2)])
+
+    def test_vertex_reuse_fails(self):
+        g = path_graph(4)
+        assert not g.is_matching([(0, 1), (1, 2)])
+        with pytest.raises(GraphError):
+            g.check_matching([(0, 1), (1, 2)])
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert Graph(3, [(0, 1)]) == Graph(3, [(1, 0)])
+        assert Graph(3, [(0, 1)]) != Graph(3, [(0, 2)])
+        assert Graph(3, []) != Graph(4, [])
+
+    def test_hashable(self):
+        s = {Graph(3, [(0, 1)]), Graph(3, [(1, 0)])}
+        assert len(s) == 1

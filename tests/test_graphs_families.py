@@ -1,0 +1,105 @@
+"""Unit tests for repro.graphs.families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    binary_tree,
+    complete_graph,
+    cycle_graph,
+    ladder_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+
+
+class TestPath:
+    def test_structure(self):
+        g = path_graph(5)
+        assert g.n_edges == 4
+        assert g.degree(0) == g.degree(4) == 1
+        assert all(g.degree(v) == 2 for v in (1, 2, 3))
+
+    def test_single_vertex(self):
+        assert path_graph(1).n_edges == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(GraphError):
+            path_graph(0)
+
+
+class TestCycle:
+    def test_structure(self):
+        g = cycle_graph(5)
+        assert g.n_edges == 5
+        assert all(g.degree(v) == 2 for v in range(5))
+        assert g.has_edge(4, 0)
+
+    def test_minimum_size(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_diameter(self):
+        assert cycle_graph(6).diameter() == 3
+        assert cycle_graph(7).diameter() == 3
+
+
+class TestComplete:
+    def test_structure(self):
+        g = complete_graph(5)
+        assert g.n_edges == 10
+        assert all(g.degree(v) == 4 for v in range(5))
+        assert g.diameter() == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(GraphError):
+            complete_graph(0)
+
+
+class TestStar:
+    def test_structure(self):
+        g = star_graph(6)
+        assert g.n_edges == 5
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 1 for v in range(1, 6))
+        assert g.diameter() == 2
+
+
+class TestBinaryTree:
+    def test_structure(self):
+        g = binary_tree(7)
+        assert g.n_edges == 6
+        assert g.degree(0) == 2
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+        assert g.has_edge(1, 3) and g.has_edge(1, 4)
+
+    def test_is_tree(self):
+        g = binary_tree(10)
+        assert g.n_edges == 9
+        assert g.is_connected()
+
+
+class TestRandomTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 25])
+    def test_is_tree(self, n):
+        g = random_tree(n, seed=7)
+        assert g.n_vertices == n
+        assert g.n_edges == n - 1 if n > 1 else g.n_edges == 0
+        assert g.is_connected()
+
+    def test_deterministic_given_seed(self):
+        assert random_tree(12, seed=3) == random_tree(12, seed=3)
+
+    def test_varies_with_seed(self):
+        trees = {random_tree(12, seed=s) for s in range(10)}
+        assert len(trees) > 1
+
+
+class TestLadder:
+    def test_is_2xn_grid(self):
+        g = ladder_graph(4)
+        assert g.shape == (2, 4)
+        assert g.n_edges == 4 + 2 * 3

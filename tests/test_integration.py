@@ -1,0 +1,162 @@
+"""Cross-module integration tests.
+
+These tie the substrates together in ways no single-module test does:
+grid router vs product router consistency, routing schedules as circuits,
+figure-level claims on mini sweeps, and full QASM-in/QASM-out pipelines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    GridGraph,
+    LocalGridRouter,
+    NaiveGridRouter,
+    Permutation,
+    TokenSwapRouter,
+    block_local_permutation,
+    random_permutation,
+    transpile,
+)
+from repro.circuit import loads, dumps, permutation_circuit, qft
+from repro.graphs import CartesianProduct, path_graph
+from repro.routing import CartesianRouter
+from repro.sim import (
+    allclose_up_to_global_phase,
+    circuit_unitary,
+    wire_permutation_unitary,
+)
+from repro.transpile import verify_transpilation
+
+
+class TestGridVsProductConsistency:
+    """The grid IS the product of paths; both routers must agree on
+    validity (and be comparable in quality)."""
+
+    @pytest.mark.parametrize("shape", [(3, 3), (2, 5), (4, 3)])
+    def test_same_instances(self, shape):
+        grid = GridGraph(*shape)
+        prod = CartesianProduct(path_graph(shape[0]), path_graph(shape[1]))
+        assert grid == prod
+        for seed in range(3):
+            perm = random_permutation(grid, seed=seed)
+            s_grid = LocalGridRouter().route(grid, perm)
+            s_prod = CartesianRouter().route(prod, perm)
+            s_grid.verify(grid, perm)
+            s_prod.verify(prod, perm)
+            # Same 3-phase construction; allow modest slack for the
+            # generic (non-batched) per-copy parity decisions.
+            assert abs(s_grid.depth - s_prod.depth) <= max(shape)
+
+
+class TestSchedulesAsCircuits:
+    def test_routing_schedule_unitary_is_wire_permutation(self):
+        grid = GridGraph(2, 3)
+        perm = random_permutation(grid, seed=8)
+        sched = LocalGridRouter().route(grid, perm)
+        qc = permutation_circuit(sched)
+        assert allclose_up_to_global_phase(
+            circuit_unitary(qc), wire_permutation_unitary(perm)
+        )
+
+    def test_ats_schedule_same_unitary(self):
+        grid = GridGraph(2, 3)
+        perm = random_permutation(grid, seed=8)
+        a = permutation_circuit(TokenSwapRouter().route(grid, perm))
+        b = permutation_circuit(LocalGridRouter().route(grid, perm))
+        assert allclose_up_to_global_phase(circuit_unitary(a), circuit_unitary(b))
+
+
+class TestQasmPipeline:
+    def test_qasm_in_transpile_qasm_out(self):
+        src = dumps(qft(6))
+        logical = loads(src)
+        grid = GridGraph(2, 3)
+        res = transpile(logical, grid, router="local", mapping="random", seed=4)
+        verify_transpilation(res, grid)
+        # physical circuit survives a QASM round trip as well
+        physical_rt = loads(dumps(res.physical))
+        assert allclose_up_to_global_phase(
+            circuit_unitary(physical_rt), circuit_unitary(res.physical)
+        )
+
+
+class TestPaperShapeOnMiniSweep:
+    """Scaled-down versions of the Figure 4/5 claims, as fast tests."""
+
+    @pytest.fixture(scope="class")
+    def routers(self):
+        return {
+            "local": LocalGridRouter(),
+            "ats": TokenSwapRouter(),
+        }
+
+    def test_local_beats_ats_depth_on_random(self, routers):
+        grid = GridGraph(8, 8)
+        wins = 0
+        for seed in range(3):
+            perm = random_permutation(grid, seed=seed)
+            dl = routers["local"].route(grid, perm).depth
+            da = routers["ats"].route(grid, perm).depth
+            if dl < da:
+                wins += 1
+        assert wins == 3
+
+    def test_local_competitive_on_block_local(self, routers):
+        grid = GridGraph(8, 8)
+        for seed in range(3):
+            perm = block_local_permutation(grid, seed=seed)
+            dl = routers["local"].route(grid, perm).depth
+            da = routers["ats"].route(grid, perm).depth
+            assert dl <= 1.5 * da
+
+    def test_local_faster_than_ats_at_moderate_size(self, routers):
+        import time
+
+        grid = GridGraph(16, 16)
+        perm = random_permutation(grid, seed=0)
+        t0 = time.perf_counter()
+        routers["local"].route(grid, perm)
+        t_local = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        routers["ats"].route(grid, perm)
+        t_ats = time.perf_counter() - t0
+        assert t_local < t_ats
+
+
+class TestHybridDominance:
+    """Paper §V: the hybrid fallback is never worse than naive."""
+
+    def test_dominates_both_components(self):
+        from repro.routing import make_router
+
+        grid = GridGraph(6, 6)
+        hybrid = make_router("hybrid")
+        local = LocalGridRouter()
+        naive = NaiveGridRouter(transpose_strategy=True)
+        for seed in range(4):
+            for gen in (random_permutation, block_local_permutation):
+                perm = gen(grid, seed=seed)
+                dh = hybrid.route(grid, perm).depth
+                assert dh <= local.route(grid, perm).depth
+                assert dh <= naive.route(grid, perm).depth
+
+
+class TestLargeSingleInstance:
+    """One bigger end-to-end instance to catch scaling-only bugs."""
+
+    def test_16x16_all_routers(self):
+        grid = GridGraph(16, 16)
+        perm = random_permutation(grid, seed=99)
+        for router in (LocalGridRouter(), NaiveGridRouter(), TokenSwapRouter()):
+            sched = router.route(grid, perm)
+            sched.verify(grid, perm)
+
+    def test_rectangular_grids(self):
+        for shape in [(2, 16), (16, 2), (3, 11)]:
+            grid = GridGraph(*shape)
+            perm = random_permutation(grid, seed=5)
+            sched = LocalGridRouter().route(grid, perm)
+            sched.verify(grid, perm)

@@ -1,0 +1,177 @@
+"""Unit tests for the benchmark circuit library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    QuantumCircuit,
+    brickwork_circuit,
+    cuccaro_adder,
+    ghz,
+    lattice_trotter,
+    permutation_circuit,
+    qft,
+    random_circuit,
+)
+from repro.errors import CircuitError
+from repro.graphs import GridGraph
+from repro.sim import allclose_up_to_global_phase, circuit_unitary, simulate
+
+
+class TestQft:
+    def test_matches_dft_matrix(self):
+        for n in (1, 2, 3, 4):
+            dim = 2**n
+            dft = np.exp(
+                2j * np.pi * np.outer(np.arange(dim), np.arange(dim)) / dim
+            ) / np.sqrt(dim)
+            assert allclose_up_to_global_phase(
+                circuit_unitary(qft(n)), dft, atol=1e-9
+            )
+
+    def test_no_swaps_variant(self):
+        assert qft(4, do_swaps=False).count_ops().get("swap", 0) == 0
+
+    def test_approximation_drops_small_angles(self):
+        full = qft(5).count_ops()["cp"]
+        approx = qft(5, approximation_degree=2).count_ops()["cp"]
+        assert approx < full
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(CircuitError):
+            qft(0)
+
+
+class TestGhz:
+    def test_state(self):
+        psi = simulate(ghz(4))
+        expect = np.zeros(16, dtype=complex)
+        expect[0] = expect[15] = 2**-0.5
+        assert allclose_up_to_global_phase(psi, expect)
+
+    def test_structure(self):
+        qc = ghz(5)
+        assert qc.count_ops() == {"h": 1, "cx": 4}
+
+
+class TestLatticeTrotter:
+    def test_all_interactions_on_grid_edges(self):
+        grid = GridGraph(3, 4)
+        qc = lattice_trotter(grid, steps=2)
+        for g in qc:
+            if g.n_qubits == 2:
+                assert grid.has_edge(*g.qubits)
+
+    def test_gate_counts(self):
+        grid = GridGraph(3, 3)
+        qc = lattice_trotter(grid, steps=1)
+        ops = qc.count_ops()
+        assert ops["rzz"] == grid.n_edges
+        assert ops["rx"] == 9
+
+    def test_first_order_accuracy(self):
+        """Trotter state converges to exact evolution as dt -> 0."""
+        from scipy.linalg import expm
+
+        grid = GridGraph(2, 2)
+        n = 4
+        # Build exact H = J sum Z_u Z_v + h sum X_v
+        z = np.diag([1.0, -1.0]).astype(complex)
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+
+        def embed(op, q):
+            mats = [np.eye(2, dtype=complex)] * n
+            mats[q] = op
+            out = np.array([[1.0]], dtype=complex)
+            # little-endian: qubit 0 = least significant -> rightmost factor
+            for m in reversed(mats):
+                out = np.kron(out, m)
+            return out
+
+        H = np.zeros((16, 16), dtype=complex)
+        for (u, v) in grid.edges:
+            H += embed(z, u) @ embed(z, v)
+        for q in range(n):
+            H += embed(x, q)
+
+        t = 0.05
+        exact = expm(-1j * t * H)
+        approx = circuit_unitary(lattice_trotter(grid, steps=1, dt=t))
+        # first-order Trotter error is O(t^2) per step
+        assert np.abs(exact - approx).max() < 0.02
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(CircuitError):
+            lattice_trotter(GridGraph(2, 2), steps=0)
+
+
+class TestAdder:
+    @pytest.mark.parametrize("a", range(4))
+    @pytest.mark.parametrize("b", range(4))
+    def test_two_bit_addition(self, a, b):
+        nb = 2
+        qc = QuantumCircuit(2 * nb + 2)
+        for i in range(nb):
+            if (a >> i) & 1:
+                qc.x(1 + 2 * i)
+            if (b >> i) & 1:
+                qc.x(2 + 2 * i)
+        out = simulate(qc.compose(cuccaro_adder(nb)))
+        idx = int(np.argmax(np.abs(out)))
+        assert abs(abs(out[idx]) - 1.0) < 1e-9  # classical output
+        b_out = sum(((idx >> (2 + 2 * i)) & 1) << i for i in range(nb))
+        cout = (idx >> (2 * nb + 1)) & 1
+        assert b_out + (cout << nb) == a + b
+
+    def test_only_small_gates(self):
+        assert cuccaro_adder(3).max_gate_arity() == 2
+
+
+class TestRandomAndBrickwork:
+    def test_random_deterministic(self):
+        assert random_circuit(5, 6, seed=1) == random_circuit(5, 6, seed=1)
+        assert random_circuit(5, 6, seed=1) != random_circuit(5, 6, seed=2)
+
+    def test_random_depth_close_to_target(self):
+        qc = random_circuit(8, 10, seed=0)
+        assert qc.depth() == 10
+
+    def test_brickwork_is_nearest_neighbour(self):
+        qc = brickwork_circuit(6, 4, seed=2)
+        for g in qc:
+            if g.n_qubits == 2:
+                assert abs(g.qubits[0] - g.qubits[1]) == 1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(CircuitError):
+            random_circuit(0, 3)
+        with pytest.raises(CircuitError):
+            brickwork_circuit(1, 3)
+
+
+class TestPermutationCircuit:
+    def test_swap_network_depth_matches_schedule(self):
+        from repro.perm import random_permutation
+        from repro.routing import LocalGridRouter
+
+        grid = GridGraph(3, 3)
+        perm = random_permutation(grid, seed=4)
+        sched = LocalGridRouter().route(grid, perm)
+        qc = permutation_circuit(sched)
+        assert qc.depth() == sched.depth
+        assert qc.count_ops().get("swap", 0) == sched.size
+
+    def test_realizes_permutation_as_unitary(self):
+        from repro.perm import Permutation
+        from repro.routing import CompleteRouter
+        from repro.graphs import complete_graph
+        from repro.sim import wire_permutation_unitary
+
+        perm = Permutation.from_cycles(3, [(0, 1, 2)])
+        sched = CompleteRouter().route(complete_graph(3), perm)
+        qc = permutation_circuit(sched)
+        assert allclose_up_to_global_phase(
+            circuit_unitary(qc), wire_permutation_unitary(perm)
+        )

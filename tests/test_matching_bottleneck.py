@@ -1,0 +1,106 @@
+"""Unit tests for repro.matching.bottleneck (MCBBM)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import MatchingError
+from repro.matching import (
+    bottleneck_assignment,
+    max_cardinality_bottleneck_matching,
+)
+
+
+def brute_force_bottleneck(weights: np.ndarray) -> float:
+    """Optimal bottleneck over all k! assignments (small k only)."""
+    k = weights.shape[0]
+    return min(
+        max(weights[i, p[i]] for i in range(k))
+        for p in itertools.permutations(range(k))
+    )
+
+
+class TestBottleneckAssignment:
+    def test_simple(self):
+        a, b = bottleneck_assignment(np.array([[1.0, 9.0], [9.0, 1.0]]))
+        assert a.tolist() == [0, 1]
+        assert b == 1.0
+
+    def test_forced_large_edge(self):
+        w = np.array([[5.0, 5.0], [5.0, 1.0]])
+        a, b = bottleneck_assignment(w)
+        assert b == 5.0
+
+    @pytest.mark.parametrize("seed", range(15))
+    @pytest.mark.parametrize("refine", [True, False])
+    def test_matches_brute_force(self, seed, refine):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(2, 6))
+        w = rng.integers(0, 20, size=(k, k)).astype(float)
+        a, b = bottleneck_assignment(w, refine=refine)
+        # valid assignment
+        assert sorted(a.tolist()) == list(range(k))
+        # achieves its claimed bottleneck
+        assert max(w[i, a[i]] for i in range(k)) == b
+        # optimal
+        assert b == brute_force_bottleneck(w)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_refinement_never_hurts_total(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        k = int(rng.integers(2, 6))
+        w = rng.integers(0, 20, size=(k, k)).astype(float)
+        a_ref, b_ref = bottleneck_assignment(w, refine=True)
+        a_raw, b_raw = bottleneck_assignment(w, refine=False)
+        assert b_ref == b_raw  # same optimal bottleneck
+        total_ref = sum(w[i, a_ref[i]] for i in range(k))
+        total_raw = sum(w[i, a_raw[i]] for i in range(k))
+        assert total_ref <= total_raw
+
+    def test_refinement_minimizes_total_subject_to_bottleneck(self):
+        # bottleneck forced to 10 by row 0; among bottleneck-optimal
+        # assignments, row 1 should still take its cheap column.
+        w = np.array([[10.0, 10.0, 10.0], [1.0, 9.0, 9.0], [9.0, 1.0, 9.0]])
+        a, b = bottleneck_assignment(w, refine=True)
+        assert b == 10.0
+        assert a[1] == 0 and a[2] == 1
+
+    def test_single_element(self):
+        a, b = bottleneck_assignment(np.array([[7.0]]))
+        assert a.tolist() == [0] and b == 7.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(MatchingError):
+            bottleneck_assignment(np.zeros((2, 3)))
+
+
+class TestGeneralMCBBM:
+    def test_empty(self):
+        pairs, b, card = max_cardinality_bottleneck_matching(2, 2, [])
+        assert pairs == [] and card == 0
+
+    def test_cardinality_first(self):
+        # Using the heavy edge is mandatory for cardinality 2.
+        edges = [(0, 0, 1.0), (1, 0, 2.0), (1, 1, 100.0)]
+        pairs, b, card = max_cardinality_bottleneck_matching(2, 2, edges)
+        assert card == 2
+        assert b == 100.0
+        assert sorted(pairs) == [(0, 0), (1, 1)]
+
+    def test_bottleneck_minimized_at_max_cardinality(self):
+        edges = [(0, 0, 5.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 5.0)]
+        pairs, b, card = max_cardinality_bottleneck_matching(2, 2, edges)
+        assert card == 2 and b == 1.0
+        assert sorted(pairs) == [(0, 1), (1, 0)]
+
+    def test_unbalanced(self):
+        edges = [(0, 2, 3.0), (1, 2, 1.0)]
+        pairs, b, card = max_cardinality_bottleneck_matching(2, 3, edges)
+        assert card == 1 and b == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(MatchingError):
+            max_cardinality_bottleneck_matching(1, 1, [(0, 5, 1.0)])

@@ -1,0 +1,101 @@
+"""Unit tests for repro.matching.decompose."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MatchingError
+from repro.graphs import GridGraph
+from repro.matching import (
+    ColumnMultigraph,
+    naive_decomposition,
+    windowed_decomposition,
+)
+from repro.perm import (
+    Permutation,
+    block_local_permutation,
+    random_permutation,
+)
+
+
+def check_decomposition(dec, m: int, n: int) -> None:
+    """Common validity conditions: m matchings partitioning all tokens."""
+    assert len(dec) == m
+    all_tokens = np.concatenate(dec.matchings)
+    assert sorted(all_tokens.tolist()) == list(range(m * n))
+    for pm in dec.matchings:
+        assert pm.shape == (n,)
+        # one token per source column
+        assert sorted((pm % n).tolist()) == list(range(n))
+
+
+class TestNaive:
+    @pytest.mark.parametrize("shape", [(2, 2), (3, 4), (4, 3), (5, 5), (1, 4), (4, 1)])
+    def test_partitions_tokens(self, shape):
+        g = GridGraph(*shape)
+        perm = random_permutation(g, seed=7)
+        dec = naive_decomposition(ColumnMultigraph(g.shape, perm))
+        check_decomposition(dec, *shape)
+
+    def test_destination_columns_complete(self):
+        g = GridGraph(4, 4)
+        perm = random_permutation(g, seed=8)
+        mg = ColumnMultigraph(g.shape, perm)
+        dec = naive_decomposition(mg)
+        for pm in dec.matchings:
+            assert sorted((perm.targets[pm] % 4).tolist()) == [0, 1, 2, 3]
+
+    def test_window_widths_are_full(self):
+        g = GridGraph(3, 3)
+        dec = naive_decomposition(
+            ColumnMultigraph(g.shape, random_permutation(g, seed=0))
+        )
+        assert dec.window_widths == [3, 3, 3]
+
+
+class TestWindowed:
+    @pytest.mark.parametrize("growth", ["nested", "paper"])
+    @pytest.mark.parametrize("shape", [(2, 2), (3, 4), (5, 5), (8, 8), (1, 3)])
+    def test_partitions_tokens(self, shape, growth):
+        g = GridGraph(*shape)
+        perm = random_permutation(g, seed=9)
+        dec = windowed_decomposition(ColumnMultigraph(g.shape, perm), growth=growth)
+        check_decomposition(dec, *shape)
+
+    def test_identity_found_at_width_one(self):
+        """All matchings of the identity fit single-row windows."""
+        g = GridGraph(6, 6)
+        dec = windowed_decomposition(
+            ColumnMultigraph(g.shape, Permutation.identity(36))
+        )
+        assert dec.window_widths == [1] * 6
+
+    def test_block_local_found_at_block_scale(self):
+        """Nested windows capture aligned block structure exactly."""
+        g = GridGraph(8, 8)
+        perm = block_local_permutation(g, block_rows=4, block_cols=4, seed=1)
+        dec = windowed_decomposition(ColumnMultigraph(g.shape, perm))
+        assert max(dec.window_widths) <= 4
+
+    def test_widths_non_decreasing(self):
+        g = GridGraph(8, 8)
+        dec = windowed_decomposition(
+            ColumnMultigraph(g.shape, random_permutation(g, seed=3))
+        )
+        assert dec.window_widths == sorted(dec.window_widths)
+
+    def test_rows_used_shape(self):
+        g = GridGraph(4, 5)
+        dec = windowed_decomposition(
+            ColumnMultigraph(g.shape, random_permutation(g, seed=4))
+        )
+        for rows in dec.rows_used:
+            assert rows.shape == (10,)  # 2n values
+
+    def test_unknown_growth(self):
+        g = GridGraph(2, 2)
+        with pytest.raises(MatchingError):
+            windowed_decomposition(
+                ColumnMultigraph(g.shape, Permutation.identity(4)), growth="bogus"
+            )

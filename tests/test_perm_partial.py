@@ -1,0 +1,96 @@
+"""Unit tests for repro.perm.partial."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PermutationError
+from repro.graphs import GridGraph, path_graph
+from repro.perm import PartialPermutation, complete_partial
+
+
+class TestPartialPermutation:
+    def test_basic(self):
+        pp = PartialPermutation(4, {0: 2, 3: 1})
+        assert len(pp) == 2
+        assert pp[0] == 2
+        assert 3 in pp and 1 not in pp
+        assert not pp.is_total()
+
+    def test_total(self):
+        pp = PartialPermutation(2, {0: 1, 1: 0})
+        assert pp.is_total()
+
+    def test_rejects_duplicate_sources(self):
+        # dict cannot carry duplicate keys; duplicate destinations is the case
+        with pytest.raises(PermutationError):
+            PartialPermutation(4, {0: 2, 1: 2})
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(PermutationError):
+            PartialPermutation(3, {0: 5})
+        with pytest.raises(PermutationError):
+            PartialPermutation(0, {})
+
+    def test_mapping_copy(self):
+        pp = PartialPermutation(3, {0: 1})
+        m = pp.mapping()
+        m[2] = 0
+        assert 2 not in pp
+
+
+class TestCompletion:
+    @pytest.mark.parametrize("strategy", ["optimal", "greedy", "arbitrary", "minimal"])
+    def test_respects_constraints(self, strategy):
+        g = GridGraph(3, 3)
+        pp = PartialPermutation(9, {0: 8, 4: 0})
+        perm = complete_partial(pp, g, strategy=strategy)
+        assert perm(0) == 8 and perm(4) == 0
+
+    @pytest.mark.parametrize("strategy", ["optimal", "greedy", "minimal"])
+    def test_distance_aware_strategies_fix_far_points(self, strategy):
+        # With one constrained pair, distance-aware completions should fix
+        # every vertex that can stay (everything except the displaced ones).
+        g = path_graph(8)
+        pp = PartialPermutation(8, {0: 1})
+        perm = complete_partial(pp, g, strategy=strategy)
+        assert perm(0) == 1
+        # vertex 7 is far from the action: it must remain fixed
+        assert perm(7) == 7
+
+    def test_minimal_keeps_unaffected_in_place(self):
+        g = GridGraph(4, 4)
+        pp = PartialPermutation(16, {0: 1, 1: 0})
+        perm = complete_partial(pp, g, strategy="minimal")
+        for v in range(2, 16):
+            assert perm(v) == v
+
+    def test_optimal_total_distance_not_worse_than_greedy(self):
+        g = GridGraph(3, 4)
+        pp = PartialPermutation(12, {0: 11, 11: 0})
+        from repro.perm.metrics import total_displacement
+
+        opt = total_displacement(g, complete_partial(pp, g, "optimal"))
+        grd = total_displacement(g, complete_partial(pp, g, "greedy"))
+        assert opt <= grd
+
+    def test_total_partial_needs_no_completion(self):
+        g = path_graph(2)
+        pp = PartialPermutation(2, {0: 1, 1: 0})
+        perm = complete_partial(pp, g, strategy="arbitrary")
+        assert perm(0) == 1 and perm(1) == 0
+
+    def test_unknown_strategy(self):
+        g = path_graph(3)
+        with pytest.raises(PermutationError):
+            complete_partial(PartialPermutation(3, {}), g, strategy="bogus")
+
+    def test_size_mismatch(self):
+        g = path_graph(3)
+        with pytest.raises(PermutationError):
+            complete_partial(PartialPermutation(4, {}), g)
+
+    def test_method_on_class(self):
+        g = path_graph(4)
+        perm = PartialPermutation(4, {1: 2}).complete(g)
+        assert perm(1) == 2

@@ -1,0 +1,157 @@
+"""Unit tests for repro.perm.permutation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PermutationError
+from repro.perm import Permutation
+
+
+class TestConstruction:
+    def test_valid(self):
+        p = Permutation([2, 0, 1])
+        assert p(0) == 2 and p[1] == 0
+
+    def test_rejects_non_bijection(self):
+        with pytest.raises(PermutationError):
+            Permutation([0, 0, 1])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(PermutationError):
+            Permutation([0, 3, 1])
+        with pytest.raises(PermutationError):
+            Permutation([0, -1, 2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(PermutationError):
+            Permutation([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(PermutationError):
+            Permutation(np.zeros((2, 2), dtype=int))
+
+    def test_targets_readonly(self):
+        p = Permutation([1, 0])
+        with pytest.raises(ValueError):
+            p.targets[0] = 1
+
+    def test_input_not_aliased(self):
+        arr = np.array([1, 0, 2])
+        p = Permutation(arr)
+        arr[0] = 2
+        assert p(0) == 1
+
+
+class TestConstructors:
+    def test_identity(self):
+        p = Permutation.identity(4)
+        assert p.is_identity()
+        with pytest.raises(PermutationError):
+            Permutation.identity(0)
+
+    def test_from_cycles(self):
+        p = Permutation.from_cycles(5, [(0, 1, 2)])
+        assert p(0) == 1 and p(1) == 2 and p(2) == 0
+        assert p(3) == 3 and p(4) == 4
+
+    def test_from_cycles_rejects_overlap(self):
+        with pytest.raises(PermutationError):
+            Permutation.from_cycles(5, [(0, 1), (1, 2)])
+
+    def test_from_cycles_rejects_out_of_range(self):
+        with pytest.raises(PermutationError):
+            Permutation.from_cycles(3, [(0, 5)])
+
+    def test_from_mapping(self):
+        p = Permutation.from_mapping(4, {0: 1, 1: 0})
+        assert p(0) == 1 and p(2) == 2
+
+    def test_random_deterministic(self):
+        assert Permutation.random(10, seed=1) == Permutation.random(10, seed=1)
+        assert Permutation.random(50, seed=1) != Permutation.random(50, seed=2)
+
+
+class TestAlgebra:
+    def test_inverse(self):
+        p = Permutation.random(20, seed=3)
+        assert p.compose(p.inverse()).is_identity()
+        assert p.inverse().compose(p).is_identity()
+
+    def test_compose_order(self):
+        # (p @ q)(v) == p(q(v))
+        p = Permutation([1, 2, 0])
+        q = Permutation([2, 1, 0])
+        pq = p @ q
+        for v in range(3):
+            assert pq(v) == p(q(v))
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(PermutationError):
+            Permutation([0, 1]).compose(Permutation([0, 1, 2]))
+
+    def test_power(self):
+        p = Permutation.from_cycles(4, [(0, 1, 2, 3)])
+        assert p.power(4).is_identity()
+        assert p.power(0).is_identity()
+        assert p.power(-1) == p.inverse()
+        assert p.power(2)(0) == 2
+
+    def test_order(self):
+        p = Permutation.from_cycles(6, [(0, 1), (2, 3, 4)])
+        assert p.order() == 6
+
+    def test_relabel_conjugation(self):
+        p = Permutation.random(8, seed=5)
+        m = Permutation.random(8, seed=6).targets
+        q = p.relabel(m)
+        for v in range(8):
+            assert q(m[v]) == m[p(v)]
+
+    def test_relabel_wrong_size(self):
+        with pytest.raises(PermutationError):
+            Permutation([1, 0]).relabel([0, 1, 2])
+
+
+class TestStructure:
+    def test_cycles(self):
+        p = Permutation.from_cycles(6, [(0, 1, 2), (3, 4)])
+        cycles = p.cycles()
+        assert (0, 1, 2) in cycles and (3, 4) in cycles
+        assert len(cycles) == 2
+
+    def test_cycles_include_fixed(self):
+        p = Permutation.from_cycles(3, [(0, 1)])
+        assert (2,) in p.cycles(include_fixed=True)
+
+    def test_fixed_points_and_support(self):
+        p = Permutation.from_cycles(5, [(1, 3)])
+        assert p.fixed_points().tolist() == [0, 2, 4]
+        assert p.support().tolist() == [1, 3]
+
+    def test_two_involution_factorization(self):
+        for seed in range(10):
+            p = Permutation.random(12, seed=seed)
+            a, b = p.two_involution_factorization()
+            assert a.compose(a).is_identity()
+            assert b.compose(b).is_identity()
+            assert b.compose(a) == p
+
+    def test_two_involution_on_identity(self):
+        p = Permutation.identity(5)
+        a, b = p.two_involution_factorization()
+        assert a.is_identity() and b.is_identity()
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        p = Permutation([1, 0, 2])
+        q = Permutation(np.array([1, 0, 2]))
+        assert p == q and hash(p) == hash(q)
+        assert p != Permutation([0, 1, 2])
+
+    def test_len_and_iter(self):
+        p = Permutation([2, 0, 1])
+        assert len(p) == 3
+        assert list(p) == [2, 0, 1]

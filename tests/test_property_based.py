@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These are the "every router always produces a valid schedule" guarantees
+from DESIGN.md §5, exercised on randomized inputs well beyond the
+hand-written cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import GridGraph, complete_graph, cycle_graph, path_graph
+from repro.perm import (
+    Permutation,
+    depth_lower_bound,
+    swap_count_lower_bound,
+)
+from repro.routing import (
+    CompleteRouter,
+    CycleRouter,
+    LocalGridRouter,
+    NaiveGridRouter,
+    Schedule,
+    oet_rounds,
+)
+from repro.token_swap import approximate_token_swapping, parallelize_swaps
+
+
+@st.composite
+def grid_and_permutation(draw):
+    m = draw(st.integers(min_value=1, max_value=5))
+    n = draw(st.integers(min_value=1, max_value=5))
+    perm = draw(st.permutations(range(m * n)))
+    return GridGraph(m, n), Permutation(list(perm))
+
+
+@st.composite
+def small_permutation(draw, max_n: int = 9):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    return Permutation(list(draw(st.permutations(range(n)))))
+
+
+class TestPermutationAlgebra:
+    @given(small_permutation())
+    def test_inverse_composes_to_identity(self, p):
+        assert (p @ p.inverse()).is_identity()
+        assert (p.inverse() @ p).is_identity()
+
+    @given(small_permutation())
+    def test_cycles_reconstruct(self, p):
+        q = Permutation.from_cycles(p.size, p.cycles())
+        assert q == p
+
+    @given(small_permutation())
+    def test_two_involutions(self, p):
+        a, b = p.two_involution_factorization()
+        assert (a @ a).is_identity()
+        assert (b @ b).is_identity()
+        assert (b @ a) == p
+
+    @given(small_permutation(), small_permutation())
+    def test_compose_relabel_consistency(self, p, m):
+        if p.size != m.size:
+            return
+        q = p.relabel(m.targets)
+        for v in range(p.size):
+            assert q(m(v)) == m(p(v))
+
+
+class TestOetProperties:
+    @given(st.permutations(range(10)))
+    def test_sorts_and_bounded(self, dest):
+        dest = list(dest)
+        rounds = oet_rounds(dest)
+        assert len(rounds) <= len(dest)
+        d = list(dest)
+        for rnd in rounds:
+            for i in rnd:
+                d[i], d[i + 1] = d[i + 1], d[i]
+        assert d == sorted(d)
+
+
+class TestGridRouters:
+    @settings(max_examples=40, deadline=None)
+    @given(grid_and_permutation())
+    def test_local_router_valid(self, gp):
+        grid, perm = gp
+        sched = LocalGridRouter().route(grid, perm)
+        sched.verify(grid, perm)
+        assert sched.depth >= depth_lower_bound(grid, perm)
+
+    @settings(max_examples=40, deadline=None)
+    @given(grid_and_permutation())
+    def test_naive_router_valid(self, gp):
+        grid, perm = gp
+        sched = NaiveGridRouter().route(grid, perm)
+        sched.verify(grid, perm)
+
+    @settings(max_examples=30, deadline=None)
+    @given(grid_and_permutation())
+    def test_depth_bounded_by_3max(self, gp):
+        grid, perm = gp
+        m, n = grid.shape
+        sched = LocalGridRouter().route(grid, perm)
+        assert sched.depth <= 2 * max(m, n) + min(m, n) + 2
+
+
+class TestTokenSwapping:
+    @settings(max_examples=40, deadline=None)
+    @given(grid_and_permutation())
+    def test_ats_valid_and_bounded(self, gp):
+        grid, perm = gp
+        swaps = approximate_token_swapping(grid, perm)
+        sched = parallelize_swaps(grid.n_vertices, swaps)
+        sched.verify(grid, perm)
+        assert len(swaps) >= swap_count_lower_bound(grid, perm)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(3, 8), st.data())
+    def test_ats_on_cycles(self, n, data):
+        g = cycle_graph(n)
+        perm = Permutation(list(data.draw(st.permutations(range(n)))))
+        swaps = approximate_token_swapping(g, perm)
+        parallelize_swaps(n, swaps).verify(g, perm)
+
+
+class TestSpecialRouters:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(3, 9), st.data())
+    def test_cycle_router(self, n, data):
+        g = cycle_graph(n)
+        perm = Permutation(list(data.draw(st.permutations(range(n)))))
+        sched = CycleRouter().route(g, perm)
+        sched.verify(g, perm)
+        assert sched.depth <= n
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 8), st.data())
+    def test_complete_router_depth_two(self, n, data):
+        g = complete_graph(n)
+        perm = Permutation(list(data.draw(st.permutations(range(n)))))
+        sched = CompleteRouter().route(g, perm)
+        sched.verify(g, perm)
+        assert sched.depth <= 2
+
+
+class TestScheduleProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 8), st.data())
+    def test_compaction_invariants(self, n, data):
+        g = path_graph(n)
+        edges = list(g.edges)
+        k = data.draw(st.integers(0, 12))
+        idx = data.draw(
+            st.lists(st.integers(0, len(edges) - 1), min_size=k, max_size=k)
+        )
+        s = Schedule.from_serial_swaps(n, [edges[i] for i in idx])
+        c = s.compact()
+        assert c.simulate() == s.simulate()
+        assert c.depth <= s.depth
+        c.check_against(g)
+
+    @settings(max_examples=30, deadline=None)
+    @given(grid_and_permutation())
+    def test_inverse_schedule(self, gp):
+        grid, perm = gp
+        sched = NaiveGridRouter().route(grid, perm)
+        sched.inverse().verify(grid, perm.inverse())

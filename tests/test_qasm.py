@@ -1,0 +1,116 @@
+"""Unit tests for the OpenQASM 2 subset parser/emitter."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuit import QuantumCircuit, dumps, ghz, loads, qft
+from repro.errors import QasmError
+
+
+class TestParsing:
+    def test_minimal_program(self):
+        qc = loads(
+            """
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[2];
+            creg c[2];
+            h q[0];
+            cx q[0],q[1];
+            measure q[0] -> c[0];
+            """
+        )
+        assert qc.n_qubits == 2
+        assert [g.name for g in qc] == ["h", "cx", "measure"]
+
+    def test_parameters_with_pi(self):
+        qc = loads(
+            "OPENQASM 2.0;\nqreg q[1];\nrz(pi/2) q[0];\nrx(-pi/4) q[0];\n"
+            "p(2*pi/3) q[0];\nu3(0.1,0.2,0.3) q[0];\n"
+        )
+        assert qc[0].params == (math.pi / 2,)
+        assert qc[1].params == (-math.pi / 4,)
+        assert abs(qc[2].params[0] - 2 * math.pi / 3) < 1e-12
+        assert qc[3].params == (0.1, 0.2, 0.3)
+
+    def test_multiple_registers_flattened(self):
+        qc = loads(
+            "OPENQASM 2.0;\nqreg a[2];\nqreg b[2];\ncx a[1],b[0];\n"
+        )
+        assert qc.n_qubits == 4
+        assert qc[0].qubits == (1, 2)
+
+    def test_comments_and_whitespace(self):
+        qc = loads(
+            "OPENQASM 2.0; // header\nqreg q[1];\n// a comment line\n  h q[0];  \n"
+        )
+        assert len(qc) == 1
+
+    def test_multiple_statements_per_line(self):
+        qc = loads("OPENQASM 2.0;\nqreg q[2]; h q[0]; h q[1];")
+        assert len(qc) == 2
+
+    def test_barrier(self):
+        qc = loads("OPENQASM 2.0;\nqreg q[2];\nbarrier q[0],q[1];\n")
+        assert qc[0].name == "barrier" and qc[0].qubits == (0, 1)
+
+
+class TestParseErrors:
+    def test_unknown_gate(self):
+        with pytest.raises(QasmError, match="unknown gate"):
+            loads("OPENQASM 2.0;\nqreg q[1];\nmystery q[0];\n")
+
+    def test_gate_definitions_rejected(self):
+        with pytest.raises(QasmError, match="outside the supported"):
+            loads("OPENQASM 2.0;\nqreg q[1];\ngate foo a { h a; }\n")
+
+    def test_broadcast_rejected(self):
+        with pytest.raises(QasmError, match="broadcast"):
+            loads("OPENQASM 2.0;\nqreg q[2];\nh q;\n")
+
+    def test_unknown_register(self):
+        with pytest.raises(QasmError, match="unknown quantum register"):
+            loads("OPENQASM 2.0;\nqreg q[1];\nh r[0];\n")
+
+    def test_no_qreg(self):
+        with pytest.raises(QasmError, match="no qreg"):
+            loads("OPENQASM 2.0;\n")
+
+    def test_bad_parameter_expression(self):
+        with pytest.raises(QasmError):
+            loads("OPENQASM 2.0;\nqreg q[1];\nrz(import_os) q[0];\n")
+        with pytest.raises(QasmError):
+            loads("OPENQASM 2.0;\nqreg q[1];\nrz(2**3) q[0];\n")
+
+    def test_bad_measure(self):
+        with pytest.raises(QasmError, match="measure"):
+            loads("OPENQASM 2.0;\nqreg q[1];\nmeasure q[0];\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("make", [lambda: ghz(4), lambda: qft(3)])
+    def test_unitary_preserved(self, make):
+        from repro.sim import allclose_up_to_global_phase, circuit_unitary
+
+        original = make()
+        rebuilt = loads(dumps(original))
+        assert allclose_up_to_global_phase(
+            circuit_unitary(original), circuit_unitary(rebuilt)
+        )
+
+    def test_gates_preserved_exactly(self):
+        qc = QuantumCircuit(3).h(0).cp(0.25, 0, 2).swap(1, 2).measure(1)
+        rebuilt = loads(dumps(qc))
+        assert [g.name for g in rebuilt] == [g.name for g in qc]
+        assert rebuilt[1].params == qc[1].params
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.circuit import dump_file, load_file
+
+        path = str(tmp_path / "c.qasm")
+        qc = ghz(3)
+        dump_file(qc, path)
+        assert load_file(path) == qc

@@ -1,0 +1,51 @@
+"""Tests for the ASCII plotting addition to the bench reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ascii_plot, run_sweep
+from repro.routing import LocalGridRouter, NaiveGridRouter
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    return run_sweep(
+        [3, 5],
+        ["random"],
+        {"local": LocalGridRouter(), "naive": NaiveGridRouter()},
+        seeds=(0,),
+    )
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self, tiny_sweep):
+        chart = ascii_plot(tiny_sweep, "depth", title="T")
+        assert "T" in chart
+        assert "o = random/local" in chart
+        assert "x = random/naive" in chart
+        assert "3x3" in chart and "5x5" in chart
+
+    def test_marker_count_at_least_series_points(self, tiny_sweep):
+        chart = ascii_plot(tiny_sweep, "depth")
+        body = chart.split("+" + "-" * 10)[0]
+        # two series x two sizes, markers may overlap -> at least 2
+        assert body.count("o") + body.count("x") >= 2
+
+    def test_router_filter(self, tiny_sweep):
+        chart = ascii_plot(tiny_sweep, "depth", routers=["local"])
+        assert "naive" not in chart
+
+    def test_empty_selection(self, tiny_sweep):
+        assert "no data" in ascii_plot(tiny_sweep, "depth", routers=["nope"])
+
+    def test_log_scale_detection(self, tiny_sweep):
+        # seconds across routers can span orders of magnitude; just make
+        # sure the function runs and renders an axis either way
+        chart = ascii_plot(tiny_sweep, "seconds")
+        assert "|" in chart and "+" in chart
+
+    def test_single_size_sweep(self):
+        sweep = run_sweep([4], ["random"], {"local": LocalGridRouter()}, seeds=(0,))
+        chart = ascii_plot(sweep, "depth")
+        assert "4x4" in chart

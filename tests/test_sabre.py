@@ -1,0 +1,79 @@
+"""Tests for the SABRE-style lookahead routing pass."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import QuantumCircuit, ghz, lattice_trotter, qft, random_circuit
+from repro.errors import TranspileError
+from repro.graphs import GridGraph, path_graph
+from repro.transpile import (
+    check_hardware_conformance,
+    sabre_route_circuit,
+    transpile,
+    verify_transpilation,
+)
+from repro.transpile.mapping import identity_mapping
+
+
+class TestSabrePass:
+    def test_geometric_circuit_needs_no_swaps(self):
+        grid = GridGraph(3, 3)
+        circuit = lattice_trotter(grid, steps=1)
+        res = sabre_route_circuit(circuit, grid, identity_mapping(9, grid))
+        assert res.n_swaps == 0
+        assert res.physical_permutation.is_identity()
+
+    def test_far_gate_needs_swaps(self):
+        grid = GridGraph(2, 3)
+        circuit = QuantumCircuit(6).cx(0, 5)
+        res = sabre_route_circuit(circuit, grid, identity_mapping(6, grid))
+        assert res.n_swaps >= 1
+        for g in res.circuit:
+            if g.n_qubits == 2 and g.name != "barrier":
+                assert grid.has_edge(*g.qubits)
+
+    def test_mapping_bookkeeping(self):
+        grid = GridGraph(2, 3)
+        circuit = qft(6)
+        res = sabre_route_circuit(circuit, grid, identity_mapping(6, grid))
+        expected = res.physical_permutation.targets[res.initial_mapping]
+        assert (expected == res.final_mapping).all()
+
+    def test_rejects_oversized(self):
+        with pytest.raises(TranspileError):
+            sabre_route_circuit(
+                ghz(10), GridGraph(2, 2), identity_mapping(4, GridGraph(2, 2))
+            )
+
+
+@pytest.mark.parametrize("mapping", ["identity", "random", "center"])
+class TestSabreEndToEnd:
+    def test_qft_verifies(self, mapping):
+        grid = GridGraph(2, 3)
+        res = transpile(qft(6), grid, router="sabre", mapping=mapping, seed=2)
+        assert res.router_name == "sabre"
+        verify_transpilation(res, grid)
+
+    def test_random_verifies(self, mapping):
+        grid = GridGraph(2, 3)
+        qc = random_circuit(6, 7, seed=9)
+        res = transpile(qc, grid, router="sabre", mapping=mapping, seed=4)
+        verify_transpilation(res, grid)
+
+
+class TestSabreQuality:
+    def test_competitive_swap_count_on_qft(self):
+        """SABRE's per-gate greediness should use far fewer swaps than
+        full-permutation routing on circuit workloads."""
+        grid = GridGraph(4, 4)
+        circuit = qft(16)
+        sabre = transpile(circuit, grid, router="sabre")
+        perm_routed = transpile(circuit, grid, router="local")
+        check_hardware_conformance(sabre, grid)
+        assert sabre.n_swaps < perm_routed.n_swaps
+
+    def test_path_device(self):
+        g = path_graph(6)
+        res = transpile(qft(6), g, router="sabre")
+        verify_transpilation(res, g)

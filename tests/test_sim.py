@@ -1,0 +1,164 @@
+"""Unit tests for the statevector/unitary simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import Gate, QuantumCircuit
+from repro.errors import SimulationError
+from repro.perm import Permutation
+from repro.sim import (
+    allclose_up_to_global_phase,
+    apply_gate,
+    basis_state,
+    circuit_unitary,
+    permute_wires,
+    simulate,
+    wire_permutation_unitary,
+    zero_state,
+)
+
+
+class TestStates:
+    def test_zero_state(self):
+        psi = zero_state(3)
+        assert psi[0] == 1 and np.count_nonzero(psi) == 1
+
+    def test_basis_state(self):
+        psi = basis_state(2, 3)
+        assert psi[3] == 1
+
+    def test_bounds(self):
+        with pytest.raises(SimulationError):
+            basis_state(0, 0)
+        with pytest.raises(SimulationError):
+            basis_state(2, 4)
+
+
+class TestApplyGate:
+    def test_x_flips_correct_bit(self):
+        # little-endian: x on qubit 1 maps |00> -> |10> = index 2
+        psi = apply_gate(zero_state(2), Gate("x", (1,)), 2)
+        assert psi[2] == 1
+
+    def test_h_superposition(self):
+        psi = apply_gate(zero_state(1), Gate("h", (0,)), 1)
+        assert np.allclose(psi, [2**-0.5, 2**-0.5])
+
+    def test_cx_control_order(self):
+        # control qubit 0 (value 1), target qubit 1
+        psi = basis_state(2, 1)  # |q1=0, q0=1>
+        out = apply_gate(psi, Gate("cx", (0, 1)), 2)
+        assert out[3] == 1  # |11>
+
+    def test_cx_inactive_control(self):
+        psi = basis_state(2, 2)  # q0 = 0: control inactive
+        out = apply_gate(psi, Gate("cx", (0, 1)), 2)
+        assert out[2] == 1
+
+    def test_barrier_is_identity(self):
+        psi = apply_gate(zero_state(2), Gate("barrier", (0, 1)), 2)
+        assert psi[0] == 1
+
+    def test_norm_preserved(self):
+        rng = np.random.default_rng(0)
+        psi = rng.normal(size=8) + 1j * rng.normal(size=8)
+        psi /= np.linalg.norm(psi)
+        out = apply_gate(psi, Gate("cp", (0, 2), (0.7,)), 3)
+        assert np.isclose(np.linalg.norm(out), 1.0)
+
+
+class TestSimulate:
+    def test_bell_state(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        psi = simulate(qc)
+        assert np.allclose(psi, [2**-0.5, 0, 0, 2**-0.5])
+
+    def test_custom_initial_state(self):
+        qc = QuantumCircuit(1).x(0)
+        out = simulate(qc, initial=np.array([0, 1], dtype=complex))
+        assert out[0] == 1
+
+    def test_initial_not_mutated(self):
+        init = np.array([1, 0], dtype=complex)
+        simulate(QuantumCircuit(1).x(0), initial=init)
+        assert init[0] == 1
+
+    def test_wrong_initial_shape(self):
+        with pytest.raises(SimulationError):
+            simulate(QuantumCircuit(2).h(0), initial=np.zeros(3, dtype=complex))
+
+    def test_gate_order_matters(self):
+        a = simulate(QuantumCircuit(1).h(0).z(0))
+        b = simulate(QuantumCircuit(1).z(0).h(0))
+        assert not np.allclose(a, b)
+
+
+class TestUnitary:
+    def test_unitary_of_x(self):
+        u = circuit_unitary(QuantumCircuit(1).x(0))
+        assert np.allclose(u, [[0, 1], [1, 0]])
+
+    def test_unitarity_random_circuit(self):
+        from repro.circuit import random_circuit
+
+        qc = random_circuit(4, 6, seed=3)
+        u = circuit_unitary(qc)
+        assert np.allclose(u @ u.conj().T, np.eye(16), atol=1e-9)
+
+    def test_width_limit(self):
+        with pytest.raises(SimulationError):
+            circuit_unitary(QuantumCircuit(13).h(0))
+
+
+class TestWirePermutations:
+    def test_permute_wires_on_basis_state(self):
+        # |q1 q0> = |01> (index 1); move wire 0 -> wire 1
+        psi = basis_state(2, 1)
+        out = permute_wires(psi, Permutation([1, 0]))
+        assert out[2] == 1
+
+    def test_matrix_consistent_with_function(self):
+        rng = np.random.default_rng(1)
+        psi = rng.normal(size=8) + 1j * rng.normal(size=8)
+        perm = Permutation([2, 0, 1])
+        u = wire_permutation_unitary(perm)
+        assert np.allclose(u @ psi, permute_wires(psi, perm))
+
+    def test_identity_permutation(self):
+        psi = np.arange(4, dtype=complex)
+        assert (permute_wires(psi, Permutation.identity(2)) == psi).all()
+
+    def test_swap_circuit_equals_wire_permutation(self):
+        qc = QuantumCircuit(2).swap(0, 1)
+        assert np.allclose(
+            circuit_unitary(qc), wire_permutation_unitary(Permutation([1, 0]))
+        )
+
+    def test_composition(self):
+        p = Permutation([1, 2, 0])
+        q = Permutation([2, 0, 1])
+        up = wire_permutation_unitary(p)
+        uq = wire_permutation_unitary(q)
+        assert np.allclose(uq @ up, wire_permutation_unitary(q @ p))
+
+
+class TestGlobalPhase:
+    def test_detects_phase_equivalence(self):
+        a = np.eye(2, dtype=complex)
+        assert allclose_up_to_global_phase(a, 1j * a)
+        assert allclose_up_to_global_phase(a, np.exp(0.3j) * a)
+
+    def test_rejects_different(self):
+        a = np.eye(2, dtype=complex)
+        b = np.array([[0, 1], [1, 0]], dtype=complex)
+        assert not allclose_up_to_global_phase(a, b)
+        assert not allclose_up_to_global_phase(a, 2.0 * a)
+
+    def test_shape_mismatch(self):
+        assert not allclose_up_to_global_phase(np.eye(2), np.eye(4))
+
+    def test_zero_vectors(self):
+        z = np.zeros(4)
+        assert allclose_up_to_global_phase(z, z)

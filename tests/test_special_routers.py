@@ -1,0 +1,179 @@
+"""Unit tests for cycle, complete-graph, tree and best-of routers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.graphs import (
+    GridGraph,
+    binary_tree,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.perm import Permutation, random_permutation
+from repro.routing import (
+    BestOfRouter,
+    CompleteRouter,
+    CycleRouter,
+    LocalGridRouter,
+    NaiveGridRouter,
+    TreeRouter,
+    cycle_order,
+    involution_matching,
+    make_router,
+)
+
+
+class TestCycleOrder:
+    def test_standard_cycle(self):
+        order = cycle_order(cycle_graph(5))
+        assert order is not None and len(order) == 5
+        g = cycle_graph(5)
+        for a, b in zip(order, order[1:] + order[:1]):
+            assert g.has_edge(a, b)
+
+    def test_rejects_path(self):
+        assert cycle_order(path_graph(4)) is None
+
+    def test_rejects_complete(self):
+        assert cycle_order(complete_graph(4)) is None
+
+
+class TestCycleRouter:
+    @pytest.mark.parametrize("n", [3, 4, 5, 8, 11])
+    def test_correct_on_random(self, n):
+        g = cycle_graph(n)
+        router = CycleRouter()
+        for seed in range(4):
+            perm = Permutation.random(n, seed=seed)
+            sched = router.route(g, perm)
+            sched.verify(g, perm)
+            assert sched.depth <= n
+
+    def test_rotation_is_cheap(self):
+        n = 8
+        g = cycle_graph(n)
+        perm = Permutation([(i + 1) % n for i in range(n)])
+        sched = CycleRouter().route(g, perm)
+        sched.verify(g, perm)
+        # a unit rotation should not cost a full path-reversal depth
+        assert sched.depth <= n
+
+    def test_identity(self):
+        g = cycle_graph(5)
+        assert CycleRouter().route(g, Permutation.identity(5)).depth == 0
+
+    def test_max_cuts_option(self):
+        g = cycle_graph(9)
+        perm = Permutation.random(9, seed=1)
+        all_cuts = CycleRouter(max_cuts=9).route(g, perm)
+        one_cut = CycleRouter(max_cuts=1).route(g, perm)
+        assert all_cuts.depth <= one_cut.depth
+        one_cut.verify(g, perm)
+
+    def test_rejects_non_cycle(self):
+        with pytest.raises(RoutingError):
+            CycleRouter().route(path_graph(4), Permutation.identity(4))
+
+
+class TestCompleteRouter:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_depth_at_most_two(self, n):
+        g = complete_graph(n)
+        router = CompleteRouter(validate=True)
+        for seed in range(5):
+            perm = Permutation.random(n, seed=seed)
+            sched = router.route(g, perm)
+            sched.verify(g, perm)
+            assert sched.depth <= 2
+
+    def test_involution_needs_one_round(self):
+        g = complete_graph(6)
+        perm = Permutation.from_cycles(6, [(0, 3), (1, 4)])
+        sched = CompleteRouter().route(g, perm)
+        assert sched.depth == 1
+
+    def test_identity_zero(self):
+        g = complete_graph(4)
+        assert CompleteRouter().route(g, Permutation.identity(4)).depth == 0
+
+    def test_involution_matching_rejects_non_involution(self):
+        with pytest.raises(RoutingError):
+            involution_matching(Permutation.from_cycles(3, [(0, 1, 2)]))
+
+    def test_rejects_non_complete(self):
+        with pytest.raises(RoutingError):
+            CompleteRouter().route(path_graph(3), Permutation.identity(3))
+
+
+class TestTreeRouter:
+    @pytest.mark.parametrize(
+        "tree", [path_graph(6), star_graph(6), binary_tree(7), random_tree(8, seed=1)],
+        ids=lambda g: g.name,
+    )
+    def test_correct_on_trees(self, tree):
+        router = TreeRouter(validate=True)
+        for seed in range(3):
+            perm = Permutation.random(tree.n_vertices, seed=seed)
+            sched = router.route(tree, perm)
+            sched.verify(tree, perm)
+
+    def test_rejects_non_tree(self):
+        with pytest.raises(RoutingError):
+            TreeRouter().route(cycle_graph(4), Permutation.identity(4))
+
+
+class TestBestOf:
+    def test_picks_min_depth(self):
+        g = GridGraph(4, 4)
+        perm = random_permutation(g, seed=3)
+        local = LocalGridRouter()
+        naive = NaiveGridRouter()
+        best = BestOfRouter([local, naive])
+        sched = best.route(g, perm)
+        assert sched.depth == min(
+            local.route(g, perm).depth, naive.route(g, perm).depth
+        )
+        sched.verify(g, perm)
+
+    def test_requires_routers(self):
+        with pytest.raises(RoutingError):
+            BestOfRouter([])
+
+    def test_hybrid_registry(self):
+        router = make_router("hybrid")
+        g = GridGraph(4, 4)
+        perm = random_permutation(g, seed=1)
+        sched = router.route(g, perm)
+        sched.verify(g, perm)
+        assert sched.depth <= LocalGridRouter().route(g, perm).depth
+
+    def test_hybrid_with_ats(self):
+        router = make_router("hybrid", include_ats=True)
+        g = GridGraph(3, 3)
+        perm = random_permutation(g, seed=2)
+        router.route(g, perm).verify(g, perm)
+
+
+class TestRegistry:
+    def test_available_routers(self):
+        from repro.routing import available_routers
+
+        names = available_routers()
+        for expected in ("local", "naive", "ats", "hybrid", "cycle", "complete", "tree", "cartesian"):
+            assert expected in names
+
+    def test_unknown_router(self):
+        with pytest.raises(RoutingError):
+            make_router("not-a-router")
+
+    def test_route_convenience(self):
+        from repro.routing import route
+
+        g = GridGraph(3, 3)
+        perm = random_permutation(g, seed=0)
+        route(g, perm, method="local").verify(g, perm)

@@ -1,0 +1,163 @@
+"""Unit tests for repro.token_swap (ATS baseline + parallelization)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.graphs import (
+    Graph,
+    GridGraph,
+    binary_tree,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.perm import (
+    Permutation,
+    random_permutation,
+    swap_count_lower_bound,
+    total_displacement,
+)
+from repro.token_swap import (
+    TokenSwapRouter,
+    approximate_token_swapping,
+    parallelize_swaps,
+)
+
+
+def apply_swaps(n: int, swaps) -> Permutation:
+    occ = list(range(n))
+    for u, v in swaps:
+        occ[u], occ[v] = occ[v], occ[u]
+    realized = [0] * n
+    for pos, tok in enumerate(occ):
+        realized[tok] = pos
+    return Permutation(realized)
+
+
+GRAPHS = [
+    path_graph(7),
+    cycle_graph(6),
+    complete_graph(5),
+    star_graph(6),
+    binary_tree(7),
+    GridGraph(3, 4),
+    random_tree(9, seed=3),
+]
+
+
+class TestSerialATS:
+    @pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+    def test_realizes_permutation(self, graph):
+        for seed in range(4):
+            perm = Permutation.random(graph.n_vertices, seed=seed)
+            swaps = approximate_token_swapping(graph, perm)
+            assert apply_swaps(graph.n_vertices, swaps) == perm
+            for u, v in swaps:
+                assert graph.has_edge(u, v)
+
+    def test_identity_needs_no_swaps(self):
+        g = GridGraph(3, 3)
+        assert approximate_token_swapping(g, Permutation.identity(9)) == []
+
+    def test_single_transposition_on_edge(self):
+        g = path_graph(4)
+        perm = Permutation.from_cycles(4, [(1, 2)])
+        swaps = approximate_token_swapping(g, perm)
+        assert swaps == [(1, 2)]
+
+    def test_approximation_budget(self):
+        """Swap count within the 4-approx budget (using sum-distance as
+        an upper bound proxy for OPT)."""
+        g = GridGraph(4, 4)
+        for seed in range(5):
+            perm = random_permutation(g, seed=seed)
+            swaps = approximate_token_swapping(g, perm)
+            assert swap_count_lower_bound(g, perm) <= len(swaps)
+            assert len(swaps) <= 4 * total_displacement(g, perm)
+
+    def test_rejects_disconnected(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(RoutingError):
+            approximate_token_swapping(g, Permutation([1, 0, 3, 2]))
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(RoutingError):
+            approximate_token_swapping(path_graph(3), Permutation.identity(4))
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(RoutingError):
+            approximate_token_swapping(path_graph(3), Permutation.identity(3), trials=0)
+
+    def test_trials_never_hurt(self):
+        g = GridGraph(4, 4)
+        for seed in range(3):
+            perm = random_permutation(g, seed=seed)
+            one = approximate_token_swapping(g, perm, trials=1)
+            four = approximate_token_swapping(g, perm, trials=4, seed=0)
+            assert len(four) <= len(one)
+
+    def test_deterministic_single_trial(self):
+        g = GridGraph(3, 3)
+        perm = random_permutation(g, seed=2)
+        assert approximate_token_swapping(g, perm) == approximate_token_swapping(
+            g, perm
+        )
+
+    def test_mirror_on_path(self):
+        """Path reversal: ATS must realize it; size is Theta(n^2)."""
+        n = 8
+        g = path_graph(n)
+        perm = Permutation(list(range(n - 1, -1, -1)))
+        swaps = approximate_token_swapping(g, perm)
+        assert apply_swaps(n, swaps) == perm
+        assert len(swaps) >= n * (n - 1) // 2  # optimal for reversal
+
+
+class TestParallelization:
+    def test_parallelize_preserves_semantics(self):
+        g = GridGraph(3, 3)
+        perm = random_permutation(g, seed=6)
+        swaps = approximate_token_swapping(g, perm)
+        sched = parallelize_swaps(9, swaps)
+        sched.verify(g, perm)
+        assert sched.size == len(swaps)
+
+    def test_parallelize_reduces_depth(self):
+        # two disjoint swaps must share a layer
+        sched = parallelize_swaps(4, [(0, 1), (2, 3)])
+        assert sched.depth == 1
+
+
+class TestRouterAdapter:
+    def test_routes_and_verifies(self):
+        g = GridGraph(3, 4)
+        router = TokenSwapRouter(validate=True)
+        for seed in range(3):
+            perm = random_permutation(g, seed=seed)
+            sched = router.route(g, perm)
+            sched.verify(g, perm)
+
+    def test_compact_false_gives_serial_layers(self):
+        g = GridGraph(2, 3)
+        perm = random_permutation(g, seed=1)
+        serial = TokenSwapRouter(compact=False).route(g, perm)
+        compacted = TokenSwapRouter(compact=True).route(g, perm)
+        assert serial.size == compacted.size
+        assert all(len(layer) == 1 for layer in serial)
+        assert compacted.depth <= serial.depth
+
+    def test_registry(self):
+        from repro.routing import make_router
+
+        router = make_router("ats", trials=2)
+        assert isinstance(router, TokenSwapRouter)
+        assert router.trials == 2
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(RoutingError):
+            TokenSwapRouter(trials=0)

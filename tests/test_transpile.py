@@ -1,0 +1,168 @@
+"""Unit tests for the transpiler (mapping, routing pass, verification)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, ghz, lattice_trotter, qft, random_circuit
+from repro.errors import TranspileError
+from repro.graphs import GridGraph, path_graph
+from repro.routing import LocalGridRouter, make_router
+from repro.token_swap import TokenSwapRouter
+from repro.transpile import (
+    center_mapping,
+    check_hardware_conformance,
+    identity_mapping,
+    initial_mapping,
+    random_mapping,
+    transpile,
+    verify_transpilation,
+)
+
+
+class TestMappings:
+    def test_identity(self):
+        g = GridGraph(2, 3)
+        assert identity_mapping(4, g).tolist() == [0, 1, 2, 3]
+        with pytest.raises(TranspileError):
+            identity_mapping(7, g)
+
+    def test_random_injective(self):
+        g = GridGraph(3, 3)
+        m = random_mapping(6, g, seed=0)
+        assert len(set(m.tolist())) == 6
+        assert (random_mapping(6, g, seed=0) == m).all()
+
+    def test_center_prefers_central_vertices(self):
+        g = GridGraph(3, 3)
+        qc = QuantumCircuit(3).cx(0, 1).cx(0, 2).cx(0, 1)
+        m = center_mapping(qc, g)
+        # logical 0 is busiest -> physical center (1,1) = 4
+        assert m[0] == g.index(1, 1)
+
+    def test_resolve_strategies(self):
+        g = GridGraph(2, 2)
+        qc = ghz(4)
+        for strat in ("identity", "random", "center"):
+            m = initial_mapping(strat, qc, g, seed=1)
+            assert len(set(m.tolist())) == 4
+        explicit = initial_mapping([3, 2, 1, 0], qc, g)
+        assert explicit.tolist() == [3, 2, 1, 0]
+
+    def test_resolve_rejects_bad(self):
+        g = GridGraph(2, 2)
+        qc = ghz(4)
+        with pytest.raises(TranspileError):
+            initial_mapping("bogus", qc, g)
+        with pytest.raises(TranspileError):
+            initial_mapping([0, 0, 1, 2], qc, g)
+        with pytest.raises(TranspileError):
+            initial_mapping([0, 1, 2], qc, g)
+        with pytest.raises(TranspileError):
+            initial_mapping([0, 1, 2, 9], qc, g)
+
+
+class TestTranspileBasics:
+    def test_already_conformant_needs_no_swaps(self):
+        g = GridGraph(2, 3)
+        qc = lattice_trotter(g, steps=1)
+        res = transpile(qc, g, router="local", mapping="identity")
+        assert res.n_swaps == 0
+        assert res.physical.depth() == qc.depth()
+
+    def test_adds_swaps_when_needed(self):
+        g = GridGraph(2, 3)
+        qc = QuantumCircuit(6).cx(0, 5)  # opposite corners
+        res = transpile(qc, g, router="local")
+        assert res.n_swaps > 0
+        check_hardware_conformance(res, g)
+
+    def test_rejects_oversized_circuit(self):
+        with pytest.raises(TranspileError):
+            transpile(ghz(10), GridGraph(2, 2))
+
+    def test_rejects_three_qubit_gates(self):
+        qc = QuantumCircuit(4)
+        qc.append("barrier", (0, 1, 2))  # barrier fine
+        res = transpile(qc, GridGraph(2, 2))
+        assert res.n_swaps == 0
+        # a genuine 3q unitary is not in our vocabulary; simulate with a
+        # hand-built Gate is impossible, so this case is covered by
+        # max_gate_arity on barriers only.
+
+    def test_router_by_name_and_instance(self):
+        g = GridGraph(2, 2)
+        qc = qft(4)
+        by_name = transpile(qc, g, router="ats")
+        by_inst = transpile(qc, g, router=TokenSwapRouter())
+        assert by_name.router_name == by_inst.router_name == "ats"
+
+    def test_summary_and_overheads(self):
+        g = GridGraph(2, 3)
+        res = transpile(qft(6), g, router="local")
+        s = res.summary()
+        assert "qft6" in s and "local" in s
+        assert res.depth_overhead >= 1.0
+        assert res.size_overhead >= 1.0
+
+    def test_smaller_circuit_than_device(self):
+        g = GridGraph(3, 3)
+        res = transpile(ghz(5), g, router="local", mapping="random", seed=2)
+        verify_transpilation(res, g)
+
+
+@pytest.mark.parametrize("router", ["local", "naive", "ats", "hybrid"])
+@pytest.mark.parametrize("mapping", ["identity", "random", "center"])
+class TestEndToEndVerification:
+    def test_qft_verifies(self, router, mapping):
+        g = GridGraph(2, 3)
+        res = transpile(qft(6), g, router=router, mapping=mapping, seed=7)
+        verify_transpilation(res, g)
+
+    def test_random_circuit_verifies(self, router, mapping):
+        g = GridGraph(2, 3)
+        qc = random_circuit(6, 6, seed=11)
+        res = transpile(qc, g, router=router, mapping=mapping, seed=3)
+        verify_transpilation(res, g)
+
+
+class TestEndToEndProperties:
+    def test_mapping_consistency(self):
+        g = GridGraph(3, 3)
+        res = transpile(qft(9), g, router="local", mapping="random", seed=1)
+        expected = res.physical_permutation.targets[res.initial_mapping]
+        assert (expected == res.final_mapping).all()
+
+    def test_swap_count_matches_circuit(self):
+        g = GridGraph(2, 4)
+        res = transpile(qft(8), g, router="local")
+        assert res.physical.count_ops().get("swap", 0) >= res.n_swaps
+
+    def test_measure_gates_pass_through(self):
+        g = GridGraph(2, 2)
+        qc = QuantumCircuit(4).h(0).cx(0, 3).measure(0).measure(3)
+        res = transpile(qc, g, router="local")
+        assert res.physical.count_ops()["measure"] == 2
+        check_hardware_conformance(res, g)
+
+    def test_verification_catches_tampering(self):
+        g = GridGraph(2, 2)
+        res = transpile(qft(4), g, router="local")
+        verify_transpilation(res, g)  # sanity
+        # tamper: flip one gate
+        res.physical.x(0)
+        with pytest.raises(TranspileError):
+            verify_transpilation(res, g)
+
+    def test_conformance_catches_illegal_gate(self):
+        g = GridGraph(2, 3)
+        res = transpile(ghz(6), g, router="local")
+        res.physical.cx(0, 5)  # uncoupled pair
+        with pytest.raises(TranspileError):
+            check_hardware_conformance(res, g)
+
+    def test_path_device(self):
+        g = path_graph(5)
+        res = transpile(qft(5), g, router="ats")
+        verify_transpilation(res, g)

@@ -1,0 +1,46 @@
+"""Tests for completion-free routing in the transpiler (partial-ats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import qft, random_circuit
+from repro.graphs import GridGraph
+from repro.transpile import transpile, verify_transpilation
+
+
+class TestPartialAtsCompletion:
+    @pytest.mark.parametrize("mapping", ["identity", "random"])
+    def test_verifies_end_to_end(self, mapping):
+        grid = GridGraph(2, 3)
+        res = transpile(
+            qft(6), grid, router="ats", mapping=mapping, seed=3,
+            completion="partial-ats",
+        )
+        verify_transpilation(res, grid)
+
+    def test_random_circuits_verify(self):
+        grid = GridGraph(2, 3)
+        for seed in range(3):
+            qc = random_circuit(6, 6, seed=seed)
+            res = transpile(
+                qc, grid, router="ats", completion="partial-ats", seed=seed
+            )
+            verify_transpilation(res, grid)
+
+    def test_saves_swaps_versus_completion(self):
+        """The whole point: don't-cares never get routed."""
+        grid = GridGraph(5, 5)
+        circuit = qft(25)
+        full = transpile(circuit, grid, router="ats", completion="minimal")
+        partial = transpile(circuit, grid, router="ats", completion="partial-ats")
+        assert partial.n_swaps <= full.n_swaps
+
+    def test_mapping_bookkeeping_consistent(self):
+        grid = GridGraph(3, 3)
+        res = transpile(
+            qft(9), grid, router="ats", completion="partial-ats",
+            mapping="random", seed=1,
+        )
+        expected = res.physical_permutation.targets[res.initial_mapping]
+        assert (expected == res.final_mapping).all()
