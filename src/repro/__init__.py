@@ -95,6 +95,15 @@ from .circuit import (
 from .sim import circuit_unitary, simulate
 from .transpile import TranspileResult, transpile, verify_transpilation
 from .bench import check_claims, run_sweep, series_table
+from .service import (
+    BatchExecutor,
+    RouteRequest,
+    RouteResult,
+    RoutingService,
+    ScheduleCache,
+    TranspileRequest,
+    request_key,
+)
 
 __version__ = "1.0.0"
 
@@ -175,5 +184,13 @@ __all__ = [
     "run_sweep",
     "series_table",
     "check_claims",
+    # service layer
+    "RoutingService",
+    "RouteRequest",
+    "RouteResult",
+    "TranspileRequest",
+    "BatchExecutor",
+    "ScheduleCache",
+    "request_key",
     "__version__",
 ]

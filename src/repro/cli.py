@@ -1,25 +1,35 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro ...``).
 
 Commands
 --------
 ``route``
     Route a generated workload (or the identity) on a grid and print
-    depth/size/time per router, optionally the ASCII schedule.
+    depth/size/time per router, optionally the ASCII schedule. With
+    ``--json``, machine-readable metrics instead.
 ``transpile``
     Read an OpenQASM 2 file, map+route it onto a grid device, report
-    overheads and optionally write the physical circuit back to QASM.
+    overheads (``--json`` for machine-readable) and optionally write the
+    physical circuit back to QASM.
+``batch``
+    Bulk routing through :class:`~repro.service.RoutingService`: a file
+    of JSON request lines in, a JSONL stream of results out, with
+    dedup, schedule caching and a process-pool worker fleet.
 ``sweep``
     A small Figure-4/5 style sweep printed as tables with claim checks.
 ``info``
     List available routers and workload generators.
 
 The CLI is a thin veneer over the library — every code path it exercises
-is the public API, which keeps it honest as living documentation.
+is the public API, which keeps it honest as living documentation. All
+machine-readable output (``--json``, ``batch``) goes through the
+encoding helpers of :mod:`repro.service.service`, so scripts see one
+schema everywhere.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Sequence
@@ -63,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_route.add_argument(
         "--fidelity", action="store_true", help="estimate NISQ success probability"
     )
+    p_route.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
 
     p_trans = sub.add_parser("transpile", help="transpile an OpenQASM 2 file")
     p_trans.add_argument("qasm", help="input .qasm path")
@@ -76,6 +89,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trans.add_argument("--seed", type=int, default=0)
     p_trans.add_argument("--out", help="write the physical circuit here")
+    p_trans.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+
+    p_batch = sub.add_parser(
+        "batch", help="bulk routing via the RoutingService (JSONL in/out)"
+    )
+    p_batch.add_argument(
+        "requests",
+        help="path to a file of JSON request lines, or '-' for stdin; each "
+        "line needs rows/cols plus either workload(+seed) or an explicit "
+        "perm array, and optionally router/options",
+    )
+    p_batch.add_argument(
+        "--out", default="-", help="JSONL results path, '-' for stdout"
+    )
+    p_batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (default: all CPUs; 1 = inline)",
+    )
+    p_batch.add_argument("--cache-size", type=int, default=4096)
+    p_batch.add_argument(
+        "--cache-dir", help="persistent schedule-cache directory"
+    )
+    p_batch.add_argument(
+        "--warm",
+        action="store_true",
+        help="pre-route the paper workload families before the batch",
+    )
+    p_batch.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-verify every computed schedule",
+    )
+    p_batch.add_argument(
+        "--include-schedule",
+        action="store_true",
+        help="embed the full schedule layers in each result line",
+    )
+    p_batch.add_argument(
+        "--stats",
+        action="store_true",
+        help="print service stats as JSON to stderr after the batch",
+    )
 
     p_sweep = sub.add_parser("sweep", help="mini Figure 4/5 sweep")
     p_sweep.add_argument("--sizes", type=int, nargs="+", default=[8, 12, 16])
@@ -94,6 +153,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
     perm = make_workload(args.workload, grid, seed=args.seed)
     router_names = args.router or ["local", "naive", "ats"]
     noise = NoiseModel()
+    if args.json:
+        return _cmd_route_json(args, grid, perm, router_names, noise)
     best = None
     print(
         f"{args.workload} permutation on {args.rows}x{args.cols} grid "
@@ -120,6 +181,34 @@ def _cmd_route(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_route_json(args, grid, perm, router_names, noise) -> int:
+    """The ``route --json`` path: one service-encoded result per router."""
+    from .service import RoutingService, route_result_to_dict
+
+    # verify=True so --json keeps the same guarantee as the text path,
+    # which re-verifies every schedule before printing it.
+    svc = RoutingService(
+        cache_size=len(router_names) + 1, max_workers=1, verify=True
+    )
+    results = []
+    for name in router_names:
+        res = svc.submit(grid, perm, router=name)
+        extra = {}
+        if args.fidelity and res.ok:
+            extra["est_success"] = noise.schedule_fidelity(res.schedule)
+        results.append(route_result_to_dict(res, **extra))
+    doc = {
+        "command": "route",
+        "rows": args.rows,
+        "cols": args.cols,
+        "workload": args.workload,
+        "seed": args.seed,
+        "results": results,
+    }
+    print(json.dumps(doc, indent=2))
+    return 0 if all(r["ok"] for r in results) else 2
+
+
 def _cmd_transpile(args: argparse.Namespace) -> int:
     from .circuit import dump_file, load_file
     from .transpile import transpile
@@ -129,15 +218,140 @@ def _cmd_transpile(args: argparse.Namespace) -> int:
     result = transpile(
         circuit, grid, router=args.router, mapping=args.mapping, seed=args.seed
     )
+    if args.out:
+        dump_file(result.physical, args.out)
+    if args.json:
+        from .service import transpile_metrics
+
+        doc = {
+            "command": "transpile",
+            "qasm": args.qasm,
+            "rows": args.rows,
+            "cols": args.cols,
+            "mapping": args.mapping,
+            "seed": args.seed,
+            "metrics": transpile_metrics(result),
+        }
+        if args.out:
+            doc["out"] = args.out
+        print(json.dumps(doc, indent=2))
+        return 0
     print(result.summary())
     print(
         "final placement (logical -> physical): "
         + ", ".join(f"{l}->{p}" for l, p in enumerate(result.final_mapping))
     )
     if args.out:
-        dump_file(result.physical, args.out)
         print(f"physical circuit written to {args.out}")
     return 0
+
+
+def _parse_batch_line(doc: dict, lineno: int):
+    """One JSONL request line -> RouteRequest (raises ReproError with context)."""
+    from .service import RouteRequest
+
+    if not isinstance(doc, dict):
+        raise ReproError(f"request line {lineno}: expected a JSON object")
+    try:
+        rows, cols = int(doc["rows"]), int(doc["cols"])
+    except (KeyError, TypeError, ValueError):
+        raise ReproError(
+            f"request line {lineno}: 'rows' and 'cols' integers required"
+        ) from None
+    grid = GridGraph(rows, cols)
+    if "perm" in doc:
+        from .perm.permutation import Permutation
+
+        perm = Permutation(doc["perm"])
+    elif "workload" in doc:
+        perm = make_workload(doc["workload"], grid, seed=doc.get("seed", 0))
+    else:
+        raise ReproError(
+            f"request line {lineno}: needs 'perm' or 'workload'"
+        )
+    return RouteRequest(
+        graph=grid,
+        perm=perm,
+        router=doc.get("router", "local"),
+        options=doc.get("options", {}),
+    )
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .service import RoutingService, route_result_to_dict
+
+    if args.cache_size <= 0:
+        raise ReproError(f"--cache-size must be positive, got {args.cache_size}")
+    if args.workers is not None and args.workers < 0:
+        raise ReproError(f"--workers must be >= 0, got {args.workers}")
+
+    if args.requests == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.requests, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise ReproError(f"cannot read requests file: {exc}") from exc
+
+    requests = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"request line {lineno}: invalid JSON: {exc}") from exc
+        requests.append(_parse_batch_line(doc, lineno))
+
+    # Open the output before routing so a bad --out path fails fast
+    # instead of discarding a whole computed batch.
+    if args.out == "-":
+        out = sys.stdout
+    else:
+        try:
+            out = open(args.out, "w", encoding="utf-8")
+        except OSError as exc:
+            raise ReproError(f"cannot open output file: {exc}") from exc
+
+    with RoutingService(
+        cache_size=args.cache_size,
+        cache_dir=args.cache_dir,
+        max_workers=args.workers,
+        verify=args.verify,
+    ) as svc:
+        t0 = time.perf_counter()
+        if args.warm:
+            warmed = svc.warm_cache()
+            print(f"warmed cache with {warmed} schedules", file=sys.stderr)
+        results = svc.submit_batch(requests)
+        elapsed = time.perf_counter() - t0
+
+        try:
+            for res in results:
+                out.write(
+                    json.dumps(
+                        route_result_to_dict(
+                            res, include_schedule=args.include_schedule
+                        )
+                    )
+                    + "\n"
+                )
+        finally:
+            if out is not sys.stdout:
+                out.close()
+
+        n_err = sum(1 for r in results if not r.ok)
+        rate = len(results) / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"batch: {len(results)} requests in {elapsed:.3f}s "
+            f"({rate:.1f} req/s), {n_err} errors",
+            file=sys.stderr,
+        )
+        if args.stats:
+            print(json.dumps(svc.stats(), indent=2), file=sys.stderr)
+    return 0 if n_err == 0 else 3
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -161,6 +375,7 @@ def _cmd_info(_: argparse.Namespace) -> int:
 _COMMANDS = {
     "route": _cmd_route,
     "transpile": _cmd_transpile,
+    "batch": _cmd_batch,
     "sweep": _cmd_sweep,
     "info": _cmd_info,
 }
@@ -175,6 +390,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `repro ... | head`); exit
+        # quietly instead of tracebacking.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

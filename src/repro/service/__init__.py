@@ -1,0 +1,55 @@
+"""High-throughput service layer: cached, batched, parallel routing.
+
+The modules compose bottom-up — :mod:`~repro.service.keys` (canonical
+request fingerprints), :mod:`~repro.service.cache` (tiered LRU schedule
+cache), :mod:`~repro.service.telemetry` (counters and latency
+histograms), :mod:`~repro.service.executor` (dedup + cache + process
+pool) — and :mod:`~repro.service.service` ties them into the
+:class:`RoutingService` facade that the CLI's ``batch`` subcommand and
+the benchmarks drive.
+"""
+
+from .cache import CacheStats, LRUCache, ScheduleCache
+from .executor import BatchExecutor, RouteRequest, RouteResult
+from .keys import (
+    RequestKey,
+    graph_fingerprint,
+    graph_from_spec,
+    graph_spec,
+    permutation_fingerprint,
+    request_key,
+    text_fingerprint,
+)
+from .service import (
+    RoutingService,
+    TranspileOutcome,
+    TranspileRequest,
+    route_result_to_dict,
+    transpile_metrics,
+    transpile_outcome_to_dict,
+)
+from .telemetry import LatencyHistogram, Telemetry
+
+__all__ = [
+    "RequestKey",
+    "graph_fingerprint",
+    "graph_spec",
+    "graph_from_spec",
+    "permutation_fingerprint",
+    "request_key",
+    "text_fingerprint",
+    "CacheStats",
+    "LRUCache",
+    "ScheduleCache",
+    "BatchExecutor",
+    "RouteRequest",
+    "RouteResult",
+    "RoutingService",
+    "TranspileRequest",
+    "TranspileOutcome",
+    "route_result_to_dict",
+    "transpile_metrics",
+    "transpile_outcome_to_dict",
+    "LatencyHistogram",
+    "Telemetry",
+]

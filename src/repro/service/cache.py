@@ -1,0 +1,213 @@
+"""Thread-safe LRU caches for the routing service.
+
+Two tiers:
+
+* :class:`LRUCache` — an in-memory, thread-safe LRU mapping digests to
+  arbitrary values, with hit/miss/eviction counters. Used directly for
+  transpile outcomes (which hold circuit objects).
+* :class:`ScheduleCache` — an :class:`LRUCache` of
+  :class:`~repro.routing.schedule.Schedule` values with an optional
+  persistent on-disk tier. Disk entries are the JSON documents of
+  :mod:`repro.routing.serialize`, one file per digest, so a warm cache
+  survives process restarts and can be shipped between machines.
+
+Concurrency notes: all state is guarded by one ``RLock`` per cache.
+Disk writes go through a temp-file + ``os.replace`` so a crashed writer
+never leaves a truncated entry; corrupt or unreadable disk entries are
+treated as misses (and deleted) rather than raised.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..errors import ScheduleError
+from ..routing.schedule import Schedule
+from ..routing.serialize import schedule_from_json, schedule_to_json
+
+__all__ = ["CacheStats", "LRUCache", "ScheduleCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance (monotonic since construction)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    puts: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+    disk_errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from any tier (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """Counters plus derived rates, JSON-ready."""
+        d = asdict(self)
+        d["lookups"] = self.lookups
+        d["hit_rate"] = self.hit_rate
+        return d
+
+
+class LRUCache:
+    """A bounded, thread-safe, least-recently-used mapping.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of entries kept in memory; least recently *used*
+        entries are evicted first. Must be positive.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._lock = threading.RLock()
+        self._data: OrderedDict[str, Any] = OrderedDict()
+        self.stats = CacheStats()
+
+    def get(self, digest: str) -> Any | None:
+        """The cached value, or ``None`` on a miss (marks the entry used)."""
+        with self._lock:
+            try:
+                value = self._data[digest]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._data.move_to_end(digest)
+            self.stats.hits += 1
+            return value
+
+    def put(self, digest: str, value: Any) -> None:
+        """Insert/refresh an entry, evicting the LRU tail if over capacity."""
+        with self._lock:
+            if digest in self._data:
+                self._data.move_to_end(digest)
+            self._data[digest] = value
+            self.stats.puts += 1
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def keys(self) -> Iterator[str]:
+        """Snapshot of the digests, LRU first."""
+        with self._lock:
+            return iter(list(self._data))
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (stats are kept)."""
+        with self._lock:
+            self._data.clear()
+
+
+class ScheduleCache(LRUCache):
+    """Schedule cache with an optional persistent disk tier.
+
+    Parameters
+    ----------
+    maxsize:
+        In-memory entry bound (see :class:`LRUCache`).
+    disk_dir:
+        Directory for the persistent tier (created on demand). ``None``
+        disables persistence. Each entry is ``<digest>.json`` holding
+        the :func:`~repro.routing.serialize.schedule_to_json` document.
+    """
+
+    def __init__(self, maxsize: int = 4096, disk_dir: str | os.PathLike | None = None) -> None:
+        super().__init__(maxsize)
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+
+    # ------------------------------------------------------------------
+    # disk tier
+    # ------------------------------------------------------------------
+    def _disk_path(self, digest: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / f"{digest}.json"
+
+    def _disk_load(self, digest: str) -> Schedule | None:
+        if self.disk_dir is None:
+            return None
+        path = self._disk_path(digest)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return schedule_from_json(data.decode("utf-8"))
+        except (UnicodeDecodeError, ScheduleError):
+            # Corrupt entry: drop it so it is recomputed, not re-served.
+            with self._lock:
+                self.stats.disk_errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _disk_store(self, digest: str, schedule: Schedule) -> None:
+        if self.disk_dir is None:
+            return
+        try:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            path = self._disk_path(digest)
+            # pid+tid so concurrent writers (threads or processes) of the
+            # same digest never share a temp file.
+            tmp = path.with_suffix(f".tmp{os.getpid()}.{threading.get_ident()}")
+            tmp.write_text(schedule_to_json(schedule), encoding="utf-8")
+            os.replace(tmp, path)
+            with self._lock:
+                self.stats.disk_writes += 1
+        except OSError:
+            with self._lock:
+                self.stats.disk_errors += 1
+
+    # ------------------------------------------------------------------
+    # tiered get/put
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> Schedule | None:
+        """Memory tier first, then disk; disk hits are promoted to memory."""
+        with self._lock:
+            if digest in self._data:
+                self._data.move_to_end(digest)
+                self.stats.hits += 1
+                return self._data[digest]
+        schedule = self._disk_load(digest)
+        with self._lock:
+            if schedule is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+        # Promote without double-counting a put.
+        super().put(digest, schedule)
+        with self._lock:
+            self.stats.puts -= 1
+        return schedule
+
+    def put(self, digest: str, schedule: Schedule) -> None:
+        """Store in memory and (if configured) on disk."""
+        super().put(digest, schedule)
+        self._disk_store(digest, schedule)

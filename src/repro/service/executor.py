@@ -1,0 +1,363 @@
+"""Batch execution: dedup → cache → process-pool fan-out.
+
+The executor turns a list of routing requests into a list of results
+with three cost-avoidance layers, applied in order:
+
+1. **Dedup** — identical requests inside one batch (same canonical key)
+   are routed once; duplicates share the schedule.
+2. **Cache** — keys already in the :class:`~repro.service.cache.ScheduleCache`
+   are served synchronously without touching the pool.
+3. **Fan-out** — the remaining unique misses run on a persistent
+   ``concurrent.futures`` process pool. Workers receive graph *specs*
+   (not pickled graph objects) and return raw schedule layers, keeping
+   payloads small and the worker function import-safe.
+
+Guarantees: results come back in input order regardless of completion
+order, and a failing instance yields an error *result* (``source ==
+"error"``) instead of poisoning the batch. If the pool itself dies
+(e.g. a worker is OOM-killed), the affected requests are recomputed
+inline rather than lost.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..graphs.base import Graph
+from ..perm.permutation import Permutation
+from ..routing.base import make_router
+from ..routing.schedule import Schedule
+from .cache import ScheduleCache
+from .keys import RequestKey, graph_from_spec, graph_spec, request_key
+from .telemetry import Telemetry
+
+__all__ = ["RouteRequest", "RouteResult", "BatchExecutor"]
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    """One routing instance: permutation ``perm`` on ``graph`` via ``router``.
+
+    ``options`` are forwarded to the router factory
+    (:func:`repro.routing.base.make_router`) and participate in the
+    cache key, so e.g. ``ats`` with different trial counts caches
+    separately.
+    """
+
+    graph: Graph
+    perm: Permutation
+    router: str = "local"
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def key(self) -> RequestKey:
+        """The request's canonical cache key."""
+        return request_key(self.graph, self.perm, self.router, self.options)
+
+
+@dataclass
+class RouteResult:
+    """Outcome of one request, aligned with its position in the batch.
+
+    ``source`` records how the schedule was obtained: ``"computed"``
+    (routed this batch), ``"cache"`` (served from the schedule cache),
+    ``"dedup"`` (shared with an identical request earlier in the batch),
+    or ``"error"`` (routing failed; see ``error``, ``schedule is None``).
+    """
+
+    index: int
+    key: RequestKey
+    router: str
+    schedule: Schedule | None
+    seconds: float
+    source: str
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether a schedule was produced."""
+        return self.schedule is not None
+
+    @property
+    def depth(self) -> int | None:
+        """Schedule depth, or ``None`` on error."""
+        return self.schedule.depth if self.schedule is not None else None
+
+    @property
+    def size(self) -> int | None:
+        """Schedule swap count, or ``None`` on error."""
+        return self.schedule.size if self.schedule is not None else None
+
+
+def _warm_worker() -> None:
+    """Pool initializer: pay the lazy heavy imports once per worker.
+
+    The grid routers import scipy on their first call (a ~0.5 s hit);
+    routing a trivial instance at worker start moves that cost out of
+    the first real request's latency.
+    """
+    try:
+        from ..graphs.grid import GridGraph
+
+        make_router("local").route(GridGraph(2, 2), Permutation([1, 0, 2, 3]))
+    except Exception:  # noqa: BLE001 - warming is best-effort
+        pass
+
+
+def _route_in_worker(
+    payload: tuple[str, dict, list[int], str, dict],
+) -> tuple[str, str, Any, float]:
+    """Pool worker: rebuild the instance, route it, return raw layers.
+
+    Module-level so it pickles by reference. Never raises: failures are
+    returned as ``(digest, "error", message, seconds)`` tuples, which is
+    what keeps one bad instance from killing the whole batch.
+    """
+    digest, spec, targets, router_name, options = payload
+    t0 = time.perf_counter()
+    try:
+        graph = graph_from_spec(spec)
+        perm = Permutation(targets)
+        router = make_router(router_name, **options)
+        schedule = router.route(graph, perm)
+        layers = [list(layer) for layer in schedule]
+        return (digest, "ok", layers, time.perf_counter() - t0)
+    except Exception as exc:  # noqa: BLE001 - error isolation is the contract
+        msg = f"{type(exc).__name__}: {exc}"
+        return (digest, "error", msg, time.perf_counter() - t0)
+
+
+class BatchExecutor:
+    """Cache-aware, deduplicating, optionally parallel request runner.
+
+    Parameters
+    ----------
+    cache:
+        Schedule cache consulted before any work and updated after.
+        ``None`` disables caching (every unique request is computed).
+    max_workers:
+        Process-pool size. ``0`` or ``1`` computes inline in this
+        process (no pool, no pickling); ``None`` uses ``os.cpu_count()``.
+    telemetry:
+        Optional :class:`~repro.service.telemetry.Telemetry` receiving
+        per-request counters and latencies.
+    verify:
+        When true, every computed schedule is re-verified against its
+        request before being cached or returned (defense in depth; the
+        routers already guarantee this).
+    """
+
+    def __init__(
+        self,
+        cache: ScheduleCache | None = None,
+        max_workers: int | None = 1,
+        telemetry: Telemetry | None = None,
+        verify: bool = False,
+    ) -> None:
+        if max_workers is not None and max_workers < 0:
+            raise ValueError(f"max_workers must be >= 0, got {max_workers}")
+        self.cache = cache
+        self.max_workers = max_workers
+        self.telemetry = telemetry or Telemetry()
+        self.verify = verify
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        """Whether misses fan out to a process pool."""
+        return self.max_workers is None or self.max_workers > 1
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers, initializer=_warm_worker
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; a later batch restarts it)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # generic fan-out
+    # ------------------------------------------------------------------
+    def run_jobs(self, fn, payloads: Sequence[Any]) -> list[Any]:
+        """Map a no-raise, module-level worker over payloads.
+
+        Uses the process pool when parallel (falling back to inline
+        execution if the pool dies wholesale), otherwise runs inline.
+        ``fn`` must be picklable by reference and must encode failures
+        in its return value — an exception escaping ``fn`` in a worker
+        triggers the inline fallback for the entire job list.
+        """
+        if self.parallel and len(payloads) > 1:
+            try:
+                pool = self._get_pool()
+                workers = self.max_workers or os.cpu_count() or 1
+                chunksize = max(1, len(payloads) // (4 * workers))
+                return list(pool.map(fn, payloads, chunksize=chunksize))
+            except Exception:  # noqa: BLE001 - BrokenProcessPool and friends
+                self.telemetry.incr("pool_failures")
+                self.close()
+        return [fn(p) for p in payloads]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, requests: Sequence[RouteRequest]) -> list[RouteResult]:
+        """Run a batch; the result list is index-aligned with the input."""
+        t_batch = time.perf_counter()
+        results: list[RouteResult | None] = [None] * len(requests)
+
+        # Phase 1: keys, in-batch dedup, cache lookups.
+        first_of: dict[str, int] = {}  # digest -> index of first occurrence
+        misses: list[int] = []  # indices that must actually be routed
+        miss_keys: dict[int, RequestKey] = {}  # reuse phase-1 fingerprints
+        for i, req in enumerate(requests):
+            key = req.key()
+            if key.digest in first_of:
+                results[i] = RouteResult(
+                    index=i, key=key, router=req.router, schedule=None,
+                    seconds=0.0, source="dedup",
+                )
+                continue
+            first_of[key.digest] = i
+            cached = self.cache.get(key.digest) if self.cache is not None else None
+            if cached is not None:
+                results[i] = RouteResult(
+                    index=i, key=key, router=req.router, schedule=cached,
+                    seconds=0.0, source="cache",
+                )
+            else:
+                misses.append(i)
+                miss_keys[i] = key
+
+        # Phase 2: route the unique misses (pool or inline).
+        if misses:
+            if self.parallel and len(misses) > 1:
+                outcomes = self._run_pool(requests, misses, miss_keys)
+            else:
+                outcomes = [
+                    self._run_inline(requests[i], i, miss_keys[i])
+                    for i in misses
+                ]
+            for result in outcomes:
+                req = requests[result.index]
+                if result.ok and self.verify:
+                    try:
+                        result.schedule.verify(req.graph, req.perm)
+                    except Exception as exc:  # noqa: BLE001 - isolate per request
+                        result = RouteResult(
+                            index=result.index, key=result.key,
+                            router=result.router, schedule=None,
+                            seconds=result.seconds, source="error",
+                            error=f"verification failed: {exc}",
+                        )
+                if result.ok and self.cache is not None:
+                    self.cache.put(result.key.digest, result.schedule)
+                results[result.index] = result
+
+        # Phase 3: resolve dedup placeholders against their originals.
+        for i, res in enumerate(results):
+            if res is not None and res.source == "dedup":
+                orig = results[first_of[res.key.digest]]
+                results[i] = RouteResult(
+                    index=i, key=res.key, router=res.router,
+                    schedule=orig.schedule, seconds=0.0,
+                    source="dedup" if orig.ok else "error",
+                    error=orig.error,
+                )
+
+        final = [r for r in results if r is not None]
+        assert len(final) == len(requests)
+        self._record_telemetry(final, time.perf_counter() - t_batch)
+        return final
+
+    def _run_inline(
+        self, req: RouteRequest, index: int, key: RequestKey | None = None
+    ) -> RouteResult:
+        """Route one request in this process, catching its failure."""
+        if key is None:
+            key = req.key()
+        t0 = time.perf_counter()
+        try:
+            router = make_router(req.router, **dict(req.options))
+            schedule = router.route(req.graph, req.perm)
+            return RouteResult(
+                index=index, key=key, router=req.router, schedule=schedule,
+                seconds=time.perf_counter() - t0, source="computed",
+            )
+        except Exception as exc:  # noqa: BLE001 - error isolation is the contract
+            return RouteResult(
+                index=index, key=key, router=req.router, schedule=None,
+                seconds=time.perf_counter() - t0, source="error",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    def _run_pool(
+        self,
+        requests: Sequence[RouteRequest],
+        misses: list[int],
+        keys: dict[int, RequestKey],
+    ) -> list[RouteResult]:
+        """Fan unique misses out over the process pool."""
+        payloads = []
+        for i in misses:
+            req = requests[i]
+            payloads.append((
+                keys[i].digest,
+                graph_spec(req.graph),
+                req.perm.targets.tolist(),
+                req.router,
+                dict(req.options),
+            ))
+        raw = self.run_jobs(_route_in_worker, payloads)
+
+        out: list[RouteResult] = []
+        for i, (_digest, status, body, seconds) in zip(misses, raw):
+            req = requests[i]
+            if status == "ok":
+                try:
+                    schedule = Schedule(req.graph.n_vertices, body)
+                    out.append(RouteResult(
+                        index=i, key=keys[i], router=req.router,
+                        schedule=schedule, seconds=seconds, source="computed",
+                    ))
+                    continue
+                except Exception as exc:  # noqa: BLE001
+                    body = f"worker returned invalid schedule: {exc}"
+            out.append(RouteResult(
+                index=i, key=keys[i], router=req.router, schedule=None,
+                seconds=seconds, source="error", error=str(body),
+            ))
+        return out
+
+    def _record_telemetry(
+        self, results: Sequence[RouteResult], batch_seconds: float
+    ) -> None:
+        tel = self.telemetry
+        tel.incr("batches")
+        tel.observe("batch", batch_seconds)
+        for r in results:
+            tel.incr("requests")
+            tel.incr(f"source_{r.source}")
+            if r.source == "computed":
+                tel.observe("route", r.seconds)

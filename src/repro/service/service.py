@@ -1,0 +1,475 @@
+"""The :class:`RoutingService` facade: one object, the whole front end.
+
+Wraps the schedule cache, the batch executor and the telemetry registry
+behind the five calls a client needs:
+
+* :meth:`RoutingService.submit` — one routing instance, cache-aware;
+* :meth:`RoutingService.submit_batch` — many instances, deduplicated
+  and fanned out over the worker pool;
+* :meth:`RoutingService.transpile_batch` — full circuit transpilation
+  in bulk, same pooling and error isolation;
+* :meth:`RoutingService.warm_cache` — pre-route the paper's workload
+  families so a fresh deployment starts hot;
+* :meth:`RoutingService.stats` — cache counters, latency histograms
+  and worker configuration as one JSON-ready dict.
+
+This module also owns the result-encoding helpers
+(:func:`route_result_to_dict`, :func:`transpile_metrics`,
+:func:`transpile_outcome_to_dict`) shared by the service's JSONL output
+and the CLI's ``--json`` flags, so every machine-readable surface emits
+the same shape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..errors import ReproError
+from ..graphs.base import Graph
+from ..graphs.grid import GridGraph
+from ..perm.generators import WORKLOADS, make_workload
+from ..perm.permutation import Permutation
+from ..routing.serialize import schedule_to_json
+from .cache import LRUCache, ScheduleCache
+from .executor import BatchExecutor, RouteRequest, RouteResult
+from .keys import (
+    _h,
+    graph_fingerprint,
+    graph_from_spec,
+    graph_spec,
+    canonical_options,
+    text_fingerprint,
+)
+from .telemetry import Telemetry
+
+__all__ = [
+    "RoutingService",
+    "TranspileRequest",
+    "TranspileOutcome",
+    "route_result_to_dict",
+    "transpile_metrics",
+    "transpile_outcome_to_dict",
+]
+
+
+# ----------------------------------------------------------------------
+# transpile requests / outcomes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TranspileRequest:
+    """One circuit-transpilation instance for :meth:`RoutingService.transpile_batch`.
+
+    ``qasm`` is the OpenQASM 2 text of the logical circuit (text, not a
+    circuit object, so requests fingerprint and ship to workers
+    cheaply — use :func:`repro.circuit.qasm.dumps` to convert).
+    """
+
+    qasm: str
+    graph: Graph
+    router: str = "local"
+    mapping: str = "identity"
+    seed: int = 0
+    completion: str = "minimal"
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def digest(self, include_qasm_out: bool = False) -> str:
+        """Canonical fingerprint of this request (cache identity)."""
+        return _h(
+            b"transpile",
+            text_fingerprint(self.qasm).encode(),
+            graph_fingerprint(self.graph).encode(),
+            self.router.encode("utf-8"),
+            self.mapping.encode("utf-8"),
+            str(self.seed).encode(),
+            self.completion.encode("utf-8"),
+            canonical_options(self.options).encode("utf-8"),
+            (b"qasm" if include_qasm_out else b"metrics"),
+        )
+
+
+@dataclass
+class TranspileOutcome:
+    """Outcome of one transpile request (``source`` as in :class:`RouteResult`)."""
+
+    index: int
+    digest: str
+    router: str
+    metrics: dict[str, Any] | None
+    physical_qasm: str | None
+    seconds: float
+    source: str
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether transpilation succeeded."""
+        return self.metrics is not None
+
+
+def transpile_metrics(result) -> dict[str, Any]:
+    """The machine-readable metrics of a :class:`~repro.transpile.TranspileResult`."""
+    return {
+        "router": result.router_name,
+        "n_qubits": result.physical.n_qubits,
+        "logical_depth": result.logical.depth(),
+        "physical_depth": result.physical.depth(),
+        "depth_overhead": result.depth_overhead,
+        "logical_size": result.logical.size(),
+        "physical_size": result.physical.size(),
+        "size_overhead": result.size_overhead,
+        "n_swaps": result.n_swaps,
+        "swap_depth": result.swap_depth,
+        "routing_invocations": result.routing_invocations,
+        "routing_seconds": result.routing_time,
+        "final_mapping": [int(p) for p in result.final_mapping],
+    }
+
+
+def _transpile_in_worker(
+    payload: tuple[str, str, dict, str, str, int, str, dict, bool],
+) -> tuple[str, str, Any, float]:
+    """Pool worker for transpile requests; never raises (see executor)."""
+    (digest, qasm, spec, router, mapping, seed, completion, options,
+     include_qasm) = payload
+    t0 = time.perf_counter()
+    try:
+        from ..circuit.qasm import dumps, loads
+        from ..transpile.transpiler import transpile
+
+        circuit = loads(qasm)
+        graph = graph_from_spec(spec)
+        result = transpile(
+            circuit, graph, router=router, mapping=mapping, seed=seed,
+            completion=completion, **options,
+        )
+        body = {
+            "metrics": transpile_metrics(result),
+            "physical_qasm": dumps(result.physical) if include_qasm else None,
+        }
+        return (digest, "ok", body, time.perf_counter() - t0)
+    except Exception as exc:  # noqa: BLE001 - error isolation is the contract
+        msg = f"{type(exc).__name__}: {exc}"
+        return (digest, "error", msg, time.perf_counter() - t0)
+
+
+# ----------------------------------------------------------------------
+# result encoding (shared by service JSONL and CLI --json)
+# ----------------------------------------------------------------------
+def route_result_to_dict(
+    result: RouteResult,
+    include_schedule: bool = False,
+    **extra: Any,
+) -> dict[str, Any]:
+    """Encode a :class:`RouteResult` as a JSON-ready dict.
+
+    ``extra`` keys are merged in verbatim — the CLI uses this to attach
+    request context (grid shape, workload, fidelity estimates) without
+    inventing a second encoding.
+    """
+    doc: dict[str, Any] = {
+        "key": result.key.digest,
+        "router": result.router,
+        "source": result.source,
+        "ok": result.ok,
+        "depth": result.depth,
+        "size": result.size,
+        "seconds": result.seconds,
+        "error": result.error,
+    }
+    if include_schedule and result.schedule is not None:
+        doc["schedule"] = json.loads(schedule_to_json(result.schedule))
+    doc.update(extra)
+    return doc
+
+
+def transpile_outcome_to_dict(outcome: TranspileOutcome, **extra: Any) -> dict[str, Any]:
+    """Encode a :class:`TranspileOutcome` as a JSON-ready dict."""
+    doc: dict[str, Any] = {
+        "key": outcome.digest,
+        "router": outcome.router,
+        "source": outcome.source,
+        "ok": outcome.ok,
+        "seconds": outcome.seconds,
+        "error": outcome.error,
+        "metrics": outcome.metrics,
+    }
+    if outcome.physical_qasm is not None:
+        doc["physical_qasm"] = outcome.physical_qasm
+    doc.update(extra)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# the facade
+# ----------------------------------------------------------------------
+class RoutingService:
+    """High-throughput front end over the routing and transpile layers.
+
+    Parameters
+    ----------
+    cache_size:
+        In-memory schedule-cache capacity (entries).
+    cache_dir:
+        Directory for the persistent schedule-cache tier; ``None``
+        keeps the cache memory-only.
+    max_workers:
+        Process-pool size for batch misses. The default ``1`` computes
+        inline (deterministic, no subprocess spawn); pass ``None`` for
+        ``os.cpu_count()`` or an explicit count for a fixed pool.
+    default_router:
+        Router used when a request does not name one.
+    verify:
+        Re-verify every computed schedule against its request.
+
+    Examples
+    --------
+    >>> from repro import GridGraph, random_permutation
+    >>> svc = RoutingService(cache_size=64)
+    >>> grid = GridGraph(4, 4)
+    >>> res = svc.submit(grid, random_permutation(grid, seed=1))
+    >>> res.ok and res.source == "computed"
+    True
+    >>> svc.submit(grid, random_permutation(grid, seed=1)).source
+    'cache'
+    """
+
+    def __init__(
+        self,
+        cache_size: int = 4096,
+        cache_dir: str | os.PathLike | None = None,
+        max_workers: int | None = 1,
+        default_router: str = "local",
+        verify: bool = False,
+    ) -> None:
+        self.default_router = default_router
+        self.telemetry = Telemetry()
+        self.cache = ScheduleCache(maxsize=cache_size, disk_dir=cache_dir)
+        self.transpile_cache = LRUCache(maxsize=max(cache_size // 4, 16))
+        self.executor = BatchExecutor(
+            cache=self.cache,
+            max_workers=max_workers,
+            telemetry=self.telemetry,
+            verify=verify,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool (the service stays usable afterwards)."""
+        self.executor.close()
+
+    def __enter__(self) -> "RoutingService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        graph: Graph,
+        perm: Permutation,
+        router: str | None = None,
+        **options: Any,
+    ) -> RouteResult:
+        """Route one instance (served from cache when possible)."""
+        req = RouteRequest(graph, perm, router or self.default_router, options)
+        return self.executor.execute([req])[0]
+
+    def submit_batch(
+        self,
+        requests: Sequence[RouteRequest | Mapping[str, Any] | tuple],
+    ) -> list[RouteResult]:
+        """Route a batch; results are index-aligned with the input.
+
+        Each entry may be a :class:`RouteRequest`, a ``(graph, perm)`` /
+        ``(graph, perm, router)`` tuple, or a mapping with keys
+        ``graph``, ``perm`` and optionally ``router`` / ``options``.
+
+        Raises
+        ------
+        ReproError
+            On an entry that cannot be coerced into a request (batch
+        error isolation covers *routing* failures, not malformed calls).
+        """
+        return self.executor.execute([self._coerce(r) for r in requests])
+
+    def _coerce(self, entry: RouteRequest | Mapping[str, Any] | tuple) -> RouteRequest:
+        if isinstance(entry, RouteRequest):
+            return entry
+        if isinstance(entry, Mapping):
+            try:
+                return RouteRequest(
+                    graph=entry["graph"],
+                    perm=entry["perm"],
+                    router=entry.get("router", self.default_router),
+                    options=dict(entry.get("options", {})),
+                )
+            except KeyError as exc:
+                raise ReproError(f"batch entry missing key: {exc}") from exc
+        if isinstance(entry, tuple) and len(entry) in (2, 3):
+            graph, perm = entry[0], entry[1]
+            router = entry[2] if len(entry) == 3 else self.default_router
+            return RouteRequest(graph=graph, perm=perm, router=router)
+        raise ReproError(
+            f"cannot interpret batch entry of type {type(entry).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # transpilation
+    # ------------------------------------------------------------------
+    def transpile_batch(
+        self,
+        requests: Sequence[TranspileRequest],
+        include_qasm: bool = False,
+    ) -> list[TranspileOutcome]:
+        """Transpile circuits in bulk with dedup, caching and fan-out.
+
+        Semantics mirror :meth:`submit_batch`: outcomes are
+        index-aligned, identical requests are computed once, previously
+        seen requests are served from the (in-memory) transpile cache,
+        and one failing circuit does not affect the others.
+
+        The dedup -> cache -> fan-out -> resolve pipeline below
+        deliberately parallels :meth:`BatchExecutor.execute`; when
+        changing the semantics of one (e.g. how dedup-of-error
+        resolves), change both.
+        """
+        t_batch = time.perf_counter()
+        outcomes: list[TranspileOutcome | None] = [None] * len(requests)
+        first_of: dict[str, int] = {}
+        misses: list[int] = []
+        miss_digests: dict[int, str] = {}  # reuse phase-1 fingerprints
+        for i, req in enumerate(requests):
+            digest = req.digest(include_qasm_out=include_qasm)
+            if digest in first_of:
+                outcomes[i] = TranspileOutcome(
+                    index=i, digest=digest, router=req.router, metrics=None,
+                    physical_qasm=None, seconds=0.0, source="dedup",
+                )
+                continue
+            first_of[digest] = i
+            cached = self.transpile_cache.get(digest)
+            if cached is not None:
+                outcomes[i] = TranspileOutcome(
+                    index=i, digest=digest, router=req.router,
+                    metrics=cached["metrics"],
+                    physical_qasm=cached["physical_qasm"],
+                    seconds=0.0, source="cache",
+                )
+            else:
+                misses.append(i)
+                miss_digests[i] = digest
+
+        if misses:
+            payloads = []
+            for i in misses:
+                req = requests[i]
+                payloads.append((
+                    miss_digests[i],
+                    req.qasm,
+                    graph_spec(req.graph),
+                    req.router,
+                    req.mapping,
+                    req.seed,
+                    req.completion,
+                    dict(req.options),
+                    include_qasm,
+                ))
+            raw = self.executor.run_jobs(_transpile_in_worker, payloads)
+            for i, (digest, status, body, seconds) in zip(misses, raw):
+                req = requests[i]
+                if status == "ok":
+                    self.transpile_cache.put(digest, body)
+                    outcomes[i] = TranspileOutcome(
+                        index=i, digest=digest, router=req.router,
+                        metrics=body["metrics"],
+                        physical_qasm=body["physical_qasm"],
+                        seconds=seconds, source="computed",
+                    )
+                else:
+                    outcomes[i] = TranspileOutcome(
+                        index=i, digest=digest, router=req.router,
+                        metrics=None, physical_qasm=None, seconds=seconds,
+                        source="error", error=str(body),
+                    )
+
+        for i, out in enumerate(outcomes):
+            if out is not None and out.source == "dedup":
+                orig = outcomes[first_of[out.digest]]
+                outcomes[i] = TranspileOutcome(
+                    index=i, digest=out.digest, router=out.router,
+                    metrics=orig.metrics, physical_qasm=orig.physical_qasm,
+                    seconds=0.0,
+                    source="dedup" if orig.ok else "error",
+                    error=orig.error,
+                )
+
+        final = [o for o in outcomes if o is not None]
+        self.telemetry.incr("transpile_batches")
+        self.telemetry.observe("transpile_batch", time.perf_counter() - t_batch)
+        for o in final:
+            self.telemetry.incr("transpile_requests")
+            self.telemetry.incr(f"transpile_source_{o.source}")
+            if o.source == "computed":
+                self.telemetry.observe("transpile", o.seconds)
+        return final
+
+    # ------------------------------------------------------------------
+    # warming and stats
+    # ------------------------------------------------------------------
+    def warm_cache(
+        self,
+        sizes: Iterable[int | tuple[int, int]] = (4, 6, 8),
+        workloads: Iterable[str] | None = None,
+        seeds: Iterable[int] = (0, 1),
+        routers: Iterable[str] | None = None,
+    ) -> int:
+        """Pre-route the paper's workload families into the cache.
+
+        Generates every ``(grid size, workload, seed, router)``
+        combination via :mod:`repro.perm.generators` and routes the ones
+        not already cached. Returns the number of newly computed
+        schedules (0 on a fully warm cache).
+        """
+        seeds = list(seeds)
+        workload_names = sorted(workloads) if workloads is not None else sorted(WORKLOADS)
+        router_names = list(routers) if routers is not None else [self.default_router]
+        requests: list[RouteRequest] = []
+        for size in sizes:
+            shape = (size, size) if isinstance(size, int) else tuple(size)
+            grid = GridGraph(*shape)
+            for workload in workload_names:
+                for seed in seeds:
+                    perm = make_workload(workload, grid, seed=seed)
+                    for router in router_names:
+                        requests.append(RouteRequest(grid, perm, router))
+        results = self.executor.execute(requests)
+        self.telemetry.incr("warmups")
+        return sum(1 for r in results if r.source == "computed")
+
+    def stats(self) -> dict[str, Any]:
+        """Cache counters, telemetry and configuration, JSON-ready."""
+        return {
+            "schedule_cache": {
+                **self.cache.stats.as_dict(),
+                "entries": len(self.cache),
+                "maxsize": self.cache.maxsize,
+                "disk_dir": str(self.cache.disk_dir) if self.cache.disk_dir else None,
+            },
+            "transpile_cache": {
+                **self.transpile_cache.stats.as_dict(),
+                "entries": len(self.transpile_cache),
+                "maxsize": self.transpile_cache.maxsize,
+            },
+            "telemetry": self.telemetry.snapshot(),
+            "max_workers": self.executor.max_workers,
+            "default_router": self.default_router,
+        }

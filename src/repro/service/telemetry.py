@@ -1,0 +1,154 @@
+"""Lightweight service telemetry: counters and latency histograms.
+
+No third-party metrics client — just thread-safe counters and fixed
+log-spaced latency buckets, cheap enough to record on every request and
+structured enough for the CLI and ``RoutingService.stats()`` to render.
+The histogram quantiles are bucket-resolution approximations (each
+bucket spans a factor of 2), which is the usual trade Prometheus-style
+histograms make.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+__all__ = ["LatencyHistogram", "Telemetry"]
+
+
+class LatencyHistogram:
+    """Latency distribution over log2-spaced buckets.
+
+    Buckets span ``base * 2**i`` for ``i in [0, n_buckets)`` with a
+    catch-all overflow bucket; defaults cover 10 microseconds to ~80
+    seconds, the full plausible range of a routing call.
+    """
+
+    def __init__(self, base: float = 1e-5, n_buckets: int = 23) -> None:
+        if base <= 0 or n_buckets <= 0:
+            raise ValueError("base and n_buckets must be positive")
+        self._bounds = [base * (2.0 ** i) for i in range(n_buckets)]
+        self._counts = [0] * (n_buckets + 1)  # +1 overflow
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample (negative values clamp to zero)."""
+        seconds = max(0.0, float(seconds))
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        for i, bound in enumerate(self._bounds):
+            if seconds <= bound:
+                self._counts[i] += 1
+                return
+        self._counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile sample.
+
+        Raises
+        ------
+        ValueError
+            If ``q`` is outside ``[0, 1]``.
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * (self.count - 1)
+        seen = 0
+        for i, c in enumerate(self._counts):
+            seen += c
+            if seen > rank:
+                if i >= len(self._bounds):
+                    return self.max
+                # Clamp to the observed max so a lone sample never
+                # reports a quantile above it (stats stay self-consistent).
+                return min(self._bounds[i], self.max)
+        return self.max  # pragma: no cover - defensive
+
+    def as_dict(self) -> dict[str, Any]:
+        """Summary statistics, JSON-ready."""
+        return {
+            "count": self.count,
+            "total_seconds": self.total,
+            "mean_seconds": self.mean,
+            "max_seconds": self.max,
+            "p50_seconds": self.quantile(0.5),
+            "p95_seconds": self.quantile(0.95),
+            "p99_seconds": self.quantile(0.99),
+        }
+
+
+class Telemetry:
+    """Named counters plus named latency histograms, all thread-safe.
+
+    >>> t = Telemetry()
+    >>> t.incr("requests")
+    >>> with t.timer("route"):
+    ...     pass
+    >>> t.snapshot()["counters"]["requests"]
+    1
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record a latency sample under histogram ``name``."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = LatencyHistogram()
+            hist.observe(seconds)
+
+    def timer(self, name: str) -> "_Timer":
+        """Context manager recording its block's wall time under ``name``."""
+        return _Timer(self, name)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Counters and histogram summaries as one JSON-ready dict."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "latency": {
+                    name: hist.as_dict()
+                    for name, hist in self._histograms.items()
+                },
+            }
+
+
+class _Timer:
+    """Implementation detail of :meth:`Telemetry.timer`."""
+
+    __slots__ = ("_telemetry", "_name", "_t0")
+
+    def __init__(self, telemetry: Telemetry, name: str) -> None:
+        self._telemetry = telemetry
+        self._name = name
+
+    def __enter__(self) -> "_Timer":
+        import time
+
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        import time
+
+        self._telemetry.observe(self._name, time.perf_counter() - self._t0)

@@ -25,6 +25,8 @@ MODULE_NAMES = [
     "repro.perm.permutation",
     "repro.routing.exact",
     "repro.circuit.circuit",
+    "repro.service.service",
+    "repro.service.telemetry",
 ]
 
 

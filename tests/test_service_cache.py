@@ -1,0 +1,133 @@
+"""Tests for the tiered LRU schedule cache (repro.service.cache)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.graphs import GridGraph
+from repro.perm import random_permutation
+from repro.routing import LocalGridRouter
+from repro.service import LRUCache, ScheduleCache
+
+
+def _schedule(seed: int = 0, size: int = 3):
+    grid = GridGraph(size, size)
+    return LocalGridRouter().route(grid, random_permutation(grid, seed=seed))
+
+
+class TestLRUCache:
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_get_put_and_stats(self):
+        c = LRUCache(4)
+        assert c.get("a") is None
+        c.put("a", 1)
+        assert c.get("a") == 1
+        assert c.stats.hits == 1 and c.stats.misses == 1 and c.stats.puts == 1
+        assert c.stats.lookups == 2 and c.stats.hit_rate == 0.5
+        assert "a" in c and len(c) == 1
+
+    def test_lru_eviction_order(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.get("a") == 1  # refresh a; b is now LRU
+        c.put("c", 3)
+        assert "b" not in c
+        assert "a" in c and "c" in c
+        assert c.stats.evictions == 1
+
+    def test_put_refreshes_existing(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("a", 10)  # refresh, not insert: b must be evicted next
+        c.put("c", 3)
+        assert c.get("a") == 10 and "b" not in c
+
+    def test_clear_keeps_stats(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.get("a")
+        c.clear()
+        assert len(c) == 0 and c.stats.hits == 1
+
+    def test_as_dict_shape(self):
+        d = LRUCache(2).stats.as_dict()
+        assert {"hits", "misses", "evictions", "lookups", "hit_rate"} <= set(d)
+
+    def test_thread_smoke(self):
+        c = LRUCache(64)
+
+        def worker(tag: int) -> None:
+            for i in range(200):
+                c.put(f"{tag}-{i % 32}", i)
+                c.get(f"{tag}-{(i + 7) % 32}")
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(c) <= 64
+        assert c.stats.lookups == 4 * 200
+
+
+class TestScheduleCacheDisk:
+    def test_memory_only_by_default(self):
+        c = ScheduleCache(maxsize=4)
+        c.put("k", _schedule())
+        assert c.stats.disk_writes == 0
+
+    def test_persists_across_instances(self, tmp_path):
+        sched = _schedule(seed=3)
+        c1 = ScheduleCache(maxsize=4, disk_dir=tmp_path)
+        c1.put("k1", sched)
+        assert c1.stats.disk_writes == 1
+
+        c2 = ScheduleCache(maxsize=4, disk_dir=tmp_path)
+        got = c2.get("k1")
+        assert got == sched
+        assert c2.stats.disk_hits == 1 and c2.stats.hits == 1
+        # Promoted to memory: second get does not touch disk again.
+        assert c2.get("k1") == sched
+        assert c2.stats.disk_hits == 1
+
+    def test_survives_memory_eviction(self, tmp_path):
+        c = ScheduleCache(maxsize=1, disk_dir=tmp_path)
+        s0, s1 = _schedule(0), _schedule(1)
+        c.put("k0", s0)
+        c.put("k1", s1)  # evicts k0 from memory; disk copy remains
+        assert c.stats.evictions == 1
+        assert c.get("k0") == s0
+        assert c.stats.disk_hits == 1
+
+    def test_corrupt_entry_is_a_miss_and_deleted(self, tmp_path):
+        c = ScheduleCache(maxsize=4, disk_dir=tmp_path)
+        bad = tmp_path / "kx.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert c.get("kx") is None
+        assert c.stats.disk_errors == 1
+        assert not bad.exists()
+
+    def test_non_utf8_entry_is_a_miss_and_deleted(self, tmp_path):
+        c = ScheduleCache(maxsize=4, disk_dir=tmp_path)
+        bad = tmp_path / "kb.json"
+        bad.write_bytes(b"\xff\xfe binary garbage")
+        assert c.get("kb") is None
+        assert c.stats.disk_errors == 1
+        assert not bad.exists()
+
+    def test_unwritable_dir_counts_error_but_serves_memory(self, tmp_path):
+        blocked = tmp_path / "file"
+        blocked.write_text("occupied", encoding="utf-8")
+        # disk_dir points *through* a regular file -> mkdir fails.
+        c = ScheduleCache(maxsize=4, disk_dir=blocked / "sub")
+        sched = _schedule()
+        c.put("k", sched)
+        assert c.stats.disk_errors == 1
+        assert c.get("k") == sched

@@ -1,0 +1,159 @@
+"""Tests for the batch executor (repro.service.executor).
+
+The load-bearing property: a batch — inline or fanned over the process
+pool — produces results *identical* to sequential ``route()`` calls
+(same schedule depth, same realized permutation), in input order, with
+failures isolated to their own slot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import GridGraph
+from repro.perm import Permutation, random_permutation
+from repro.routing import route
+from repro.service import BatchExecutor, RouteRequest, ScheduleCache
+
+
+def _batch(grid, seeds, router="local"):
+    return [
+        RouteRequest(grid, random_permutation(grid, seed=s), router)
+        for s in seeds
+    ]
+
+
+class TestInlineExecution:
+    def test_matches_sequential_route(self):
+        grid = GridGraph(4, 4)
+        requests = _batch(grid, range(5)) + _batch(grid, range(3), "naive")
+        with BatchExecutor(cache=None, max_workers=1) as ex:
+            results = ex.execute(requests)
+        assert [r.index for r in results] == list(range(len(requests)))
+        for req, res in zip(requests, results):
+            assert res.ok and res.source == "computed"
+            direct = route(req.graph, req.perm, method=req.router)
+            assert res.schedule.depth == direct.depth
+            assert res.schedule.size == direct.size
+            assert res.schedule.simulate() == req.perm
+
+    def test_empty_batch(self):
+        with BatchExecutor(max_workers=1) as ex:
+            assert ex.execute([]) == []
+
+    def test_dedup_within_batch(self):
+        grid = GridGraph(3, 3)
+        perm = random_permutation(grid, seed=1)
+        reqs = [RouteRequest(grid, perm), RouteRequest(grid, perm),
+                RouteRequest(grid, perm)]
+        with BatchExecutor(cache=None, max_workers=1) as ex:
+            results = ex.execute(reqs)
+        assert [r.source for r in results] == ["computed", "dedup", "dedup"]
+        assert results[1].schedule is results[0].schedule
+        assert results[2].depth == results[0].depth
+
+    def test_cache_serves_second_batch(self):
+        grid = GridGraph(3, 3)
+        cache = ScheduleCache(maxsize=8)
+        reqs = _batch(grid, [0, 1])
+        with BatchExecutor(cache=cache, max_workers=1) as ex:
+            first = ex.execute(reqs)
+            second = ex.execute(reqs)
+        assert [r.source for r in first] == ["computed", "computed"]
+        assert [r.source for r in second] == ["cache", "cache"]
+        assert second[0].schedule == first[0].schedule
+
+    def test_error_isolation(self):
+        grid = GridGraph(3, 3)
+        wrong_size = Permutation([1, 0, 2, 3])  # 4 vertices on a 9-vertex grid
+        reqs = [
+            RouteRequest(grid, random_permutation(grid, seed=0)),
+            RouteRequest(grid, wrong_size),
+            RouteRequest(grid, random_permutation(grid, seed=2)),
+        ]
+        with BatchExecutor(max_workers=1) as ex:
+            results = ex.execute(reqs)
+        assert results[0].ok and results[2].ok
+        bad = results[1]
+        assert not bad.ok and bad.source == "error"
+        assert bad.schedule is None and bad.depth is None and bad.size is None
+        assert "RoutingError" in bad.error
+
+    def test_dedup_of_error_propagates(self):
+        grid = GridGraph(3, 3)
+        wrong_size = Permutation([1, 0])
+        reqs = [RouteRequest(grid, wrong_size), RouteRequest(grid, wrong_size)]
+        with BatchExecutor(max_workers=1) as ex:
+            results = ex.execute(reqs)
+        assert [r.source for r in results] == ["error", "error"]
+        assert results[1].error == results[0].error
+
+    def test_unknown_router_is_isolated(self):
+        grid = GridGraph(3, 3)
+        reqs = [RouteRequest(grid, random_permutation(grid, seed=0), "bogus")]
+        with BatchExecutor(max_workers=1) as ex:
+            res = ex.execute(reqs)[0]
+        assert not res.ok and "bogus" in res.error
+
+    def test_verify_flag(self):
+        grid = GridGraph(3, 3)
+        with BatchExecutor(max_workers=1, verify=True) as ex:
+            res = ex.execute(_batch(grid, [0]))[0]
+        assert res.ok
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            BatchExecutor(max_workers=-1)
+
+
+class TestPoolExecution:
+    """The process-pool path must be observably identical to inline."""
+
+    def test_pool_matches_sequential_route(self):
+        grid = GridGraph(4, 4)
+        requests = _batch(grid, range(4)) + _batch(grid, [0], "ats")
+        with BatchExecutor(cache=None, max_workers=2) as ex:
+            assert ex.parallel
+            results = ex.execute(requests)
+        for req, res in zip(requests, results):
+            assert res.ok and res.source == "computed"
+            direct = route(req.graph, req.perm, method=req.router)
+            assert res.schedule.depth == direct.depth
+            assert res.schedule.simulate() == req.perm
+
+    def test_pool_error_isolation_and_order(self):
+        grid = GridGraph(3, 3)
+        reqs = [
+            RouteRequest(grid, random_permutation(grid, seed=0)),
+            RouteRequest(grid, Permutation([1, 0])),  # size mismatch
+            RouteRequest(grid, random_permutation(grid, seed=1), "bogus"),
+            RouteRequest(grid, random_permutation(grid, seed=2)),
+        ]
+        with BatchExecutor(max_workers=2) as ex:
+            results = ex.execute(reqs)
+        assert [r.index for r in results] == [0, 1, 2, 3]
+        assert [r.ok for r in results] == [True, False, False, True]
+        assert results[0].schedule.simulate() == reqs[0].perm
+        assert results[3].schedule.simulate() == reqs[3].perm
+
+    def test_pool_populates_cache(self):
+        grid = GridGraph(3, 3)
+        cache = ScheduleCache(maxsize=8)
+        reqs = _batch(grid, [0, 1])
+        with BatchExecutor(cache=cache, max_workers=2) as ex:
+            ex.execute(reqs)
+            second = ex.execute(reqs)
+        assert [r.source for r in second] == ["cache", "cache"]
+
+    def test_close_is_idempotent_and_restartable(self):
+        grid = GridGraph(3, 3)
+        ex = BatchExecutor(max_workers=2)
+        ex.close()
+        ex.close()
+        results = ex.execute(_batch(grid, [0, 1]))
+        assert all(r.ok for r in results)
+        ex.close()
+
+    def test_run_jobs_inline_when_single(self):
+        with BatchExecutor(max_workers=1) as ex:
+            assert ex.run_jobs(len, ["ab", "cde"]) == [2, 3]
