@@ -1,0 +1,45 @@
+"""Shared scaffolding for the standalone benchmark scripts.
+
+Both ``bench_service.py`` and ``bench_async.py`` are CLI-runnable
+reports with the same contract: ``--ci`` shrinks the workload and gates
+on crash rather than timing, ``--out PATH`` writes the numbers as JSON
+for CI artifact upload. The argparse definition, the report formatter
+and the JSON writer live here so the two scripts cannot drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+
+def make_parser(description: str) -> argparse.ArgumentParser:
+    """The common ``--ci`` / ``--out`` benchmark argument parser."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="small workload; fail only on crash, not on timing",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the collected numbers as JSON to this path",
+    )
+    return parser
+
+
+def report(title: str, stats: dict) -> None:
+    """Print one measurement block, floats at fixed precision."""
+    print(f"\n== {title} ==")
+    for k, v in stats.items():
+        print(f"  {k:22s} {v:.4f}" if isinstance(v, float) else f"  {k:22s} {v}")
+
+
+def write_json(doc: dict, path: str | None) -> None:
+    """Dump the collected numbers to ``path`` (no-op when ``None``)."""
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+    print(f"\nwrote {path}")

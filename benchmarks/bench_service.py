@@ -15,7 +15,9 @@ Three measurements back the service's acceptance criteria:
 
 Run standalone (``python benchmarks/bench_service.py``) for a report,
 or under pytest (``pytest benchmarks/bench_service.py -q``) for the
-assertions.
+assertions. ``--ci`` shrinks the workload and fails only on crash
+(shared-runner timing is reported, not asserted); ``--out PATH``
+writes the numbers as JSON for artifact upload.
 """
 
 from __future__ import annotations
@@ -25,8 +27,11 @@ import sys
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
 
 import pytest
+
+from _common import make_parser, report, write_json
 
 from repro import GridGraph, route
 from repro.perm import make_workload
@@ -172,20 +177,28 @@ def test_cold_parallel_batch():
 # ----------------------------------------------------------------------
 # standalone report
 # ----------------------------------------------------------------------
-def _report(title: str, stats: dict) -> None:
-    print(f"\n== {title} ==")
-    for k, v in stats.items():
-        print(f"  {k:22s} {v:.4f}" if isinstance(v, float) else f"  {k:22s} {v}")
+def main(argv: list[str] | None = None) -> int:
+    parser = make_parser("service-layer benchmarks (cache, dedup, parallel)")
+    args = parser.parse_args(argv)
 
-
-def main() -> int:
     print(f"service benchmarks ({_usable_cpus()} usable CPUs)")
-    warm = bench_warm_cache()
-    _report("warm cache vs direct route()", warm)
-    dedup = bench_dedup()
-    _report("in-batch dedup vs loop", dedup)
-    par = bench_cold_parallel()
-    _report("cold parallel batch vs sequential loop", par)
+    if args.ci:
+        warm = bench_warm_cache(n_unique=3, repeats=4, size=8)
+        dedup = bench_dedup(n_unique=2, repeats=6, size=8)
+        par = bench_cold_parallel(n=4, size=8)
+    else:
+        warm = bench_warm_cache()
+        dedup = bench_dedup()
+        par = bench_cold_parallel()
+    report("warm cache vs direct route()", warm)
+    report("in-batch dedup vs loop", dedup)
+    report("cold parallel batch vs sequential loop", par)
+
+    write_json(
+        {"ci": args.ci, "warm_cache": warm, "dedup": dedup,
+         "cold_parallel": par, "usable_cpus": _usable_cpus()},
+        args.out,
+    )
 
     ok = warm["speedup"] >= 5.0
     print(f"\nwarm-cache speedup {warm['speedup']:.1f}x (>=5x required): "
@@ -198,6 +211,9 @@ def main() -> int:
     else:
         print(f"parallel speedup {par['speedup']:.2f}x "
               "(single-CPU machine: reported, not asserted)")
+    if args.ci:
+        # CI gates on the benchmark running, not on shared-runner timing.
+        return 0
     return 0 if ok else 1
 
 

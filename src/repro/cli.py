@@ -13,7 +13,14 @@ Commands
 ``batch``
     Bulk routing through :class:`~repro.service.RoutingService`: a file
     of JSON request lines in, a JSONL stream of results out, with
-    dedup, schedule caching and a process-pool worker fleet.
+    dedup, schedule caching and a process-pool worker fleet. With
+    ``--daemon SOCKET`` the requests are shipped to a running ``repro
+    serve`` daemon instead of a fresh local service, so repeated
+    invocations reuse one warm pool and cache.
+``serve``
+    Long-lived daemon speaking newline-delimited JSON over a UNIX
+    socket (``--socket``) or stdin/stdout (``--pipe``); see
+    :mod:`repro.service.daemon` for the protocol.
 ``sweep``
     A small Figure-4/5 style sweep printed as tables with claim checks.
 ``info``
@@ -135,6 +142,71 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print service stats as JSON to stderr after the batch",
     )
+    p_batch.add_argument(
+        "--daemon",
+        metavar="SOCKET",
+        help="send the requests to a running `repro serve` daemon at this "
+        "UNIX socket instead of routing locally (--workers/--cache-*/"
+        "--warm/--verify are the daemon's business and ignored here)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="long-lived routing daemon (NDJSON over a UNIX socket)"
+    )
+    transport = p_serve.add_mutually_exclusive_group(required=True)
+    transport.add_argument(
+        "--socket", metavar="PATH", help="UNIX socket path to listen on"
+    )
+    transport.add_argument(
+        "--pipe",
+        action="store_true",
+        help="serve the protocol over stdin/stdout instead of a socket",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (default: all CPUs; 1 = inline)",
+    )
+    p_serve.add_argument("--cache-size", type=int, default=4096)
+    p_serve.add_argument(
+        "--cache-dir", help="persistent schedule-cache directory"
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=8,
+        help="schedule-cache shard count (1 = unsharded)",
+    )
+    p_serve.add_argument(
+        "--min-cache-seconds",
+        type=float,
+        default=0.0,
+        help="admission threshold: don't cache schedules computed faster "
+        "than this many seconds",
+    )
+    p_serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=64,
+        help="maximum in-flight requests",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-request timeout in seconds",
+    )
+    p_serve.add_argument(
+        "--warm",
+        action="store_true",
+        help="pre-route the paper workload families before serving",
+    )
+    p_serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-verify every computed schedule",
+    )
 
     p_sweep = sub.add_parser("sweep", help="mini Figure 4/5 sweep")
     p_sweep.add_argument("--sizes", type=int, nargs="+", default=[8, 12, 16])
@@ -248,53 +320,25 @@ def _cmd_transpile(args: argparse.Namespace) -> int:
 
 def _parse_batch_line(doc: dict, lineno: int):
     """One JSONL request line -> RouteRequest (raises ReproError with context)."""
-    from .service import RouteRequest
+    from .service import request_from_doc
 
-    if not isinstance(doc, dict):
-        raise ReproError(f"request line {lineno}: expected a JSON object")
     try:
-        rows, cols = int(doc["rows"]), int(doc["cols"])
-    except (KeyError, TypeError, ValueError):
-        raise ReproError(
-            f"request line {lineno}: 'rows' and 'cols' integers required"
-        ) from None
-    grid = GridGraph(rows, cols)
-    if "perm" in doc:
-        from .perm.permutation import Permutation
-
-        perm = Permutation(doc["perm"])
-    elif "workload" in doc:
-        perm = make_workload(doc["workload"], grid, seed=doc.get("seed", 0))
-    else:
-        raise ReproError(
-            f"request line {lineno}: needs 'perm' or 'workload'"
-        )
-    return RouteRequest(
-        graph=grid,
-        perm=perm,
-        router=doc.get("router", "local"),
-        options=doc.get("options", {}),
-    )
+        return request_from_doc(doc)
+    except ReproError as exc:
+        raise ReproError(f"request line {lineno}: {exc}") from None
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
-    from .service import RoutingService, route_result_to_dict
-
-    if args.cache_size <= 0:
-        raise ReproError(f"--cache-size must be positive, got {args.cache_size}")
-    if args.workers is not None and args.workers < 0:
-        raise ReproError(f"--workers must be >= 0, got {args.workers}")
-
-    if args.requests == "-":
+def _read_request_docs(path: str) -> list[tuple[int, dict]]:
+    """Read a JSONL request file ('-' = stdin) into (lineno, doc) pairs."""
+    if path == "-":
         text = sys.stdin.read()
     else:
         try:
-            with open(args.requests, "r", encoding="utf-8") as fh:
+            with open(path, "r", encoding="utf-8") as fh:
                 text = fh.read()
         except OSError as exc:
             raise ReproError(f"cannot read requests file: {exc}") from exc
-
-    requests = []
+    docs = []
     for lineno, line in enumerate(text.splitlines(), 1):
         line = line.strip()
         if not line or line.startswith("#"):
@@ -303,17 +347,77 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             doc = json.loads(line)
         except json.JSONDecodeError as exc:
             raise ReproError(f"request line {lineno}: invalid JSON: {exc}") from exc
-        requests.append(_parse_batch_line(doc, lineno))
+        docs.append((lineno, doc))
+    return docs
+
+
+def _open_out(path: str):
+    """Open the results stream ('-' = stdout) before routing, to fail fast."""
+    if path == "-":
+        return sys.stdout
+    try:
+        return open(path, "w", encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot open output file: {exc}") from exc
+
+
+def _cmd_batch_daemon(args: argparse.Namespace) -> int:
+    """The ``batch --daemon SOCKET`` path: ship the requests to a daemon."""
+    from .service import DaemonClient
+
+    docs = []
+    for lineno, doc in _read_request_docs(args.requests):
+        if not isinstance(doc, dict):
+            raise ReproError(f"request line {lineno}: expected a JSON object")
+        docs.append(doc)
+    out = _open_out(args.out)
+    with DaemonClient(args.daemon) as client:
+        t0 = time.perf_counter()
+        responses = client.route_batch(
+            [
+                {**doc, "include_schedule": bool(args.include_schedule)}
+                for doc in docs
+            ]
+        )
+        elapsed = time.perf_counter() - t0
+        stats = client.stats() if args.stats else None
+    try:
+        for resp in responses:
+            out.write(json.dumps(resp) + "\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    n_err = sum(1 for r in responses if not r.get("ok"))
+    rate = len(responses) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"batch: {len(responses)} requests in {elapsed:.3f}s "
+        f"({rate:.1f} req/s), {n_err} errors, via daemon {args.daemon}",
+        file=sys.stderr,
+    )
+    if stats is not None:
+        print(json.dumps(stats, indent=2), file=sys.stderr)
+    return 0 if n_err == 0 else 3
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .service import RoutingService, route_result_to_dict
+
+    if args.daemon:
+        return _cmd_batch_daemon(args)
+
+    if args.cache_size <= 0:
+        raise ReproError(f"--cache-size must be positive, got {args.cache_size}")
+    if args.workers is not None and args.workers < 0:
+        raise ReproError(f"--workers must be >= 0, got {args.workers}")
+
+    requests = [
+        _parse_batch_line(doc, lineno)
+        for lineno, doc in _read_request_docs(args.requests)
+    ]
 
     # Open the output before routing so a bad --out path fails fast
     # instead of discarding a whole computed batch.
-    if args.out == "-":
-        out = sys.stdout
-    else:
-        try:
-            out = open(args.out, "w", encoding="utf-8")
-        except OSError as exc:
-            raise ReproError(f"cannot open output file: {exc}") from exc
+    out = _open_out(args.out)
 
     with RoutingService(
         cache_size=args.cache_size,
@@ -354,6 +458,51 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if n_err == 0 else 3
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` daemon: warm pool + cache shared across clients."""
+    import asyncio
+
+    from .service import AsyncRoutingService, CostThresholdAdmission, RoutingDaemon
+
+    if args.cache_size <= 0:
+        raise ReproError(f"--cache-size must be positive, got {args.cache_size}")
+    if args.workers is not None and args.workers < 0:
+        raise ReproError(f"--workers must be >= 0, got {args.workers}")
+    if args.shards <= 0:
+        raise ReproError(f"--shards must be positive, got {args.shards}")
+    if args.max_concurrency <= 0:
+        raise ReproError(
+            f"--max-concurrency must be positive, got {args.max_concurrency}"
+        )
+
+    admission = (
+        CostThresholdAdmission(min_seconds=args.min_cache_seconds)
+        if args.min_cache_seconds > 0
+        else None
+    )
+    svc = AsyncRoutingService(
+        max_concurrency=args.max_concurrency,
+        default_timeout=args.timeout,
+        cache_size=args.cache_size,
+        cache_dir=args.cache_dir,
+        cache_shards=args.shards,
+        cache_admission=admission,
+        max_workers=args.workers,
+        verify=args.verify,
+    )
+    if args.warm:
+        warmed = svc.service.warm_cache()
+        print(f"warmed cache with {warmed} schedules", file=sys.stderr)
+    daemon = RoutingDaemon(svc)
+    if args.pipe:
+        asyncio.run(daemon.serve_pipe())
+    else:
+        print(f"repro daemon listening on {args.socket}", file=sys.stderr)
+        asyncio.run(daemon.serve_unix(args.socket))
+        print("repro daemon stopped", file=sys.stderr)
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     routers = {name: make_router(name) for name in ("local", "naive", "ats")}
     sweep = run_sweep(
@@ -376,6 +525,7 @@ _COMMANDS = {
     "route": _cmd_route,
     "transpile": _cmd_transpile,
     "batch": _cmd_batch,
+    "serve": _cmd_serve,
     "sweep": _cmd_sweep,
     "info": _cmd_info,
 }
@@ -390,6 +540,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # Downstream closed the pipe (e.g. `repro ... | head`); exit
         # quietly instead of tracebacking.

@@ -18,6 +18,7 @@ __all__ = [
     "QasmError",
     "TranspileError",
     "SimulationError",
+    "ServiceClosedError",
 ]
 
 
@@ -59,3 +60,13 @@ class TranspileError(ReproError):
 
 class SimulationError(ReproError):
     """Simulator failure (dimension mismatch, non-unitary gate, ...)."""
+
+
+class ServiceClosedError(ReproError):
+    """Work was submitted to a service-layer object after ``close()``.
+
+    Raised instead of surfacing a raw ``BrokenProcessPool`` (or silently
+    restarting the pool) so misuse of the lifecycle is loud and
+    unambiguous. ``close()`` itself stays idempotent — only *submission*
+    after close raises.
+    """

@@ -2,15 +2,29 @@
 
 The modules compose bottom-up — :mod:`~repro.service.keys` (canonical
 request fingerprints), :mod:`~repro.service.cache` (tiered LRU schedule
+cache), :mod:`~repro.service.sharding` (sharded, admission-controlled
 cache), :mod:`~repro.service.telemetry` (counters and latency
 histograms), :mod:`~repro.service.executor` (dedup + cache + process
 pool) — and :mod:`~repro.service.service` ties them into the
 :class:`RoutingService` facade that the CLI's ``batch`` subcommand and
-the benchmarks drive.
+the benchmarks drive. On top of the facade sit the two always-on front
+ends: :mod:`~repro.service.aio` (:class:`AsyncRoutingService`, bounded
+concurrency + per-request timeouts) and :mod:`~repro.service.daemon`
+(``repro serve``: NDJSON over a UNIX socket or stdin/stdout, keeping
+the pool and caches warm across client invocations).
 """
 
+from .aio import AsyncRoutingService
 from .cache import CacheStats, LRUCache, ScheduleCache
+from .daemon import DaemonClient, RoutingDaemon, request_from_doc, wait_for_socket
 from .executor import BatchExecutor, RouteRequest, RouteResult
+from .sharding import (
+    AdmissionPolicy,
+    CostThresholdAdmission,
+    ShardedScheduleCache,
+    admit_all,
+    shard_index,
+)
 from .keys import (
     RequestKey,
     graph_fingerprint,
@@ -41,6 +55,16 @@ __all__ = [
     "CacheStats",
     "LRUCache",
     "ScheduleCache",
+    "AdmissionPolicy",
+    "CostThresholdAdmission",
+    "ShardedScheduleCache",
+    "admit_all",
+    "shard_index",
+    "AsyncRoutingService",
+    "RoutingDaemon",
+    "DaemonClient",
+    "request_from_doc",
+    "wait_for_socket",
     "BatchExecutor",
     "RouteRequest",
     "RouteResult",

@@ -93,8 +93,14 @@ class LRUCache:
             self.stats.hits += 1
             return value
 
-    def put(self, digest: str, value: Any) -> None:
-        """Insert/refresh an entry, evicting the LRU tail if over capacity."""
+    def put(self, digest: str, value: Any, cost: float | None = None) -> None:
+        """Insert/refresh an entry, evicting the LRU tail if over capacity.
+
+        ``cost`` (seconds spent computing the value) is an admission
+        hint: ignored here, consulted by admission-controlled caches
+        such as :class:`~repro.service.sharding.ShardedScheduleCache`.
+        Accepted everywhere so callers can pass it unconditionally.
+        """
         with self._lock:
             if digest in self._data:
                 self._data.move_to_end(digest)
@@ -207,7 +213,7 @@ class ScheduleCache(LRUCache):
             self.stats.puts -= 1
         return schedule
 
-    def put(self, digest: str, schedule: Schedule) -> None:
+    def put(self, digest: str, schedule: Schedule, cost: float | None = None) -> None:
         """Store in memory and (if configured) on disk."""
-        super().put(digest, schedule)
+        super().put(digest, schedule, cost=cost)
         self._disk_store(digest, schedule)

@@ -1,0 +1,507 @@
+"""Long-lived routing daemon: newline-delimited JSON over a UNIX socket.
+
+A cold ``repro batch`` invocation pays interpreter start-up, the scipy
+import and process-pool spawn before it routes anything — fine for one
+big batch, ruinous for many small ones. The daemon keeps an
+:class:`~repro.service.aio.AsyncRoutingService` (worker pool + schedule
+cache) warm across client invocations: start it once with ``repro
+serve --socket PATH``, then point any number of ``repro batch --daemon
+PATH`` runs (or raw socket clients) at it.
+
+Wire protocol — one JSON object per line, one response line per
+request, in order, per connection:
+
+* ``{"op": "ping"}`` → ``{"ok": true, "op": "ping"}``
+* ``{"op": "stats"}`` → ``{"ok": true, "op": "stats", "stats": {...}}``
+* ``{"op": "route", "rows": 4, "cols": 4, "workload": "random",
+  "seed": 0, "router": "local", "options": {...},
+  "include_schedule": false, "timeout": 30.0}`` → the
+  :func:`~repro.service.service.route_result_to_dict` document plus
+  ``"op"``. ``op`` defaults to ``"route"``, so a ``repro batch``
+  request file works verbatim as daemon input.
+* ``{"op": "shutdown"}`` → ``{"ok": true, "op": "shutdown"}``, then
+  the server drains in-flight connections and exits.
+
+Any request may carry an ``"id"``; it is echoed on the response.
+Malformed lines yield ``{"ok": false, "error": ...}`` — one bad client
+never takes the daemon down. Connections are served concurrently;
+within a connection, requests are answered in order (which is what
+makes the pipelined :class:`DaemonClient` simple).
+
+``serve_pipe`` speaks the same protocol over stdin/stdout for
+socket-less environments (containers, subprocess supervision, tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import socket
+import sys
+import time
+from collections import deque
+from typing import Any, IO, Mapping, Sequence
+
+from ..errors import ReproError
+from ..graphs.grid import GridGraph
+from ..perm.generators import make_workload
+from ..perm.permutation import Permutation
+from .aio import AsyncRoutingService
+from .executor import RouteRequest
+from .service import route_result_to_dict
+
+__all__ = [
+    "RoutingDaemon",
+    "DaemonClient",
+    "request_from_doc",
+    "wait_for_socket",
+]
+
+#: Seconds the daemon waits for in-flight connections after a shutdown
+#: request before force-closing them.
+DRAIN_GRACE_SECONDS = 10.0
+
+#: Maximum concurrently dispatched requests per connection; matches the
+#: client's default pipelining window so one connection can saturate
+#: the worker pool without unbounded in-flight state.
+CONNECTION_WINDOW = 64
+
+
+def request_from_doc(doc: Mapping[str, Any]) -> RouteRequest:
+    """Build a :class:`RouteRequest` from a JSON request document.
+
+    The document needs ``rows``/``cols`` plus either an explicit
+    ``perm`` array or a ``workload`` name (with optional ``seed``), and
+    optionally ``router`` / ``options`` — the same shape the ``repro
+    batch`` request file uses.
+
+    Raises
+    ------
+    ReproError
+        On a malformed document (missing keys, bad grid, bad perm).
+    """
+    if not isinstance(doc, Mapping):
+        raise ReproError("expected a JSON object")
+    try:
+        rows, cols = int(doc["rows"]), int(doc["cols"])
+    except (KeyError, TypeError, ValueError):
+        raise ReproError("'rows' and 'cols' integers required") from None
+    grid = GridGraph(rows, cols)
+    if "perm" in doc:
+        perm = Permutation(doc["perm"])
+    elif "workload" in doc:
+        perm = make_workload(doc["workload"], grid, seed=doc.get("seed", 0))
+    else:
+        raise ReproError("needs 'perm' or 'workload'")
+    options = doc.get("options", {})
+    if not isinstance(options, Mapping):
+        raise ReproError("'options' must be a JSON object")
+    return RouteRequest(
+        graph=grid,
+        perm=perm,
+        router=str(doc.get("router", "local")),
+        options=dict(options),
+    )
+
+
+class RoutingDaemon:
+    """Serve an :class:`AsyncRoutingService` over NDJSON transports.
+
+    One daemon instance runs one ``serve_*`` call; the wrapped service
+    (and its worker pool and caches) stays warm for the daemon's whole
+    lifetime and is closed on exit via
+    :meth:`AsyncRoutingService.aclose`.
+    """
+
+    def __init__(self, service: AsyncRoutingService) -> None:
+        self.service = service
+        self._stop: asyncio.Event | None = None
+        self._active_connections = 0
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch_line(self, line: str | bytes) -> dict[str, Any]:
+        """One request line -> one response document (never raises)."""
+        try:
+            doc = json.loads(line)
+            if not isinstance(doc, dict):
+                raise ValueError("expected a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return {"ok": False, "error": f"bad request: {exc}"}
+        op = doc.get("op", "route")
+        try:
+            if op == "ping":
+                resp: dict[str, Any] = {"ok": True, "op": "ping"}
+            elif op == "stats":
+                resp = {"ok": True, "op": "stats", "stats": self.service.stats()}
+            elif op == "shutdown":
+                resp = {"ok": True, "op": "shutdown"}
+            elif op == "route":
+                resp = await self._route(doc)
+            else:
+                resp = {"ok": False, "error": f"unknown op {op!r}"}
+        except ReproError as exc:
+            resp = {"ok": False, "op": op, "error": str(exc)}
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - one bad request, one error line
+            resp = {"ok": False, "op": op, "error": f"{type(exc).__name__}: {exc}"}
+        if "id" in doc:
+            resp["id"] = doc["id"]
+        return resp
+
+    async def _route(self, doc: dict[str, Any]) -> dict[str, Any]:
+        req = request_from_doc(doc)
+        timeout = doc.get("timeout")
+        result = await self.service.submit_async(
+            req.graph,
+            req.perm,
+            router=req.router,
+            timeout=float(timeout) if timeout is not None else None,
+            **dict(req.options),
+        )
+        resp = route_result_to_dict(
+            result, include_schedule=bool(doc.get("include_schedule"))
+        )
+        resp["op"] = "route"
+        return resp
+
+    # ------------------------------------------------------------------
+    # transports
+    # ------------------------------------------------------------------
+    def _ensure_loop_state(self) -> asyncio.Event:
+        if self._stop is None:
+            self._stop = asyncio.Event()
+        return self._stop
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to drain and exit (signal-handler safe)."""
+        if self._stop is not None:
+            self._stop.set()
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection: pipelined dispatch, responses in request order.
+
+        Requests are dispatched as concurrent tasks the moment their
+        line arrives (up to :data:`CONNECTION_WINDOW` in flight), so a
+        single pipelined client — ``repro batch --daemon`` — actually
+        exercises the worker pool instead of being serialized line by
+        line. Responses are written strictly in request order, which is
+        the protocol contract the client's pipelining relies on.
+
+        The loop waits on three signals at once — the next line, the
+        oldest in-flight response, the daemon stop event — so responses
+        flush while the read is parked, idle connections exit promptly
+        on shutdown, and accepted requests are always answered before
+        the connection closes.
+        """
+        stop = self._ensure_loop_state()
+        self._active_connections += 1
+        self._writers.add(writer)
+        pending: "deque[asyncio.Task[dict[str, Any]]]" = deque()
+        line_task: "asyncio.Task[bytes] | None" = None
+        stop_task = asyncio.ensure_future(stop.wait())
+        eof = False
+        try:
+            while True:
+                want_line = (
+                    not eof
+                    and not stop.is_set()
+                    and len(pending) < CONNECTION_WINDOW
+                )
+                if want_line and line_task is None:
+                    line_task = asyncio.ensure_future(reader.readline())
+                waiters: set = {pending[0]} if pending else set()
+                if line_task is not None:
+                    waiters.add(line_task)
+                if not stop.is_set():
+                    # Once stop fires its task is permanently done and
+                    # would turn this wait into a busy-spin; from then
+                    # on we only wait on real work (drain).
+                    waiters.add(stop_task)
+                if not waiters:
+                    break
+                await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
+
+                # Flush every completed head-of-line response.
+                while pending and pending[0].done():
+                    resp = await pending.popleft()
+                    writer.write((json.dumps(resp) + "\n").encode("utf-8"))
+                    await writer.drain()
+                    if resp.get("op") == "shutdown" and resp.get("ok"):
+                        stop.set()
+
+                # Ingest a completed read.
+                if line_task is not None and line_task.done():
+                    line = line_task.result()
+                    line_task = None
+                    if not line:
+                        eof = True
+                    elif line.strip():
+                        pending.append(
+                            asyncio.ensure_future(self._dispatch_line(line))
+                        )
+
+                if stop.is_set() or eof:
+                    if line_task is not None:
+                        line_task.cancel()
+                        with contextlib.suppress(asyncio.CancelledError):
+                            await line_task
+                        line_task = None
+                    if not pending:
+                        break
+                    # else: keep looping to answer accepted requests.
+        except (OSError, ValueError):
+            pass  # client went away mid-request, or sent an overlong line
+        finally:
+            stop_task.cancel()
+            if line_task is not None:
+                line_task.cancel()
+            for task in pending:
+                task.cancel()
+            self._active_connections -= 1
+            self._writers.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def serve_unix(self, path: str | os.PathLike) -> None:
+        """Listen on a UNIX socket until a shutdown request or signal.
+
+        A *stale* socket file at ``path`` (nothing listening) is
+        removed first; a *live* one raises
+        :class:`~repro.errors.ReproError` instead of silently hijacking
+        a running daemon's address. On shutdown the server stops
+        accepting, waits up to :data:`DRAIN_GRACE_SECONDS` for
+        in-flight connections, then force-closes stragglers, removes
+        the socket file and closes the service.
+
+        Raises
+        ------
+        ReproError
+            If another daemon is already listening on ``path``.
+        """
+        path = os.fspath(path)
+        stop = self._ensure_loop_state()
+        if os.path.exists(path):
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.settimeout(1.0)
+                probe.connect(path)
+            except OSError:
+                # Nothing answering: a stale file from a dead daemon.
+                with contextlib.suppress(OSError):
+                    os.unlink(path)
+            else:
+                raise ReproError(f"a daemon is already listening on {path}")
+            finally:
+                probe.close()
+        # 1 MiB line limit: room for explicit perms on very large grids.
+        server = await asyncio.start_unix_server(
+            self._handle_conn, path=path, limit=2**20
+        )
+        loop = asyncio.get_running_loop()
+        installed: list[signal.Signals] = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or unsupported platform
+        try:
+            await stop.wait()
+        finally:
+            for sig in installed:
+                with contextlib.suppress(Exception):
+                    loop.remove_signal_handler(sig)
+            server.close()
+            await server.wait_closed()
+            await self._drain()
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+            await self.service.aclose()
+
+    async def serve_pipe(
+        self,
+        in_stream: IO[str] | None = None,
+        out_stream: IO[str] | None = None,
+    ) -> None:
+        """Serve the protocol over text streams (default stdin/stdout).
+
+        EOF on the input stream is treated as a shutdown request, so
+        supervising processes can stop the daemon by closing its stdin.
+        """
+        in_stream = in_stream if in_stream is not None else sys.stdin
+        out_stream = out_stream if out_stream is not None else sys.stdout
+        stop = self._ensure_loop_state()
+        loop = asyncio.get_running_loop()
+        try:
+            while not stop.is_set():
+                line = await loop.run_in_executor(None, in_stream.readline)
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                resp = await self._dispatch_line(line)
+                out_stream.write(json.dumps(resp) + "\n")
+                out_stream.flush()
+                if resp.get("op") == "shutdown" and resp.get("ok"):
+                    break
+        finally:
+            await self.service.aclose()
+
+    async def _drain(self) -> None:
+        """Wait for in-flight connections, then force-close stragglers."""
+        deadline = time.monotonic() + DRAIN_GRACE_SECONDS
+        while self._active_connections > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.close()
+
+
+# ----------------------------------------------------------------------
+# client side
+# ----------------------------------------------------------------------
+def wait_for_socket(path: str | os.PathLike, timeout: float = 10.0) -> None:
+    """Block until a daemon accepts connections on ``path``.
+
+    Raises
+    ------
+    ReproError
+        If nothing is listening before ``timeout`` elapses.
+    """
+    path = os.fspath(path)
+    deadline = time.monotonic() + timeout
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(1.0)
+            sock.connect(path)
+            return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise ReproError(
+                    f"no daemon listening on {path} after {timeout}s"
+                ) from None
+            time.sleep(0.05)
+        finally:
+            sock.close()
+
+
+class DaemonClient:
+    """Synchronous, pipelined client for the daemon's socket protocol.
+
+    >>> client = DaemonClient("/tmp/repro.sock")   # doctest: +SKIP
+    >>> client.ping()                              # doctest: +SKIP
+    True
+
+    Responses on one connection arrive in request order, so
+    :meth:`route_batch` pipelines a window of requests ahead of the
+    reads instead of paying a round-trip per request.
+    """
+
+    def __init__(self, socket_path: str | os.PathLike, timeout: float = 300.0) -> None:
+        self.socket_path = os.fspath(socket_path)
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file: Any = None
+
+    def _ensure_connected(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as exc:
+            sock.close()
+            raise ReproError(
+                f"cannot connect to daemon at {self.socket_path}: {exc}"
+            ) from exc
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    def _send(self, doc: Mapping[str, Any]) -> None:
+        self._ensure_connected()
+        self._file.write((json.dumps(dict(doc)) + "\n").encode("utf-8"))
+
+    def _recv(self) -> dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ReproError("daemon closed the connection")
+        resp = json.loads(line)
+        if not isinstance(resp, dict):
+            raise ReproError(f"malformed daemon response: {resp!r}")
+        return resp
+
+    def request(self, doc: Mapping[str, Any]) -> dict[str, Any]:
+        """One request, one response."""
+        self._send(doc)
+        self._file.flush()
+        return self._recv()
+
+    def ping(self) -> bool:
+        """Whether the daemon answers."""
+        return bool(self.request({"op": "ping"}).get("ok"))
+
+    def stats(self) -> dict[str, Any]:
+        """The daemon's :meth:`RoutingService.stats` document."""
+        resp = self.request({"op": "stats"})
+        if not resp.get("ok"):
+            raise ReproError(f"stats failed: {resp.get('error')}")
+        return resp["stats"]
+
+    def shutdown(self) -> bool:
+        """Request a graceful daemon shutdown."""
+        return bool(self.request({"op": "shutdown"}).get("ok"))
+
+    def route(self, doc: Mapping[str, Any]) -> dict[str, Any]:
+        """Route one request document (see :func:`request_from_doc`)."""
+        return self.request({**dict(doc), "op": "route"})
+
+    def route_batch(
+        self, docs: Sequence[Mapping[str, Any]], window: int = CONNECTION_WINDOW
+    ) -> list[dict[str, Any]]:
+        """Route many documents, pipelining up to ``window`` in flight.
+
+        The window bounds the number of unread responses buffered in
+        the socket, which keeps a huge batch from deadlocking both
+        sides on full kernel buffers — valid only up to the server's
+        :data:`CONNECTION_WINDOW`, so larger requests are clamped.
+        """
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        window = min(window, CONNECTION_WINDOW)
+        responses: list[dict[str, Any]] = []
+        sent = 0
+        while len(responses) < len(docs):
+            while sent < len(docs) and sent - len(responses) < window:
+                self._send({**dict(docs[sent]), "op": "route"})
+                sent += 1
+            self._file.flush()
+            responses.append(self._recv())
+        return responses
+
+    def close(self) -> None:
+        """Close the connection (the daemon keeps running)."""
+        if self._file is not None:
+            with contextlib.suppress(Exception):
+                self._file.close()
+            self._file = None
+        if self._sock is not None:
+            with contextlib.suppress(Exception):
+                self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

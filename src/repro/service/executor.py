@@ -17,6 +17,11 @@ order, and a failing instance yields an error *result* (``source ==
 "error"``) instead of poisoning the batch. If the pool itself dies
 (e.g. a worker is OOM-killed), the affected requests are recomputed
 inline rather than lost.
+
+Lifecycle: :meth:`BatchExecutor.close` is terminal and idempotent —
+concurrent callers all observe a single shutdown, and any submission
+after close raises :class:`~repro.errors.ServiceClosedError` instead of
+resurrecting the pool or surfacing a raw ``BrokenProcessPool``.
 """
 
 from __future__ import annotations
@@ -24,16 +29,18 @@ from __future__ import annotations
 import os
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
+from ..errors import ServiceClosedError
 from ..graphs.base import Graph
 from ..perm.permutation import Permutation
 from ..routing.base import make_router
 from ..routing.schedule import Schedule
 from .cache import ScheduleCache
 from .keys import RequestKey, graph_from_spec, graph_spec, request_key
+from .sharding import ShardedScheduleCache
 from .telemetry import Telemetry
 
 __all__ = ["RouteRequest", "RouteResult", "BatchExecutor"]
@@ -153,7 +160,7 @@ class BatchExecutor:
 
     def __init__(
         self,
-        cache: ScheduleCache | None = None,
+        cache: ScheduleCache | ShardedScheduleCache | None = None,
         max_workers: int | None = 1,
         telemetry: Telemetry | None = None,
         verify: bool = False,
@@ -165,7 +172,9 @@ class BatchExecutor:
         self.telemetry = telemetry or Telemetry()
         self.verify = verify
         self._pool: ProcessPoolExecutor | None = None
+        self._threads: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        self._closed = False
 
     # ------------------------------------------------------------------
     # pool lifecycle
@@ -175,20 +184,71 @@ class BatchExecutor:
         """Whether misses fan out to a process pool."""
         return self.max_workers is None or self.max_workers > 1
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called (terminal)."""
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError(
+                "executor is closed; create a new BatchExecutor/RoutingService"
+            )
+
     def _get_pool(self) -> ProcessPoolExecutor:
         with self._pool_lock:
+            self._ensure_open()
             if self._pool is None:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.max_workers, initializer=_warm_worker
                 )
             return self._pool
 
-    def close(self) -> None:
-        """Shut down the worker pool (idempotent; a later batch restarts it)."""
+    def _get_threads(self) -> ThreadPoolExecutor:
+        """Thread fallback for :meth:`submit_job` when not parallel.
+
+        Sized independently of ``max_workers`` so an async front end on
+        an inline executor still gets non-blocking (if GIL-bound)
+        concurrency.
+        """
+        with self._pool_lock:
+            self._ensure_open()
+            if self._threads is None:
+                self._threads = ThreadPoolExecutor(
+                    max_workers=min(32, (os.cpu_count() or 1) * 4),
+                    thread_name_prefix="repro-exec",
+                )
+            return self._threads
+
+    def reset_pool(self) -> None:
+        """Tear down a broken pool so the next job respawns it.
+
+        Recovery, not shutdown: unlike :meth:`close` this is not
+        terminal. Used internally (and by the async front end) after a
+        ``BrokenProcessPool``-style failure.
+        """
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut down the worker pools. Terminal and idempotent.
+
+        Safe to call from concurrent threads: exactly one caller performs
+        the shutdown, the rest return immediately. Submitting work after
+        close raises :class:`~repro.errors.ServiceClosedError`.
+        """
+        with self._pool_lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+            threads, self._threads = self._threads, None
+        if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+        if threads is not None:
+            threads.shutdown(wait=True, cancel_futures=True)
 
     def __enter__(self) -> "BatchExecutor":
         return self
@@ -208,6 +268,7 @@ class BatchExecutor:
         in its return value — an exception escaping ``fn`` in a worker
         triggers the inline fallback for the entire job list.
         """
+        self._ensure_open()
         if self.parallel and len(payloads) > 1:
             try:
                 pool = self._get_pool()
@@ -216,14 +277,44 @@ class BatchExecutor:
                 return list(pool.map(fn, payloads, chunksize=chunksize))
             except Exception:  # noqa: BLE001 - BrokenProcessPool and friends
                 self.telemetry.incr("pool_failures")
-                self.close()
+                self.reset_pool()
         return [fn(p) for p in payloads]
+
+    def submit_job(self, fn: Callable[[Any], Any], payload: Any) -> Future:
+        """Submit one payload, returning its ``concurrent.futures.Future``.
+
+        The single-request analogue of :meth:`run_jobs`, built for async
+        front ends that wrap the future with ``asyncio.wrap_future``
+        instead of blocking on ``pool.map``. Parallel executors use the
+        process pool (falling back to the thread pool if the pool is
+        broken); inline executors run ``fn`` on the thread pool so the
+        caller's event loop never blocks. Same contract as
+        :meth:`run_jobs`: ``fn`` must encode failures in its return
+        value.
+        """
+        self._ensure_open()
+        if self.parallel:
+            try:
+                return self._get_pool().submit(fn, payload)
+            except ServiceClosedError:
+                raise
+            except Exception:  # noqa: BLE001 - BrokenProcessPool and friends
+                self.telemetry.incr("pool_failures")
+                self.reset_pool()
+        return self._get_threads().submit(fn, payload)
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def execute(self, requests: Sequence[RouteRequest]) -> list[RouteResult]:
-        """Run a batch; the result list is index-aligned with the input."""
+        """Run a batch; the result list is index-aligned with the input.
+
+        Raises
+        ------
+        ServiceClosedError
+            If the executor has been closed.
+        """
+        self._ensure_open()
         t_batch = time.perf_counter()
         results: list[RouteResult | None] = [None] * len(requests)
 
@@ -272,7 +363,9 @@ class BatchExecutor:
                             error=f"verification failed: {exc}",
                         )
                 if result.ok and self.cache is not None:
-                    self.cache.put(result.key.digest, result.schedule)
+                    self.cache.put(
+                        result.key.digest, result.schedule, cost=result.seconds
+                    )
                 results[result.index] = result
 
         # Phase 3: resolve dedup placeholders against their originals.

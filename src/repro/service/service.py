@@ -36,6 +36,7 @@ from ..perm.permutation import Permutation
 from ..routing.serialize import schedule_to_json
 from .cache import LRUCache, ScheduleCache
 from .executor import BatchExecutor, RouteRequest, RouteResult
+from .sharding import AdmissionPolicy, ShardedScheduleCache
 from .keys import (
     _h,
     graph_fingerprint,
@@ -216,6 +217,19 @@ class RoutingService:
     cache_dir:
         Directory for the persistent schedule-cache tier; ``None``
         keeps the cache memory-only.
+    cache_shards:
+        Number of independently-locked schedule-cache shards. The
+        default ``1`` keeps the plain tiered cache; ``> 1`` switches to
+        a :class:`~repro.service.sharding.ShardedScheduleCache`
+        partitioned by fingerprint prefix (recommended for the async
+        front end and the daemon, where many requests probe the cache
+        concurrently).
+    cache_admission:
+        Optional :data:`~repro.service.sharding.AdmissionPolicy`
+        deciding which computed schedules are worth caching (e.g.
+        :class:`~repro.service.sharding.CostThresholdAdmission` to skip
+        trivially cheap instances). Requires ``cache_shards >= 1``; the
+        policy implies the sharded cache even when ``cache_shards`` is 1.
     max_workers:
         Process-pool size for batch misses. The default ``1`` computes
         inline (deterministic, no subprocess spawn); pass ``None`` for
@@ -244,10 +258,20 @@ class RoutingService:
         max_workers: int | None = 1,
         default_router: str = "local",
         verify: bool = False,
+        cache_shards: int = 1,
+        cache_admission: "AdmissionPolicy | None" = None,
     ) -> None:
         self.default_router = default_router
         self.telemetry = Telemetry()
-        self.cache = ScheduleCache(maxsize=cache_size, disk_dir=cache_dir)
+        if cache_shards > 1 or cache_admission is not None:
+            self.cache: ScheduleCache | ShardedScheduleCache = ShardedScheduleCache(
+                maxsize=cache_size,
+                n_shards=cache_shards,
+                disk_dir=cache_dir,
+                admission=cache_admission,
+            )
+        else:
+            self.cache = ScheduleCache(maxsize=cache_size, disk_dir=cache_dir)
         self.transpile_cache = LRUCache(maxsize=max(cache_size // 4, 16))
         self.executor = BatchExecutor(
             cache=self.cache,
@@ -260,8 +284,18 @@ class RoutingService:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the worker pool (the service stays usable afterwards)."""
+        """Release the worker pool. Terminal and idempotent.
+
+        Concurrent callers are safe (one shutdown happens); submitting
+        work afterwards raises
+        :class:`~repro.errors.ServiceClosedError`.
+        """
         self.executor.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self.executor.closed
 
     def __enter__(self) -> "RoutingService":
         return self
@@ -456,14 +490,23 @@ class RoutingService:
         return sum(1 for r in results if r.source == "computed")
 
     def stats(self) -> dict[str, Any]:
-        """Cache counters, telemetry and configuration, JSON-ready."""
-        return {
-            "schedule_cache": {
+        """Cache counters, telemetry and configuration, JSON-ready.
+
+        With a sharded schedule cache the ``schedule_cache`` section
+        additionally carries ``n_shards``, ``rejected_puts`` and a
+        per-shard breakdown under ``shards``.
+        """
+        if isinstance(self.cache, ShardedScheduleCache):
+            schedule_cache = self.cache.as_dict()
+        else:
+            schedule_cache = {
                 **self.cache.stats.as_dict(),
                 "entries": len(self.cache),
                 "maxsize": self.cache.maxsize,
                 "disk_dir": str(self.cache.disk_dir) if self.cache.disk_dir else None,
-            },
+            }
+        return {
+            "schedule_cache": schedule_cache,
             "transpile_cache": {
                 **self.transpile_cache.stats.as_dict(),
                 "entries": len(self.transpile_cache),

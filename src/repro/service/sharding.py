@@ -1,0 +1,228 @@
+"""Sharded, admission-controlled schedule caching.
+
+One global ``RLock`` per cache is fine for a single worker thread, but
+an async front end (many in-flight requests) or a daemon serving
+several connections turns that lock into a point of contention. The
+:class:`ShardedScheduleCache` partitions the key space by fingerprint
+prefix into N independent :class:`~repro.service.cache.ScheduleCache`
+shards, each with its own lock (and its own disk subdirectory when
+persistence is on), so lookups for different keys proceed without
+queueing on one another.
+
+Sharding also creates the natural seam for **admission control**: not
+every computed schedule is worth caching. A 3x3 identity-adjacent
+routing instance recomputes in microseconds — caching it evicts
+entries that took milliseconds to compute. An
+:class:`AdmissionPolicy` decides, per ``put``, whether a schedule is
+admitted; :class:`CostThresholdAdmission` implements the standard
+"skip trivially cheap instances" rule using the compute-seconds hint
+that the executor passes to ``put`` (plus an optional schedule-size
+floor for when no timing is available).
+
+Key-space mapping: shard index is the first 8 hex chars of the SHA-256
+digest mod ``n_shards``. Digests are uniform, so shards stay balanced
+for any request mix; the mapping is stable across processes and
+restarts (the disk layout depends on it).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Iterator
+
+from ..routing.schedule import Schedule
+from .cache import CacheStats, ScheduleCache
+
+__all__ = [
+    "AdmissionPolicy",
+    "admit_all",
+    "CostThresholdAdmission",
+    "ShardedScheduleCache",
+    "shard_index",
+]
+
+
+#: An admission policy: ``(digest, schedule, cost_seconds) -> admit?``.
+#: ``cost_seconds`` is ``None`` when the caller did not measure the
+#: compute time (policies should admit in that case — unknown cost must
+#: not silently disable caching).
+AdmissionPolicy = Callable[[str, Schedule, "float | None"], bool]
+
+
+def admit_all(digest: str, schedule: Schedule, cost: float | None) -> bool:
+    """The default policy: every schedule is admitted."""
+    return True
+
+
+class CostThresholdAdmission:
+    """Admit only schedules that were expensive enough to be worth caching.
+
+    Parameters
+    ----------
+    min_seconds:
+        Schedules computed faster than this are rejected (recomputing
+        them is cheaper than the cache space they'd occupy). Applied
+        only when the caller supplied a cost; unknown cost admits.
+    min_size:
+        Schedules with fewer swaps than this are rejected regardless of
+        timing — a size-based floor for callers that don't measure.
+
+    >>> policy = CostThresholdAdmission(min_seconds=1e-3)
+    >>> from repro.graphs import GridGraph
+    >>> from repro.perm import random_permutation
+    >>> from repro.routing import route
+    >>> sched = route(GridGraph(3, 3), random_permutation(GridGraph(3, 3), seed=0))
+    >>> policy("digest", sched, 5.0)
+    True
+    >>> policy("digest", sched, 1e-6)
+    False
+    >>> policy("digest", sched, None)  # unknown cost is admitted
+    True
+    """
+
+    def __init__(self, min_seconds: float = 0.0, min_size: int = 0) -> None:
+        if min_seconds < 0 or min_size < 0:
+            raise ValueError("thresholds must be non-negative")
+        self.min_seconds = float(min_seconds)
+        self.min_size = int(min_size)
+
+    def __call__(self, digest: str, schedule: Schedule, cost: float | None) -> bool:
+        if schedule.size < self.min_size:
+            return False
+        if cost is not None and cost < self.min_seconds:
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CostThresholdAdmission(min_seconds={self.min_seconds}, "
+            f"min_size={self.min_size})"
+        )
+
+
+def shard_index(digest: str, n_shards: int) -> int:
+    """The shard owning ``digest``: first 8 hex chars mod ``n_shards``."""
+    return int(digest[:8], 16) % n_shards
+
+
+class ShardedScheduleCache:
+    """N independently-locked :class:`ScheduleCache` shards behind one API.
+
+    Drop-in for :class:`ScheduleCache` where the service layer is
+    concerned: ``get`` / ``put`` / ``__contains__`` / ``__len__`` /
+    ``keys`` / ``clear`` / ``stats`` / ``maxsize`` / ``disk_dir`` all
+    behave identically (see the agreement property test), with two
+    additions — per-shard stats rollup and pluggable admission.
+
+    Parameters
+    ----------
+    maxsize:
+        Total in-memory capacity, split evenly across shards (each
+        shard gets ``ceil(maxsize / n_shards)``, minimum 1).
+    n_shards:
+        Number of shards; must be positive. 1 degenerates to a plain
+        (admission-controlled) cache.
+    disk_dir:
+        Root of the persistent tier; each shard persists under
+        ``<disk_dir>/shard-<i>``. ``None`` disables persistence.
+    admission:
+        :data:`AdmissionPolicy` consulted on every ``put``; rejected
+        schedules are simply not stored (the put is counted in
+        ``rejected_puts``). Default admits everything.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 4096,
+        n_shards: int = 8,
+        disk_dir: str | os.PathLike | None = None,
+        admission: AdmissionPolicy | None = None,
+    ) -> None:
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self.n_shards = int(n_shards)
+        self.disk_dir = disk_dir
+        self.admission = admission or admit_all
+        self.rejected_puts = 0
+        per_shard = max(1, -(-self.maxsize // self.n_shards))  # ceil div
+        self._shards = []
+        for i in range(self.n_shards):
+            shard_dir = (
+                os.path.join(os.fspath(disk_dir), f"shard-{i}")
+                if disk_dir is not None
+                else None
+            )
+            self._shards.append(ScheduleCache(maxsize=per_shard, disk_dir=shard_dir))
+
+    def _shard(self, digest: str) -> ScheduleCache:
+        return self._shards[shard_index(digest, self.n_shards)]
+
+    # ------------------------------------------------------------------
+    # the ScheduleCache surface
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> Schedule | None:
+        """The cached schedule, or ``None`` — only ``digest``'s shard locks."""
+        return self._shard(digest).get(digest)
+
+    def put(self, digest: str, schedule: Schedule, cost: float | None = None) -> None:
+        """Store a schedule if the admission policy accepts it."""
+        if not self.admission(digest, schedule, cost):
+            self.rejected_puts += 1  # benign race: an approximate counter
+            return
+        self._shard(digest).put(digest, schedule, cost=cost)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._shard(digest)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._shards)
+
+    def keys(self) -> Iterator[str]:
+        """All digests, shard by shard (LRU first within a shard)."""
+        for shard in self._shards:
+            yield from shard.keys()
+
+    def clear(self) -> None:
+        """Drop every in-memory entry in every shard."""
+        for shard in self._shards:
+            shard.clear()
+
+    # ------------------------------------------------------------------
+    # stats rollup
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregated counters across all shards (a fresh snapshot)."""
+        total = CacheStats()
+        for shard in self._shards:
+            s = shard.stats
+            total.hits += s.hits
+            total.misses += s.misses
+            total.evictions += s.evictions
+            total.puts += s.puts
+            total.disk_hits += s.disk_hits
+            total.disk_writes += s.disk_writes
+            total.disk_errors += s.disk_errors
+        return total
+
+    def per_shard_stats(self) -> list[dict[str, Any]]:
+        """One stats dict per shard (for telemetry / ``stats()`` rollup)."""
+        return [
+            {"shard": i, "entries": len(s), **s.stats.as_dict()}
+            for i, s in enumerate(self._shards)
+        ]
+
+    def as_dict(self) -> dict[str, Any]:
+        """Rollup plus per-shard breakdown, JSON-ready."""
+        return {
+            **self.stats.as_dict(),
+            "entries": len(self),
+            "maxsize": self.maxsize,
+            "n_shards": self.n_shards,
+            "rejected_puts": self.rejected_puts,
+            "disk_dir": str(self.disk_dir) if self.disk_dir else None,
+            "shards": self.per_shard_stats(),
+        }

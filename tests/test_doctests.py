@@ -27,6 +27,8 @@ MODULE_NAMES = [
     "repro.circuit.circuit",
     "repro.service.service",
     "repro.service.telemetry",
+    "repro.service.aio",
+    "repro.service.sharding",
 ]
 
 

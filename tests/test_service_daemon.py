@@ -1,0 +1,374 @@
+"""Tests for the daemon front end (repro.service.daemon) and its CLI.
+
+Socket tests run the server on a background thread with its own event
+loop and talk to it through the real :class:`DaemonClient`; every
+blocking wait carries an explicit timeout so a hung socket fails the
+test instead of wedging the suite (CI adds pytest-timeout on top).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.service import (
+    AsyncRoutingService,
+    DaemonClient,
+    RoutingDaemon,
+    request_from_doc,
+    wait_for_socket,
+)
+
+JOIN_TIMEOUT = 60.0
+
+
+class TestRequestFromDoc:
+    def test_workload_form(self):
+        req = request_from_doc(
+            {"rows": 3, "cols": 3, "workload": "random", "seed": 2}
+        )
+        assert req.graph.n_vertices == 9
+        assert req.router == "local"
+
+    def test_perm_form_with_router_and_options(self):
+        req = request_from_doc({
+            "rows": 2, "cols": 2, "perm": [1, 0, 3, 2],
+            "router": "naive", "options": {},
+        })
+        assert req.router == "naive"
+        assert list(req.perm.targets) == [1, 0, 3, 2]
+
+    @pytest.mark.parametrize("doc", [
+        [1, 2],
+        {"rows": 3},
+        {"rows": 3, "cols": 3},
+        {"rows": "x", "cols": 3, "workload": "random"},
+        {"rows": 3, "cols": 3, "workload": "random", "options": "nope"},
+    ])
+    def test_malformed_docs_raise(self, doc):
+        with pytest.raises(ReproError):
+            request_from_doc(doc)
+
+
+def _start_daemon(tmp_path, **service_kwargs):
+    """Run a daemon on a background thread; returns (socket, thread, svc)."""
+    sock = str(tmp_path / "repro.sock")
+    service_kwargs.setdefault("cache_size", 64)
+    service_kwargs.setdefault("max_workers", 1)
+    svc = AsyncRoutingService(**service_kwargs)
+    daemon = RoutingDaemon(svc)
+    thread = threading.Thread(
+        target=asyncio.run, args=(daemon.serve_unix(sock),), daemon=True
+    )
+    thread.start()
+    wait_for_socket(sock, timeout=JOIN_TIMEOUT)
+    return sock, thread, svc
+
+
+def _shutdown(sock, thread):
+    with DaemonClient(sock, timeout=JOIN_TIMEOUT) as client:
+        assert client.shutdown()
+    thread.join(timeout=JOIN_TIMEOUT)
+    assert not thread.is_alive()
+
+
+class TestUnixSocketDaemon:
+    def test_ping_route_stats_roundtrip(self, tmp_path):
+        sock, thread, _svc = _start_daemon(tmp_path)
+        try:
+            with DaemonClient(sock, timeout=JOIN_TIMEOUT) as client:
+                assert client.ping()
+                doc = {"rows": 4, "cols": 4, "workload": "random", "seed": 0}
+                r1 = client.route(doc)
+                assert r1["ok"] and r1["source"] == "computed"
+                assert r1["depth"] >= 1
+                r2 = client.route(doc)
+                assert r2["source"] == "cache"
+                assert r2["depth"] == r1["depth"]
+                stats = client.stats()
+                assert stats["telemetry"]["counters"]["aio_requests"] == 2
+        finally:
+            _shutdown(sock, thread)
+
+    def test_include_schedule_and_id_echo(self, tmp_path):
+        sock, thread, _svc = _start_daemon(tmp_path)
+        try:
+            with DaemonClient(sock, timeout=JOIN_TIMEOUT) as client:
+                resp = client.request({
+                    "op": "route", "id": "req-7", "rows": 3, "cols": 3,
+                    "workload": "random", "seed": 1, "include_schedule": True,
+                })
+                assert resp["id"] == "req-7"
+                assert resp["schedule"]["format"] == "repro.schedule"
+        finally:
+            _shutdown(sock, thread)
+
+    def test_bad_requests_isolated(self, tmp_path):
+        sock, thread, _svc = _start_daemon(tmp_path)
+        try:
+            with DaemonClient(sock, timeout=JOIN_TIMEOUT) as client:
+                bad = client.request({"op": "route", "rows": 3})
+                assert not bad["ok"] and "cols" in bad["error"]
+                unknown = client.request({"op": "frobnicate"})
+                assert not unknown["ok"] and "unknown op" in unknown["error"]
+                # Non-JSON garbage gets an error response, not a hangup.
+                client._ensure_connected()
+                client._file.write(b"{not json}\n")
+                client._file.flush()
+                garbage = client._recv()
+                assert not garbage["ok"] and "bad request" in garbage["error"]
+                # Non-ReproError failures (bad timeout type, an options
+                # key colliding with a submit_async parameter) must also
+                # come back as one error line, not kill the connection.
+                bad_timeout = client.request({
+                    "op": "route", "rows": 3, "cols": 3,
+                    "workload": "random", "timeout": "abc",
+                })
+                assert not bad_timeout["ok"]
+                assert "ValueError" in bad_timeout["error"]
+                collision = client.request({
+                    "op": "route", "rows": 3, "cols": 3,
+                    "workload": "random", "options": {"router": "naive"},
+                })
+                assert not collision["ok"] and collision["error"]
+                # The connection is still serviceable afterwards.
+                assert client.ping()
+        finally:
+            _shutdown(sock, thread)
+
+    def test_refuses_to_hijack_live_socket(self, tmp_path):
+        sock, thread, _svc = _start_daemon(tmp_path)
+        try:
+            rival = RoutingDaemon(
+                AsyncRoutingService(cache_size=8, max_workers=1)
+            )
+            with pytest.raises(ReproError, match="already listening"):
+                asyncio.run(rival.serve_unix(sock))
+            # The running daemon is untouched.
+            with DaemonClient(sock, timeout=JOIN_TIMEOUT) as client:
+                assert client.ping()
+        finally:
+            _shutdown(sock, thread)
+
+    def test_stale_socket_file_is_replaced(self, tmp_path):
+        import os
+        import socket as socket_mod
+
+        sock = str(tmp_path / "repro.sock")
+        # A dead daemon's leftover: a bound-but-unserved socket file.
+        stale = socket_mod.socket(socket_mod.AF_UNIX, socket_mod.SOCK_STREAM)
+        stale.bind(sock)
+        stale.close()
+        assert os.path.exists(sock)
+        sock2, thread, _svc = _start_daemon(tmp_path)
+        assert sock2 == sock
+        try:
+            with DaemonClient(sock, timeout=JOIN_TIMEOUT) as client:
+                assert client.ping()
+        finally:
+            _shutdown(sock, thread)
+
+    def test_pipelined_requests_dispatch_concurrently(self, tmp_path):
+        import time as time_mod
+
+        sock, thread, svc = _start_daemon(tmp_path)
+        state = {"active": 0, "peak": 0}
+        lock = threading.Lock()
+        try:
+            ex = svc.service.executor
+            real_submit = ex.submit_job
+
+            def counting_submit(fn, payload):
+                def wrapped(p):
+                    with lock:
+                        state["active"] += 1
+                        state["peak"] = max(state["peak"], state["active"])
+                    try:
+                        time_mod.sleep(0.05)
+                        return fn(p)
+                    finally:
+                        with lock:
+                            state["active"] -= 1
+
+                return real_submit(wrapped, payload)
+
+            ex.submit_job = counting_submit
+            docs = [
+                {"rows": 3, "cols": 3, "workload": "random", "seed": s}
+                for s in range(4)
+            ]
+            with DaemonClient(sock, timeout=JOIN_TIMEOUT) as client:
+                responses = client.route_batch(docs, window=4)
+            ex.submit_job = real_submit
+            assert all(r["ok"] for r in responses)
+            # One pipelined connection must reach the pool concurrently,
+            # not line-by-line.
+            assert state["peak"] >= 2, state
+        finally:
+            _shutdown(sock, thread)
+
+    def test_route_batch_pipelines_in_order(self, tmp_path):
+        sock, thread, _svc = _start_daemon(tmp_path)
+        try:
+            docs = [
+                {"rows": 3, "cols": 3, "workload": "random", "seed": s % 2}
+                for s in range(10)
+            ]
+            with DaemonClient(sock, timeout=JOIN_TIMEOUT) as client:
+                responses = client.route_batch(docs, window=4)
+            assert len(responses) == 10
+            assert all(r["ok"] for r in responses)
+            # Same seed => same key: responses landed in request order.
+            assert responses[0]["key"] == responses[2]["key"]
+            assert responses[1]["key"] == responses[3]["key"]
+            assert responses[0]["key"] != responses[1]["key"]
+        finally:
+            _shutdown(sock, thread)
+
+    def test_shutdown_with_idle_second_connection(self, tmp_path):
+        sock, thread, _svc = _start_daemon(tmp_path)
+        idle = DaemonClient(sock, timeout=JOIN_TIMEOUT)
+        try:
+            assert idle.ping()  # connected and idle from here on
+            _shutdown(sock, thread)  # must not hang on the idle conn
+        finally:
+            idle.close()
+
+    def test_socket_file_removed_on_shutdown(self, tmp_path):
+        import os
+
+        sock, thread, _svc = _start_daemon(tmp_path)
+        _shutdown(sock, thread)
+        assert not os.path.exists(sock)
+
+    def test_client_refuses_dead_socket(self, tmp_path):
+        client = DaemonClient(str(tmp_path / "nothing.sock"), timeout=1.0)
+        with pytest.raises(ReproError):
+            client.ping()
+        with pytest.raises(ReproError):
+            wait_for_socket(tmp_path / "nothing.sock", timeout=0.2)
+
+
+class TestPipeDaemon:
+    def _serve(self, lines):
+        inp = io.StringIO("".join(json.dumps(doc) + "\n" for doc in lines))
+        out = io.StringIO()
+        svc = AsyncRoutingService(cache_size=16, max_workers=1)
+        asyncio.run(RoutingDaemon(svc).serve_pipe(inp, out))
+        return [json.loads(line) for line in out.getvalue().splitlines()]
+
+    def test_protocol_over_pipes(self):
+        responses = self._serve([
+            {"op": "ping"},
+            {"rows": 3, "cols": 3, "workload": "random", "seed": 0},
+            {"op": "shutdown"},
+        ])
+        assert [r["ok"] for r in responses] == [True, True, True]
+        assert responses[1]["source"] == "computed"
+        assert responses[2]["op"] == "shutdown"
+
+    def test_eof_acts_as_shutdown(self):
+        responses = self._serve([{"op": "ping"}])  # stream ends without op
+        assert responses == [{"ok": True, "op": "ping"}]
+
+
+class TestServeCli:
+    def test_serve_and_batch_daemon_roundtrip(self, tmp_path, capsys):
+        sock = str(tmp_path / "cli.sock")
+        rc_box: list[int] = []
+        thread = threading.Thread(
+            target=lambda: rc_box.append(
+                main(["serve", "--socket", sock, "--workers", "1",
+                      "--shards", "4"])
+            ),
+            daemon=True,
+        )
+        thread.start()
+        wait_for_socket(sock, timeout=JOIN_TIMEOUT)
+
+        reqs = tmp_path / "requests.jsonl"
+        reqs.write_text(
+            json.dumps({"rows": 3, "cols": 3, "workload": "random", "seed": 0})
+            + "\n"
+            + json.dumps({"rows": 3, "cols": 3, "workload": "random", "seed": 1})
+            + "\n",
+            encoding="utf-8",
+        )
+        out = tmp_path / "results.jsonl"
+        rc = main(["batch", str(reqs), "--daemon", sock, "--out", str(out)])
+        assert rc == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(lines) == 2 and all(line["ok"] for line in lines)
+        err = capsys.readouterr().err
+        assert "via daemon" in err
+
+        # Second invocation: the daemon's cache is warm across clients.
+        rc = main(["batch", str(reqs), "--daemon", sock, "--out", str(out)])
+        assert rc == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [line["source"] for line in lines] == ["cache", "cache"]
+
+        with DaemonClient(sock, timeout=JOIN_TIMEOUT) as client:
+            assert client.shutdown()
+        thread.join(timeout=JOIN_TIMEOUT)
+        assert not thread.is_alive()
+        assert rc_box == [0]
+
+    def test_batch_daemon_error_exit_code(self, tmp_path, capsys):
+        sock = str(tmp_path / "cli2.sock")
+        thread = threading.Thread(
+            target=lambda: main(["serve", "--socket", sock, "--workers", "1"]),
+            daemon=True,
+        )
+        thread.start()
+        wait_for_socket(sock, timeout=JOIN_TIMEOUT)
+        try:
+            reqs = tmp_path / "requests.jsonl"
+            reqs.write_text(
+                json.dumps({"rows": 3, "cols": 3, "workload": "random"})
+                + "\n"
+                + json.dumps({"rows": 3, "cols": 3, "workload": "bogus"})
+                + "\n",
+                encoding="utf-8",
+            )
+            rc = main(["batch", str(reqs), "--daemon", sock])
+            assert rc == 3  # per-request failure, mirroring local batch
+            out_lines = [
+                json.loads(line)
+                for line in capsys.readouterr().out.splitlines()
+            ]
+            assert [line["ok"] for line in out_lines] == [True, False]
+        finally:
+            with DaemonClient(sock, timeout=JOIN_TIMEOUT) as client:
+                client.shutdown()
+            thread.join(timeout=JOIN_TIMEOUT)
+
+    def test_batch_daemon_missing_socket_errors(self, tmp_path, capsys):
+        reqs = tmp_path / "requests.jsonl"
+        reqs.write_text(
+            json.dumps({"rows": 3, "cols": 3, "workload": "random"}) + "\n",
+            encoding="utf-8",
+        )
+        rc = main(["batch", str(reqs), "--daemon", str(tmp_path / "no.sock")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_validates_flags(self, capsys):
+        assert main(["serve", "--pipe", "--cache-size", "0"]) == 2
+        assert "--cache-size" in capsys.readouterr().err
+        assert main(["serve", "--pipe", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+        assert main(["serve", "--pipe", "--max-concurrency", "0"]) == 2
+        assert "--max-concurrency" in capsys.readouterr().err
+        assert main(["serve", "--pipe", "--workers", "-1"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_serve_requires_transport(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])

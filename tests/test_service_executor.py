@@ -8,8 +8,11 @@ failures isolated to their own slot.
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
+from repro.errors import ServiceClosedError
 from repro.graphs import GridGraph
 from repro.perm import Permutation, random_permutation
 from repro.routing import route
@@ -145,15 +148,69 @@ class TestPoolExecution:
             second = ex.execute(reqs)
         assert [r.source for r in second] == ["cache", "cache"]
 
-    def test_close_is_idempotent_and_restartable(self):
-        grid = GridGraph(3, 3)
-        ex = BatchExecutor(max_workers=2)
-        ex.close()
-        ex.close()
-        results = ex.execute(_batch(grid, [0, 1]))
-        assert all(r.ok for r in results)
-        ex.close()
-
     def test_run_jobs_inline_when_single(self):
         with BatchExecutor(max_workers=1) as ex:
             assert ex.run_jobs(len, ["ab", "cde"]) == [2, 3]
+
+
+class TestLifecycle:
+    """close() is terminal, idempotent, and safe under concurrent callers."""
+
+    def test_close_is_idempotent(self):
+        ex = BatchExecutor(max_workers=2)
+        ex.close()
+        ex.close()
+        assert ex.closed
+
+    def test_submit_after_close_raises(self):
+        grid = GridGraph(3, 3)
+        ex = BatchExecutor(max_workers=1)
+        results = ex.execute(_batch(grid, [0]))
+        assert results[0].ok
+        ex.close()
+        with pytest.raises(ServiceClosedError):
+            ex.execute(_batch(grid, [1]))
+        with pytest.raises(ServiceClosedError):
+            ex.run_jobs(len, ["ab"])
+        with pytest.raises(ServiceClosedError):
+            ex.submit_job(len, "ab")
+
+    def test_concurrent_close_and_submit(self):
+        grid = GridGraph(3, 3)
+        ex = BatchExecutor(max_workers=2)
+        ex.execute(_batch(grid, [0, 1]))
+        errors: list[BaseException] = []
+
+        def _close():
+            try:
+                ex.close()
+            except BaseException as exc:  # noqa: BLE001 - collecting for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=_close) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors  # every closer returns cleanly, exactly one shuts down
+        assert ex.closed
+        with pytest.raises(ServiceClosedError):
+            ex.execute(_batch(grid, [2]))
+
+    def test_service_close_is_terminal(self):
+        from repro.service import RoutingService
+
+        svc = RoutingService(cache_size=4, max_workers=1)
+        grid = GridGraph(3, 3)
+        assert svc.submit(grid, random_permutation(grid, seed=0)).ok
+        assert not svc.closed
+        svc.close()
+        svc.close()
+        assert svc.closed
+        with pytest.raises(ServiceClosedError):
+            svc.submit(grid, random_permutation(grid, seed=1))
+
+    def test_submit_job_returns_future(self):
+        with BatchExecutor(max_workers=1) as ex:
+            fut = ex.submit_job(len, "abcd")
+            assert fut.result(timeout=30) == 4

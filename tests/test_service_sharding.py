@@ -1,0 +1,220 @@
+"""Tests for the sharded, admission-controlled schedule cache.
+
+The load-bearing property: for any request stream (with no capacity
+pressure) the sharded cache is observably identical to the plain
+single-shard cache — same hit/miss answer per operation, same
+aggregate counters. Sharding changes lock granularity and eviction
+*locality*, never semantics.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import GridGraph
+from repro.perm import random_permutation
+from repro.routing import route
+from repro.service import (
+    CostThresholdAdmission,
+    RoutingService,
+    ScheduleCache,
+    ShardedScheduleCache,
+    admit_all,
+    shard_index,
+)
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    """One real schedule reused as the cached value everywhere."""
+    grid = GridGraph(3, 3)
+    return route(grid, random_permutation(grid, seed=0))
+
+
+#: A pool of realistic digests (hex, like real SHA-256 prefixes).
+DIGESTS = [f"{i:08x}{'ab' * 28}" for i in range(24)]
+
+
+class TestAdmissionPolicies:
+    def test_admit_all(self, schedule):
+        assert admit_all("d", schedule, None)
+        assert admit_all("d", schedule, 0.0)
+
+    def test_cost_threshold_seconds(self, schedule):
+        policy = CostThresholdAdmission(min_seconds=1e-3)
+        assert policy("d", schedule, 1.0)
+        assert not policy("d", schedule, 1e-6)
+        # Unknown cost must not silently disable caching.
+        assert policy("d", schedule, None)
+
+    def test_cost_threshold_size(self, schedule):
+        policy = CostThresholdAdmission(min_size=schedule.size + 1)
+        assert not policy("d", schedule, 100.0)
+        policy = CostThresholdAdmission(min_size=schedule.size)
+        assert policy("d", schedule, 100.0)
+
+    def test_rejects_negative_thresholds(self):
+        with pytest.raises(ValueError):
+            CostThresholdAdmission(min_seconds=-1)
+        with pytest.raises(ValueError):
+            CostThresholdAdmission(min_size=-1)
+
+
+class TestShardIndex:
+    def test_stable_and_in_range(self):
+        for digest in DIGESTS:
+            i = shard_index(digest, 8)
+            assert 0 <= i < 8
+            assert shard_index(digest, 8) == i  # deterministic
+
+    def test_spreads_across_shards(self):
+        used = {shard_index(d, 8) for d in DIGESTS}
+        assert len(used) > 1  # 24 distinct prefixes cannot all collide
+
+
+class TestShardedScheduleCache:
+    def test_roundtrip_contains_len_clear(self, schedule):
+        cache = ShardedScheduleCache(maxsize=64, n_shards=4)
+        assert cache.get(DIGESTS[0]) is None
+        cache.put(DIGESTS[0], schedule, cost=1.0)
+        assert DIGESTS[0] in cache
+        assert cache.get(DIGESTS[0]) == schedule
+        assert len(cache) == 1
+        cache.put(DIGESTS[1], schedule)
+        assert set(cache.keys()) == {DIGESTS[0], DIGESTS[1]}
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            ShardedScheduleCache(n_shards=0)
+        with pytest.raises(ValueError):
+            ShardedScheduleCache(maxsize=0)
+
+    def test_admission_rejects_cheap_puts(self, schedule):
+        cache = ShardedScheduleCache(
+            maxsize=64, n_shards=4,
+            admission=CostThresholdAdmission(min_seconds=1.0),
+        )
+        cache.put(DIGESTS[0], schedule, cost=1e-6)  # too cheap: rejected
+        assert DIGESTS[0] not in cache
+        assert cache.rejected_puts == 1
+        cache.put(DIGESTS[1], schedule, cost=5.0)  # expensive: admitted
+        assert DIGESTS[1] in cache
+
+    def test_stats_rollup_matches_shards(self, schedule):
+        cache = ShardedScheduleCache(maxsize=64, n_shards=4)
+        for d in DIGESTS[:8]:
+            cache.put(d, schedule)
+        for d in DIGESTS[:8]:
+            assert cache.get(d) is not None
+        cache.get("f" * 64)  # miss
+        total = cache.stats
+        assert total.puts == 8
+        assert total.hits == 8
+        assert total.misses >= 1
+        per_shard = cache.per_shard_stats()
+        assert len(per_shard) == 4
+        assert sum(s["puts"] for s in per_shard) == 8
+        assert sum(s["entries"] for s in per_shard) == len(cache) == 8
+        json.dumps(cache.as_dict())  # must be JSON-ready
+        assert cache.as_dict()["n_shards"] == 4
+
+    def test_disk_tier_persists_per_shard(self, tmp_path, schedule):
+        root = tmp_path / "cache"
+        cache = ShardedScheduleCache(maxsize=16, n_shards=2, disk_dir=root)
+        cache.put(DIGESTS[0], schedule)
+        shard_dirs = sorted(p.name for p in root.iterdir())
+        assert shard_dirs and all(d.startswith("shard-") for d in shard_dirs)
+        # A fresh instance over the same directory serves the entry.
+        reborn = ShardedScheduleCache(maxsize=16, n_shards=2, disk_dir=root)
+        hit = reborn.get(DIGESTS[0])
+        assert hit == schedule
+        assert reborn.stats.disk_hits == 1
+
+    def test_single_shard_degenerates_cleanly(self, schedule):
+        cache = ShardedScheduleCache(maxsize=8, n_shards=1)
+        cache.put(DIGESTS[0], schedule)
+        assert cache.get(DIGESTS[0]) == schedule
+
+
+class TestAgreementProperty:
+    """Sharded and single-shard caches agree on any request stream."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["get", "put"]),
+                st.integers(min_value=0, max_value=len(DIGESTS) - 1),
+            ),
+            max_size=60,
+        ),
+        n_shards=st.integers(min_value=1, max_value=9),
+    )
+    def test_hit_miss_agreement(self, ops, n_shards, schedule):
+        # maxsize large enough that no evictions fire: eviction *locality*
+        # legitimately differs (per-shard LRU vs global LRU).
+        plain = ScheduleCache(maxsize=1024)
+        sharded = ShardedScheduleCache(maxsize=1024, n_shards=n_shards)
+        for op, idx in ops:
+            digest = DIGESTS[idx]
+            if op == "put":
+                plain.put(digest, schedule)
+                sharded.put(digest, schedule)
+            else:
+                assert (plain.get(digest) is None) == (
+                    sharded.get(digest) is None
+                )
+        assert len(plain) == len(sharded)
+        assert set(plain.keys()) == set(sharded.keys())
+        assert plain.stats.hits == sharded.stats.hits
+        assert plain.stats.misses == sharded.stats.misses
+        assert plain.stats.puts == sharded.stats.puts
+
+
+class TestServiceIntegration:
+    def test_sharded_service_caches_and_reports(self):
+        svc = RoutingService(cache_size=64, cache_shards=4)
+        grid = GridGraph(4, 4)
+        perm = random_permutation(grid, seed=1)
+        r1 = svc.submit(grid, perm)
+        r2 = svc.submit(grid, perm)
+        assert r1.source == "computed" and r2.source == "cache"
+        stats = svc.stats()
+        sched = stats["schedule_cache"]
+        assert sched["n_shards"] == 4
+        assert len(sched["shards"]) == 4
+        assert sched["hits"] >= 1
+        json.dumps(stats)
+
+    def test_admission_policy_via_service(self):
+        # An impossibly high threshold: nothing is ever cached, so the
+        # same request recomputes every time and rejected_puts grows.
+        svc = RoutingService(
+            cache_size=64,
+            cache_admission=CostThresholdAdmission(min_seconds=1e9),
+        )
+        grid = GridGraph(3, 3)
+        perm = random_permutation(grid, seed=0)
+        assert svc.submit(grid, perm).source == "computed"
+        assert svc.submit(grid, perm).source == "computed"
+        assert svc.stats()["schedule_cache"]["rejected_puts"] == 2
+
+    def test_batch_cli_equivalence_with_shards(self):
+        # The sharded cache is a drop-in: a batch through a sharded
+        # service matches the unsharded baseline result-for-result.
+        grid = GridGraph(4, 4)
+        reqs = [
+            (grid, random_permutation(grid, seed=s % 3)) for s in range(6)
+        ]
+        plain_svc = RoutingService(cache_size=64)
+        shard_svc = RoutingService(cache_size=64, cache_shards=8)
+        plain = plain_svc.submit_batch(reqs)
+        sharded = shard_svc.submit_batch(reqs)
+        assert [r.source for r in plain] == [r.source for r in sharded]
+        assert [r.depth for r in plain] == [r.depth for r in sharded]
