@@ -1,0 +1,159 @@
+"""HTTP front end vs UNIX-socket daemon: warm batch throughput.
+
+The acceptance bar for the HTTP facade is that it does not squander the
+daemon's warm-pool advantage: on the 200-request mixed workload (the
+same mix ``bench_async.py`` uses), a warm ``POST /v1/route_batch``
+round trip must land within **2x** of the NDJSON daemon's pipelined
+``DaemonClient.route_batch`` on the same requests. Both servers are
+real subprocesses (``repro serve --socket`` / ``repro serve --http``);
+each transport gets one warm-up pass (filling the schedule cache) and
+is then timed on a second pass served entirely warm, so the measurement
+isolates transport overhead, not routing time.
+
+Run standalone (``python benchmarks/bench_http.py``) for a report and
+the 2x assertion; ``--ci`` shrinks the workload and only fails on crash
+(CI gates on the benchmark *running*, not on shared-runner timing);
+``--out BENCH_http.json`` writes the numbers for artifact upload.
+Under pytest, a smoke-sized variant runs with a lenient threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket as socket_mod
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _common import make_parser, report, write_json
+from bench_async import _env_with_src, mixed_docs
+from repro.service import DaemonClient, wait_for_socket
+from repro.service.http import http_request, wait_for_http
+
+
+def _free_port() -> int:
+    s = socket_mod.socket()
+    s.bind(("127.0.0.1", 0))
+    port = s.getsockname()[1]
+    s.close()
+    return port
+
+
+def _spawn_server(args: list[str]) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *args, "--workers", "1"],
+        env=_env_with_src(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _time_unix(docs: list[dict], sock: str) -> float:
+    server = _spawn_server(["--socket", sock])
+    try:
+        wait_for_socket(sock, timeout=60.0)
+        with DaemonClient(sock) as client:
+            warm = client.route_batch(docs)  # fills the schedule cache
+            assert all(r.get("ok") for r in warm), "unix warm-up failed"
+            t0 = time.perf_counter()
+            responses = client.route_batch(docs)
+            elapsed = time.perf_counter() - t0
+            assert all(r.get("ok") for r in responses)
+            assert all(r.get("source") == "cache" for r in responses)
+            client.shutdown()
+        server.wait(timeout=60)
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+    return elapsed
+
+
+def _time_http(docs: list[dict], port: int) -> tuple[float, list[dict]]:
+    base = f"http://127.0.0.1:{port}"
+    server = _spawn_server(["--http", f"127.0.0.1:{port}"])
+    try:
+        wait_for_http(base, timeout=60.0)
+        payload = {"requests": docs}
+        status, body = http_request(base + "/v1/route_batch", payload)
+        assert status == 200 and body["ok"], "http warm-up failed"
+        t0 = time.perf_counter()
+        status, body = http_request(base + "/v1/route_batch", payload)
+        elapsed = time.perf_counter() - t0
+        assert status == 200 and body["ok"]
+        results = body["results"]
+        assert all(r.get("ok") for r in results)
+        # Warm pass: cache hits, plus in-batch duplicates deduplicated
+        # before the cache is consulted.
+        assert all(r.get("source") in ("cache", "dedup") for r in results)
+        status, _ = http_request(base + "/v1/shutdown", {})
+        assert status == 200
+        server.wait(timeout=60)
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+    return elapsed, results
+
+
+def bench_http_vs_unix(n_requests: int = 200) -> dict:
+    """Warm batch throughput: one HTTP POST vs one pipelined NDJSON pass."""
+    docs = mixed_docs(n_requests)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-http-") as tmp:
+        unix_seconds = _time_unix(docs, os.path.join(tmp, "repro.sock"))
+        http_seconds, _results = _time_http(docs, _free_port())
+    return {
+        "n_requests": n_requests,
+        "unix_seconds": unix_seconds,
+        "http_seconds": http_seconds,
+        "unix_req_per_s": n_requests / unix_seconds
+        if unix_seconds > 0 else float("inf"),
+        "http_req_per_s": n_requests / http_seconds
+        if http_seconds > 0 else float("inf"),
+        "http_over_unix": http_seconds / unix_seconds
+        if unix_seconds > 0 else float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (smoke-sized)
+# ----------------------------------------------------------------------
+def test_http_tracks_unix_daemon():
+    stats = bench_http_vs_unix(n_requests=40)
+    # Correctness is asserted inside the bench (all ok, all warm); the
+    # timing bound here is deliberately loose — the strict 2x gate is
+    # the standalone run's business, not a shared-runner flake source.
+    assert stats["http_req_per_s"] > 0
+    assert stats["http_over_unix"] < 25.0, stats
+
+
+# ----------------------------------------------------------------------
+# standalone report
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser(__doc__.splitlines()[0]).parse_args(argv)
+
+    n = 40 if args.ci else 200
+    stats = bench_http_vs_unix(n_requests=n)
+    report("warm HTTP batch vs warm UNIX-socket daemon", stats)
+    write_json({"ci": args.ci, "http_vs_unix": stats}, args.out)
+
+    ok = stats["http_over_unix"] <= 2.0
+    print(
+        f"\nHTTP within {stats['http_over_unix']:.2f}x of the UNIX daemon "
+        f"(<=2x required): {'PASS' if ok else 'FAIL'}"
+    )
+    if args.ci:
+        # The CI gate is "the benchmark runs and produces numbers";
+        # shared-runner timing is reported, not asserted.
+        return 0
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,11 +16,15 @@ Commands
     dedup, schedule caching and a process-pool worker fleet. With
     ``--daemon SOCKET`` the requests are shipped to a running ``repro
     serve`` daemon instead of a fresh local service, so repeated
-    invocations reuse one warm pool and cache.
+    invocations reuse one warm pool and cache; ``--http URL`` does the
+    same over a ``repro serve --http`` server (one ``POST
+    /v1/route_batch`` round trip).
 ``serve``
     Long-lived daemon speaking newline-delimited JSON over a UNIX
-    socket (``--socket``) or stdin/stdout (``--pipe``); see
-    :mod:`repro.service.daemon` for the protocol.
+    socket (``--socket``) or stdin/stdout (``--pipe``), or HTTP/JSON
+    (``--http HOST:PORT``, including Prometheus ``/metrics``); see
+    :mod:`repro.service.daemon` and :mod:`repro.service.http` for the
+    protocols.
 ``sweep``
     A small Figure-4/5 style sweep printed as tables with claim checks.
 ``info``
@@ -149,6 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
         "UNIX socket instead of routing locally (--workers/--cache-*/"
         "--warm/--verify are the daemon's business and ignored here)",
     )
+    p_batch.add_argument(
+        "--http",
+        metavar="URL",
+        help="send the requests to a running `repro serve --http` server "
+        "at this base URL (e.g. http://127.0.0.1:8347) via POST "
+        "/v1/route_batch; same ignored-flags caveat as --daemon",
+    )
 
     p_serve = sub.add_parser(
         "serve", help="long-lived routing daemon (NDJSON over a UNIX socket)"
@@ -161,6 +172,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--pipe",
         action="store_true",
         help="serve the protocol over stdin/stdout instead of a socket",
+    )
+    transport.add_argument(
+        "--http",
+        metavar="HOST:PORT",
+        help="serve HTTP/JSON on this address instead of NDJSON "
+        "(POST /v1/route[_batch], /v1/transpile_batch, GET /healthz, "
+        "/stats, /metrics)",
     )
     p_serve.add_argument(
         "--workers",
@@ -399,11 +417,59 @@ def _cmd_batch_daemon(args: argparse.Namespace) -> int:
     return 0 if n_err == 0 else 3
 
 
+def _cmd_batch_http(args: argparse.Namespace) -> int:
+    """The ``batch --http URL`` path: one POST /v1/route_batch round trip."""
+    from .service import http_request
+
+    docs = []
+    for lineno, doc in _read_request_docs(args.requests):
+        if not isinstance(doc, dict):
+            raise ReproError(f"request line {lineno}: expected a JSON object")
+        docs.append(doc)
+    out = _open_out(args.out)
+    base = args.http.rstrip("/")
+    t0 = time.perf_counter()
+    status, body = http_request(
+        base + "/v1/route_batch",
+        {"requests": docs, "include_schedule": bool(args.include_schedule)},
+    )
+    elapsed = time.perf_counter() - t0
+    if status != 200 or not isinstance(body, dict) or not body.get("ok"):
+        detail = body.get("error") if isinstance(body, dict) else body
+        raise ReproError(f"HTTP batch failed (status {status}): {detail}")
+    responses = body["results"]
+    stats = None
+    if args.stats:
+        stats_status, stats_body = http_request(base + "/stats")
+        if stats_status == 200 and isinstance(stats_body, dict):
+            stats = stats_body.get("stats")
+    try:
+        for resp in responses:
+            out.write(json.dumps(resp) + "\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    n_err = sum(1 for r in responses if not r.get("ok"))
+    rate = len(responses) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"batch: {len(responses)} requests in {elapsed:.3f}s "
+        f"({rate:.1f} req/s), {n_err} errors, via http {base}",
+        file=sys.stderr,
+    )
+    if stats is not None:
+        print(json.dumps(stats, indent=2), file=sys.stderr)
+    return 0 if n_err == 0 else 3
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .service import RoutingService, route_result_to_dict
 
+    if args.daemon and args.http:
+        raise ReproError("--daemon and --http are mutually exclusive")
     if args.daemon:
         return _cmd_batch_daemon(args)
+    if args.http:
+        return _cmd_batch_http(args)
 
     if args.cache_size <= 0:
         raise ReproError(f"--cache-size must be positive, got {args.cache_size}")
@@ -458,6 +524,22 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if n_err == 0 else 3
 
 
+def _parse_host_port(value: str) -> tuple[str, int]:
+    """Split a ``HOST:PORT`` CLI argument (host defaults to 127.0.0.1)."""
+    host, sep, port_text = value.rpartition(":")
+    if not sep:
+        host, port_text = "", value
+    try:
+        port = int(port_text)
+        if not (0 <= port <= 65535):
+            raise ValueError(port_text)
+    except ValueError:
+        raise ReproError(
+            f"--http expects HOST:PORT with a numeric port, got {value!r}"
+        ) from None
+    return host or "127.0.0.1", port
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """The ``serve`` daemon: warm pool + cache shared across clients."""
     import asyncio
@@ -475,6 +557,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"--max-concurrency must be positive, got {args.max_concurrency}"
         )
 
+    http_addr = _parse_host_port(args.http) if args.http else None
     admission = (
         CostThresholdAdmission(min_seconds=args.min_cache_seconds)
         if args.min_cache_seconds > 0
@@ -493,6 +576,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.warm:
         warmed = svc.service.warm_cache()
         print(f"warmed cache with {warmed} schedules", file=sys.stderr)
+    if http_addr is not None:
+        from .service import HttpRoutingServer
+
+        host, port = http_addr
+        server = HttpRoutingServer(svc, host=host, port=port)
+        print(f"repro daemon listening on http://{host}:{port}", file=sys.stderr)
+        asyncio.run(server.serve())
+        print("repro daemon stopped", file=sys.stderr)
+        return 0
     daemon = RoutingDaemon(svc)
     if args.pipe:
         asyncio.run(daemon.serve_pipe())

@@ -7,17 +7,28 @@ cache), :mod:`~repro.service.telemetry` (counters and latency
 histograms), :mod:`~repro.service.executor` (dedup + cache + process
 pool) — and :mod:`~repro.service.service` ties them into the
 :class:`RoutingService` facade that the CLI's ``batch`` subcommand and
-the benchmarks drive. On top of the facade sit the two always-on front
+the benchmarks drive. On top of the facade sit the always-on front
 ends: :mod:`~repro.service.aio` (:class:`AsyncRoutingService`, bounded
-concurrency + per-request timeouts) and :mod:`~repro.service.daemon`
-(``repro serve``: NDJSON over a UNIX socket or stdin/stdout, keeping
-the pool and caches warm across client invocations).
+concurrency + per-request timeouts), and — sharing one
+transport-agnostic dispatch surface, :mod:`~repro.service.handler` —
+the NDJSON daemon (:mod:`~repro.service.daemon`, ``repro serve`` over
+a UNIX socket or stdin/stdout) and the HTTP/JSON facade
+(:mod:`~repro.service.http`, ``repro serve --http``, including the
+Prometheus ``/metrics`` endpoint).
 """
 
 from .aio import AsyncRoutingService
 from .cache import CacheStats, LRUCache, ScheduleCache
-from .daemon import DaemonClient, RoutingDaemon, request_from_doc, wait_for_socket
+from .daemon import DaemonClient, RoutingDaemon, wait_for_socket
 from .executor import BatchExecutor, RouteRequest, RouteResult
+from .handler import (
+    ERROR_CODES,
+    RequestHandler,
+    render_prometheus,
+    request_from_doc,
+    transpile_request_from_doc,
+)
+from .http import HttpRoutingServer, http_request, wait_for_http
 from .sharding import (
     AdmissionPolicy,
     CostThresholdAdmission,
@@ -63,8 +74,15 @@ __all__ = [
     "AsyncRoutingService",
     "RoutingDaemon",
     "DaemonClient",
+    "RequestHandler",
+    "ERROR_CODES",
+    "render_prometheus",
     "request_from_doc",
+    "transpile_request_from_doc",
     "wait_for_socket",
+    "HttpRoutingServer",
+    "http_request",
+    "wait_for_http",
     "BatchExecutor",
     "RouteRequest",
     "RouteResult",

@@ -165,12 +165,18 @@ class ScheduleCache(LRUCache):
             return schedule_from_json(data.decode("utf-8"))
         except (UnicodeDecodeError, ScheduleError):
             # Corrupt entry: drop it so it is recomputed, not re-served.
-            with self._lock:
-                self.stats.disk_errors += 1
+            # Concurrent readers can race to this unlink; a file that is
+            # already gone was evicted (and counted) by the winner, so
+            # the loser tolerates the miss instead of crashing and does
+            # not double-count the eviction.
             try:
                 path.unlink()
+            except FileNotFoundError:
+                return None
             except OSError:
                 pass
+            with self._lock:
+                self.stats.disk_errors += 1
             return None
 
     def _disk_store(self, digest: str, schedule: Schedule) -> None:

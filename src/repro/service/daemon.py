@@ -43,15 +43,11 @@ import socket
 import sys
 import time
 from collections import deque
-from typing import Any, IO, Mapping, Sequence
+from typing import Any, Callable, IO, Mapping, Sequence
 
-from ..errors import ReproError
-from ..graphs.grid import GridGraph
-from ..perm.generators import make_workload
-from ..perm.permutation import Permutation
+from ..errors import DaemonDisconnectedError, ReproError
 from .aio import AsyncRoutingService
-from .executor import RouteRequest
-from .service import route_result_to_dict
+from .handler import RequestHandler, request_from_doc
 
 __all__ = [
     "RoutingDaemon",
@@ -69,42 +65,85 @@ DRAIN_GRACE_SECONDS = 10.0
 #: the worker pool without unbounded in-flight state.
 CONNECTION_WINDOW = 64
 
+#: Seconds a starting daemon waits for the socket bind lock before
+#: giving up (another daemon is mid-start on the same path, or a stale
+#: lock file with an unreadable pid is in the way).
+SOCKET_LOCK_TIMEOUT = 5.0
 
-def request_from_doc(doc: Mapping[str, Any]) -> RouteRequest:
-    """Build a :class:`RouteRequest` from a JSON request document.
 
-    The document needs ``rows``/``cols`` plus either an explicit
-    ``perm`` array or a ``workload`` name (with optional ``seed``), and
-    optionally ``router`` / ``options`` — the same shape the ``repro
-    batch`` request file uses.
+def _lock_is_stale(lock_path: str) -> bool:
+    """Whether a bind-lock file was left behind by a dead daemon.
+
+    The lock records its creator's pid; a pid that no longer exists
+    means the holder crashed between locking and unlocking. Unreadable
+    or mid-write (empty) files are treated as live — the waiter keeps
+    polling until its timeout rather than breaking a lock it cannot
+    attribute.
+    """
+    try:
+        with open(lock_path, "r", encoding="ascii") as fh:
+            pid = int(fh.read().strip())
+    except (OSError, ValueError):
+        return False
+    if pid <= 0:
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return True
+    except OSError:
+        return False  # e.g. PermissionError: alive, owned by someone else
+    return False
+
+
+@contextlib.contextmanager
+def _socket_bind_lock(path: str, timeout: float | None = None):
+    """Serialize the probe → unlink → bind sequence across daemons.
+
+    Two daemons starting concurrently on the same path can both probe a
+    stale socket file, both ``os.unlink`` it, and the later unlink
+    silently removes the earlier daemon's *freshly bound* socket
+    (TOCTOU). An ``O_CREAT|O_EXCL`` lock file next to the socket makes
+    the whole sequence mutually exclusive; a lock abandoned by a
+    crashed daemon is broken once its recorded pid is dead.
 
     Raises
     ------
     ReproError
-        On a malformed document (missing keys, bad grid, bad perm).
+        If the lock cannot be acquired before ``timeout``
+        (:data:`SOCKET_LOCK_TIMEOUT` by default) elapses.
     """
-    if not isinstance(doc, Mapping):
-        raise ReproError("expected a JSON object")
+    if timeout is None:
+        timeout = SOCKET_LOCK_TIMEOUT
+    lock_path = path + ".lock"
+    deadline = time.monotonic() + timeout
+    delay = 0.002
+    while True:
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            break
+        except FileExistsError:
+            if _lock_is_stale(lock_path):
+                try:
+                    os.unlink(lock_path)
+                    continue  # broke the stale lock; retry immediately
+                except OSError:
+                    pass  # cannot remove it: fall through to the timed wait
+            if time.monotonic() >= deadline:
+                raise ReproError(
+                    f"timed out waiting for socket lock {lock_path}; another "
+                    "daemon is starting on this path (delete the lock file "
+                    "if its owner is gone)"
+                ) from None
+            time.sleep(delay)
+            delay = min(delay * 2, 0.1)
     try:
-        rows, cols = int(doc["rows"]), int(doc["cols"])
-    except (KeyError, TypeError, ValueError):
-        raise ReproError("'rows' and 'cols' integers required") from None
-    grid = GridGraph(rows, cols)
-    if "perm" in doc:
-        perm = Permutation(doc["perm"])
-    elif "workload" in doc:
-        perm = make_workload(doc["workload"], grid, seed=doc.get("seed", 0))
-    else:
-        raise ReproError("needs 'perm' or 'workload'")
-    options = doc.get("options", {})
-    if not isinstance(options, Mapping):
-        raise ReproError("'options' must be a JSON object")
-    return RouteRequest(
-        graph=grid,
-        perm=perm,
-        router=str(doc.get("router", "local")),
-        options=dict(options),
-    )
+        os.write(fd, str(os.getpid()).encode("ascii"))
+        os.close(fd)
+        yield
+    finally:
+        with contextlib.suppress(OSError):
+            os.unlink(lock_path)
 
 
 class RoutingDaemon:
@@ -118,6 +157,7 @@ class RoutingDaemon:
 
     def __init__(self, service: AsyncRoutingService) -> None:
         self.service = service
+        self.handler = RequestHandler(service)
         self._stop: asyncio.Event | None = None
         self._active_connections = 0
         self._writers: set[asyncio.StreamWriter] = set()
@@ -126,50 +166,14 @@ class RoutingDaemon:
     # dispatch
     # ------------------------------------------------------------------
     async def _dispatch_line(self, line: str | bytes) -> dict[str, Any]:
-        """One request line -> one response document (never raises)."""
-        try:
-            doc = json.loads(line)
-            if not isinstance(doc, dict):
-                raise ValueError("expected a JSON object")
-        except (ValueError, UnicodeDecodeError) as exc:
-            return {"ok": False, "error": f"bad request: {exc}"}
-        op = doc.get("op", "route")
-        try:
-            if op == "ping":
-                resp: dict[str, Any] = {"ok": True, "op": "ping"}
-            elif op == "stats":
-                resp = {"ok": True, "op": "stats", "stats": self.service.stats()}
-            elif op == "shutdown":
-                resp = {"ok": True, "op": "shutdown"}
-            elif op == "route":
-                resp = await self._route(doc)
-            else:
-                resp = {"ok": False, "error": f"unknown op {op!r}"}
-        except ReproError as exc:
-            resp = {"ok": False, "op": op, "error": str(exc)}
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:  # noqa: BLE001 - one bad request, one error line
-            resp = {"ok": False, "op": op, "error": f"{type(exc).__name__}: {exc}"}
-        if "id" in doc:
-            resp["id"] = doc["id"]
-        return resp
+        """One request line -> one response document (never raises).
 
-    async def _route(self, doc: dict[str, Any]) -> dict[str, Any]:
-        req = request_from_doc(doc)
-        timeout = doc.get("timeout")
-        result = await self.service.submit_async(
-            req.graph,
-            req.perm,
-            router=req.router,
-            timeout=float(timeout) if timeout is not None else None,
-            **dict(req.options),
-        )
-        resp = route_result_to_dict(
-            result, include_schedule=bool(doc.get("include_schedule"))
-        )
-        resp["op"] = "route"
-        return resp
+        Delegates to the shared transport-agnostic
+        :class:`~repro.service.handler.RequestHandler`, which the HTTP
+        front end (:mod:`repro.service.http`) drives too — one dispatch
+        surface, two framings.
+        """
+        return await self.handler.dispatch_line(line)
 
     # ------------------------------------------------------------------
     # transports
@@ -277,7 +281,11 @@ class RoutingDaemon:
         A *stale* socket file at ``path`` (nothing listening) is
         removed first; a *live* one raises
         :class:`~repro.errors.ReproError` instead of silently hijacking
-        a running daemon's address. On shutdown the server stops
+        a running daemon's address. The probe → unlink → bind sequence
+        runs under an ``O_CREAT|O_EXCL`` lock file (``<path>.lock``) so
+        two daemons racing the same path cannot both remove the stale
+        file and silently steal each other's fresh bind. On shutdown
+        the server stops
         accepting, waits up to :data:`DRAIN_GRACE_SECONDS` for
         in-flight connections, then force-closes stragglers, removes
         the socket file and closes the service.
@@ -285,27 +293,29 @@ class RoutingDaemon:
         Raises
         ------
         ReproError
-            If another daemon is already listening on ``path``.
+            If another daemon is already listening on ``path``, or the
+            bind lock cannot be acquired.
         """
         path = os.fspath(path)
         stop = self._ensure_loop_state()
-        if os.path.exists(path):
-            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            try:
-                probe.settimeout(1.0)
-                probe.connect(path)
-            except OSError:
-                # Nothing answering: a stale file from a dead daemon.
-                with contextlib.suppress(OSError):
-                    os.unlink(path)
-            else:
-                raise ReproError(f"a daemon is already listening on {path}")
-            finally:
-                probe.close()
-        # 1 MiB line limit: room for explicit perms on very large grids.
-        server = await asyncio.start_unix_server(
-            self._handle_conn, path=path, limit=2**20
-        )
+        with _socket_bind_lock(path):
+            if os.path.exists(path):
+                probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                try:
+                    probe.settimeout(1.0)
+                    probe.connect(path)
+                except OSError:
+                    # Nothing answering: a stale file from a dead daemon.
+                    with contextlib.suppress(OSError):
+                        os.unlink(path)
+                else:
+                    raise ReproError(f"a daemon is already listening on {path}")
+                finally:
+                    probe.close()
+            # 1 MiB line limit: room for explicit perms on very large grids.
+            server = await asyncio.start_unix_server(
+                self._handle_conn, path=path, limit=2**20
+            )
         loop = asyncio.get_running_loop()
         installed: list[signal.Signals] = []
         for sig in (signal.SIGTERM, signal.SIGINT):
@@ -369,30 +379,61 @@ class RoutingDaemon:
 # ----------------------------------------------------------------------
 # client side
 # ----------------------------------------------------------------------
+def poll_with_backoff(
+    probe: Callable[[], bool], timeout: float, describe: str, cap: float = 0.5
+) -> None:
+    """Run ``probe`` with exponential backoff until truthy or timeout.
+
+    One implementation of the wait-for-a-server loop, shared by
+    :func:`wait_for_socket` and
+    :func:`~repro.service.http.wait_for_http`: 2 ms doubling to
+    ``cap``, clamped to the remaining budget, so a fast server start is
+    noticed in milliseconds while a slow one is not hammered.
+
+    Raises
+    ------
+    ReproError
+        If ``probe`` never returns truthy before ``timeout`` elapses;
+        the message leads with ``describe`` and names the elapsed wait.
+    """
+    t0 = time.monotonic()
+    deadline = t0 + timeout
+    delay = 0.002
+    while True:
+        if probe():
+            return
+        now = time.monotonic()
+        if now >= deadline:
+            raise ReproError(
+                f"{describe} after {now - t0:.1f}s (timeout {timeout}s)"
+            )
+        time.sleep(min(delay, max(deadline - now, 0.0)))
+        delay = min(delay * 2, cap)
+
+
 def wait_for_socket(path: str | os.PathLike, timeout: float = 10.0) -> None:
     """Block until a daemon accepts connections on ``path``.
 
     Raises
     ------
     ReproError
-        If nothing is listening before ``timeout`` elapses.
+        If nothing is listening before ``timeout`` elapses; the message
+        names the path and the elapsed wait.
     """
     path = os.fspath(path)
-    deadline = time.monotonic() + timeout
-    while True:
+
+    def probe() -> bool:
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         try:
             sock.settimeout(1.0)
             sock.connect(path)
-            return
+            return True
         except OSError:
-            if time.monotonic() >= deadline:
-                raise ReproError(
-                    f"no daemon listening on {path} after {timeout}s"
-                ) from None
-            time.sleep(0.05)
+            return False
         finally:
             sock.close()
+
+    poll_with_backoff(probe, timeout, f"no daemon listening on {path}")
 
 
 class DaemonClient:
@@ -405,6 +446,11 @@ class DaemonClient:
     Responses on one connection arrive in request order, so
     :meth:`route_batch` pipelines a window of requests ahead of the
     reads instead of paying a round-trip per request.
+
+    A connection that dies mid-request (daemon killed, socket reset)
+    raises :class:`~repro.errors.DaemonDisconnectedError` and marks the
+    client disconnected, so the *next* call transparently reconnects
+    instead of writing into a dead socket forever.
     """
 
     def __init__(self, socket_path: str | os.PathLike, timeout: float = 300.0) -> None:
@@ -428,14 +474,36 @@ class DaemonClient:
         self._sock = sock
         self._file = sock.makefile("rwb")
 
+    def _disconnected(self, detail: str) -> DaemonDisconnectedError:
+        """Drop the dead connection; the next call will reconnect."""
+        self.close()
+        return DaemonDisconnectedError(
+            f"daemon at {self.socket_path} {detail}; the connection has "
+            "been dropped and the next request will reconnect"
+        )
+
     def _send(self, doc: Mapping[str, Any]) -> None:
         self._ensure_connected()
-        self._file.write((json.dumps(dict(doc)) + "\n").encode("utf-8"))
+        try:
+            self._file.write((json.dumps(dict(doc)) + "\n").encode("utf-8"))
+        except OSError as exc:
+            raise self._disconnected(f"went away mid-send ({exc})") from exc
+
+    def _flush(self) -> None:
+        try:
+            self._file.flush()
+        except OSError as exc:
+            raise self._disconnected(f"went away mid-send ({exc})") from exc
 
     def _recv(self) -> dict[str, Any]:
-        line = self._file.readline()
+        try:
+            line = self._file.readline()
+        except OSError as exc:
+            raise self._disconnected(f"died mid-request ({exc})") from exc
         if not line:
-            raise ReproError("daemon closed the connection")
+            # Half-open connection: the daemon died (or force-closed us)
+            # between our send and its response.
+            raise self._disconnected("closed the connection mid-request")
         resp = json.loads(line)
         if not isinstance(resp, dict):
             raise ReproError(f"malformed daemon response: {resp!r}")
@@ -444,7 +512,7 @@ class DaemonClient:
     def request(self, doc: Mapping[str, Any]) -> dict[str, Any]:
         """One request, one response."""
         self._send(doc)
-        self._file.flush()
+        self._flush()
         return self._recv()
 
     def ping(self) -> bool:
@@ -485,7 +553,7 @@ class DaemonClient:
             while sent < len(docs) and sent - len(responses) < window:
                 self._send({**dict(docs[sent]), "op": "route"})
                 sent += 1
-            self._file.flush()
+            self._flush()
             responses.append(self._recv())
         return responses
 

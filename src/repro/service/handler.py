@@ -1,0 +1,454 @@
+"""Transport-agnostic request handling shared by every service front end.
+
+The NDJSON daemon (:mod:`repro.service.daemon`) and the HTTP facade
+(:mod:`repro.service.http`) accept the same JSON request documents and
+must answer with the same response documents — the only thing that
+differs is the framing (one line per request vs. an HTTP message). The
+:class:`RequestHandler` owns everything between the two framings:
+document validation, op dispatch onto an
+:class:`~repro.service.aio.AsyncRoutingService`, error isolation, and
+the stable machine-readable error codes both transports expose.
+
+Error codes (the ``"code"`` field on ``"ok": false`` responses):
+
+==================== ==================================================
+``bad_json``         The payload was not a JSON object.
+``bad_request``      A well-formed JSON object that fails validation
+                     (missing ``rows``/``cols``, bad perm, bad option
+                     types, ...).
+``unknown_op``       The ``op`` field names no known operation.
+``timeout``          The request exceeded its per-request timeout.
+``route_error``      Routing itself failed for this instance.
+``transpile_error``  Transpilation failed for this instance.
+``internal``         An unexpected server-side failure (isolated per
+                     request; the connection survives).
+==================== ==================================================
+
+Successful responses never carry ``code``. Batch entries keep the batch
+error-isolation contract: a bad entry yields an ``"ok": false`` entry in
+its slot, never a failure of the surrounding batch.
+
+This module also renders the service's :meth:`stats` document as
+Prometheus text exposition format (:func:`render_prometheus`) for the
+HTTP ``/metrics`` endpoint and the NDJSON ``metrics`` op.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Mapping, Sequence
+
+from ..errors import ReproError
+from ..graphs.grid import GridGraph
+from ..perm.generators import make_workload
+from ..perm.permutation import Permutation
+from .aio import AsyncRoutingService
+from .executor import RouteRequest
+from .service import (
+    TranspileRequest,
+    route_result_to_dict,
+    transpile_outcome_to_dict,
+)
+
+__all__ = [
+    "ERROR_CODES",
+    "RequestHandler",
+    "error_doc",
+    "render_prometheus",
+    "request_from_doc",
+    "transpile_request_from_doc",
+]
+
+#: The stable error codes with one-line meanings (documentation and
+#: introspection; the authoritative list is the module docstring table).
+ERROR_CODES: dict[str, str] = {
+    "bad_json": "payload was not a JSON object",
+    "bad_request": "request document failed validation",
+    "unknown_op": "no such operation",
+    "timeout": "request exceeded its timeout",
+    "route_error": "routing failed for this instance",
+    "transpile_error": "transpilation failed for this instance",
+    "internal": "unexpected server-side failure",
+}
+
+
+def error_doc(code: str, message: str, op: str | None = None) -> dict[str, Any]:
+    """A failed response document with a stable machine-readable code."""
+    doc: dict[str, Any] = {"ok": False, "code": code, "error": message}
+    if op is not None:
+        doc["op"] = op
+    return doc
+
+
+def request_from_doc(doc: Mapping[str, Any]) -> RouteRequest:
+    """Build a :class:`RouteRequest` from a JSON request document.
+
+    The document needs ``rows``/``cols`` plus either an explicit
+    ``perm`` array or a ``workload`` name (with optional ``seed``), and
+    optionally ``router`` / ``options`` — the same shape the ``repro
+    batch`` request file uses.
+
+    Raises
+    ------
+    ReproError
+        On a malformed document (missing keys, bad grid, bad perm).
+    """
+    if not isinstance(doc, Mapping):
+        raise ReproError("expected a JSON object")
+    try:
+        rows, cols = int(doc["rows"]), int(doc["cols"])
+    except (KeyError, TypeError, ValueError):
+        raise ReproError("'rows' and 'cols' integers required") from None
+    grid = GridGraph(rows, cols)
+    if "perm" in doc:
+        try:
+            perm = Permutation(doc["perm"])
+        except ReproError:
+            raise
+        except (TypeError, ValueError) as exc:
+            # Bad element types surface as numpy coercion errors; keep
+            # the validation contract (ReproError on malformed docs).
+            raise ReproError(f"bad 'perm': {exc}") from None
+    elif "workload" in doc:
+        perm = make_workload(doc["workload"], grid, seed=doc.get("seed", 0))
+    else:
+        raise ReproError("needs 'perm' or 'workload'")
+    options = doc.get("options", {})
+    if not isinstance(options, Mapping):
+        raise ReproError("'options' must be a JSON object")
+    return RouteRequest(
+        graph=grid,
+        perm=perm,
+        router=str(doc.get("router", "local")),
+        options=dict(options),
+    )
+
+
+def transpile_request_from_doc(doc: Mapping[str, Any]) -> TranspileRequest:
+    """Build a :class:`TranspileRequest` from a JSON request document.
+
+    The document needs ``qasm`` (OpenQASM 2 text) and ``rows``/``cols``,
+    and optionally ``router`` / ``mapping`` / ``seed`` / ``completion``
+    / ``options``.
+
+    Raises
+    ------
+    ReproError
+        On a malformed document.
+    """
+    if not isinstance(doc, Mapping):
+        raise ReproError("expected a JSON object")
+    qasm = doc.get("qasm")
+    if not isinstance(qasm, str) or not qasm.strip():
+        raise ReproError("'qasm' OpenQASM 2 text required")
+    try:
+        rows, cols = int(doc["rows"]), int(doc["cols"])
+    except (KeyError, TypeError, ValueError):
+        raise ReproError("'rows' and 'cols' integers required") from None
+    options = doc.get("options", {})
+    if not isinstance(options, Mapping):
+        raise ReproError("'options' must be a JSON object")
+    try:
+        seed = int(doc.get("seed", 0))
+    except (TypeError, ValueError):
+        raise ReproError("'seed' must be an integer") from None
+    return TranspileRequest(
+        qasm=qasm,
+        graph=GridGraph(rows, cols),
+        router=str(doc.get("router", "local")),
+        mapping=str(doc.get("mapping", "identity")),
+        seed=seed,
+        completion=str(doc.get("completion", "minimal")),
+        options=dict(options),
+    )
+
+
+def _timeout_from_doc(doc: Mapping[str, Any]) -> float | None:
+    """The optional per-request ``timeout`` field, validated.
+
+    Raises
+    ------
+    ReproError
+        When the field is present but not a number — a validation
+        failure (``bad_request``), not an internal error.
+    """
+    timeout = doc.get("timeout")
+    if timeout is None:
+        return None
+    try:
+        return float(timeout)
+    except (TypeError, ValueError):
+        raise ReproError(f"'timeout' must be a number, got {timeout!r}") from None
+
+
+class RequestHandler:
+    """One request document in, one response document out — any transport.
+
+    Wraps an :class:`AsyncRoutingService`; never raises from its public
+    coroutines (failures come back as ``"ok": false`` documents with a
+    stable ``code``), except for ``asyncio.CancelledError``, which
+    always propagates so transports can tear connections down cleanly.
+    """
+
+    def __init__(self, service: AsyncRoutingService) -> None:
+        self.service = service
+
+    @property
+    def telemetry(self):
+        """The wrapped service's telemetry registry."""
+        return self.service.telemetry
+
+    # ------------------------------------------------------------------
+    # op dispatch (the NDJSON surface)
+    # ------------------------------------------------------------------
+    async def dispatch_line(self, line: str | bytes) -> dict[str, Any]:
+        """One raw request line -> one response document (never raises)."""
+        try:
+            doc = json.loads(line)
+            if not isinstance(doc, dict):
+                raise ValueError("expected a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return error_doc("bad_json", f"bad request: {exc}")
+        return await self.dispatch(doc)
+
+    async def dispatch(self, doc: dict[str, Any]) -> dict[str, Any]:
+        """Dispatch one request document by ``op`` (default ``route``)."""
+        op = doc.get("op", "route")
+        try:
+            if op == "ping":
+                resp: dict[str, Any] = {"ok": True, "op": "ping"}
+            elif op == "stats":
+                resp = {"ok": True, "op": "stats", "stats": self.service.stats()}
+            elif op == "metrics":
+                resp = {
+                    "ok": True,
+                    "op": "metrics",
+                    "metrics": self.prometheus_metrics(),
+                }
+            elif op == "shutdown":
+                resp = {"ok": True, "op": "shutdown"}
+            elif op == "route":
+                resp = await self.route_doc(doc)
+            elif op == "transpile":
+                resp = await self.transpile_doc(doc)
+            else:
+                resp = error_doc("unknown_op", f"unknown op {op!r}")
+        except ReproError as exc:
+            resp = error_doc("bad_request", str(exc), op=str(op))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - one bad request, one error doc
+            resp = error_doc("internal", f"{type(exc).__name__}: {exc}", op=str(op))
+        if "id" in doc:
+            resp["id"] = doc["id"]
+        return resp
+
+    # ------------------------------------------------------------------
+    # single-request ops
+    # ------------------------------------------------------------------
+    async def route_doc(self, doc: Mapping[str, Any]) -> dict[str, Any]:
+        """Route one request document into one response document.
+
+        Raises :class:`ReproError` on a malformed document (callers go
+        through :meth:`dispatch` or catch it themselves); routing
+        failures come back as ``"ok": false`` result documents.
+        """
+        req = request_from_doc(doc)
+        result = await self.service.submit_async(
+            req.graph,
+            req.perm,
+            router=req.router,
+            timeout=_timeout_from_doc(doc),
+            **dict(req.options),
+        )
+        resp = route_result_to_dict(
+            result, include_schedule=bool(doc.get("include_schedule"))
+        )
+        resp["op"] = "route"
+        return _attach_result_code(resp, "route_error")
+
+    async def transpile_doc(self, doc: Mapping[str, Any]) -> dict[str, Any]:
+        """Transpile one request document into one response document."""
+        req = transpile_request_from_doc(doc)
+        include_qasm = bool(doc.get("include_qasm"))
+        outcomes = await self.service.transpile_batch_async(
+            [req], include_qasm=include_qasm, timeout=_timeout_from_doc(doc)
+        )
+        resp = transpile_outcome_to_dict(outcomes[0])
+        resp["op"] = "transpile"
+        return _attach_result_code(resp, "transpile_error")
+
+    # ------------------------------------------------------------------
+    # batch ops (the HTTP surface)
+    # ------------------------------------------------------------------
+    async def route_batch_docs(
+        self,
+        docs: Sequence[Any],
+        include_schedule: bool = False,
+        timeout: float | None = None,
+    ) -> list[dict[str, Any]]:
+        """Route many request documents; results are index-aligned.
+
+        A malformed entry yields a ``bad_request`` document in its slot
+        — the rest of the batch still routes (error isolation).
+        """
+        entries: list[dict[str, Any] | None] = [None] * len(docs)
+        requests: list[RouteRequest] = []
+        positions: list[int] = []
+        for i, doc in enumerate(docs):
+            try:
+                requests.append(request_from_doc(doc))
+                positions.append(i)
+            except Exception as exc:  # noqa: BLE001 - isolate per entry
+                entries[i] = _entry_error(i, exc, op="route")
+        if requests:
+            results = await self.service.submit_batch_async(
+                requests, timeout=timeout
+            )
+            for i, result in zip(positions, results):
+                resp = route_result_to_dict(
+                    result, include_schedule=include_schedule
+                )
+                resp["op"] = "route"
+                entries[i] = _attach_result_code(resp, "route_error")
+        return [entry for entry in entries if entry is not None]
+
+    async def transpile_batch_docs(
+        self,
+        docs: Sequence[Any],
+        include_qasm: bool = False,
+        timeout: float | None = None,
+    ) -> list[dict[str, Any]]:
+        """Transpile many request documents; semantics mirror routing."""
+        entries: list[dict[str, Any] | None] = [None] * len(docs)
+        requests: list[TranspileRequest] = []
+        positions: list[int] = []
+        for i, doc in enumerate(docs):
+            try:
+                requests.append(transpile_request_from_doc(doc))
+                positions.append(i)
+            except Exception as exc:  # noqa: BLE001 - isolate per entry
+                entries[i] = _entry_error(i, exc, op="transpile")
+        if requests:
+            outcomes = await self.service.transpile_batch_async(
+                requests, include_qasm=include_qasm, timeout=timeout
+            )
+            for i, outcome in zip(positions, outcomes):
+                resp = transpile_outcome_to_dict(outcome)
+                resp["op"] = "transpile"
+                entries[i] = _attach_result_code(resp, "transpile_error")
+        return [entry for entry in entries if entry is not None]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """The wrapped service's stats document."""
+        return self.service.stats()
+
+    def prometheus_metrics(self) -> str:
+        """The stats document as Prometheus text exposition format."""
+        return render_prometheus(self.service.stats())
+
+
+def _entry_error(index: int, exc: Exception, op: str) -> dict[str, Any]:
+    """One failed batch entry: validation -> ``bad_request``, else
+    ``internal`` — but never a failure of the surrounding batch."""
+    if isinstance(exc, ReproError):
+        return error_doc("bad_request", f"request {index}: {exc}", op=op)
+    return error_doc(
+        "internal", f"request {index}: {type(exc).__name__}: {exc}", op=op
+    )
+
+
+def _attach_result_code(resp: dict[str, Any], failure_code: str) -> dict[str, Any]:
+    """Stamp a stable error code onto a failed per-request result doc."""
+    if not resp.get("ok"):
+        error = resp.get("error") or ""
+        resp["code"] = "timeout" if error.startswith("TimeoutError") else failure_code
+    return resp
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_label(value: str) -> str:
+    """Escape a label value per the exposition-format rules."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+_CACHE_COUNTER_FIELDS = (
+    "hits",
+    "misses",
+    "evictions",
+    "puts",
+    "disk_hits",
+    "disk_writes",
+    "disk_errors",
+    "rejected_puts",
+)
+_CACHE_GAUGE_FIELDS = ("entries", "maxsize", "hit_rate", "n_shards")
+
+#: Summary quantiles exported per latency histogram: stats-doc key ->
+#: Prometheus ``quantile`` label.
+_QUANTILES = (("p50_seconds", "0.5"), ("p95_seconds", "0.95"), ("p99_seconds", "0.99"))
+
+
+def render_prometheus(stats: Mapping[str, Any]) -> str:
+    """Render a ``RoutingService.stats()`` document as Prometheus text.
+
+    Telemetry counters become ``repro_counter_total{name=...}``,
+    latency histograms become ``repro_latency_seconds`` summaries
+    (bucket-resolution quantiles, exact sum/count), and the cache
+    sections become ``repro_<cache>_<field>`` counters and gauges.
+    The output conforms to text exposition format version 0.0.4.
+    """
+    lines: list[str] = []
+    telemetry = stats.get("telemetry") or {}
+
+    counters = telemetry.get("counters") or {}
+    lines.append("# HELP repro_counter_total Service event counters by name.")
+    lines.append("# TYPE repro_counter_total counter")
+    for name in sorted(counters):
+        lines.append(
+            f'repro_counter_total{{name="{_prom_label(str(name))}"}} {counters[name]}'
+        )
+
+    latency = telemetry.get("latency") or {}
+    lines.append("# HELP repro_latency_seconds Operation latency summaries.")
+    lines.append("# TYPE repro_latency_seconds summary")
+    for name in sorted(latency):
+        hist = latency[name]
+        label = _prom_label(str(name))
+        for key, quantile in _QUANTILES:
+            if key in hist:
+                lines.append(
+                    f'repro_latency_seconds{{op="{label}",quantile="{quantile}"}} '
+                    f"{hist[key]}"
+                )
+        lines.append(
+            f'repro_latency_seconds_sum{{op="{label}"}} '
+            f"{hist.get('total_seconds', 0.0)}"
+        )
+        lines.append(
+            f'repro_latency_seconds_count{{op="{label}"}} {hist.get("count", 0)}'
+        )
+
+    for section in ("schedule_cache", "transpile_cache"):
+        cache = stats.get(section) or {}
+        prefix = f"repro_{section}"
+        for fld in _CACHE_COUNTER_FIELDS:
+            if fld in cache:
+                lines.append(f"# TYPE {prefix}_{fld}_total counter")
+                lines.append(f"{prefix}_{fld}_total {cache[fld]}")
+        for fld in _CACHE_GAUGE_FIELDS:
+            if fld in cache:
+                lines.append(f"# TYPE {prefix}_{fld} gauge")
+                lines.append(f"{prefix}_{fld} {cache[fld]}")
+
+    max_workers = stats.get("max_workers")
+    if isinstance(max_workers, int):
+        lines.append("# TYPE repro_max_workers gauge")
+        lines.append(f"repro_max_workers {max_workers}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,543 @@
+"""HTTP/1.1 JSON facade over the routing service (stdlib asyncio only).
+
+The NDJSON daemon caps the service at one machine: UNIX sockets have no
+remote clients. :class:`HttpRoutingServer` exposes the same
+:class:`~repro.service.handler.RequestHandler` documents over HTTP so
+any host (or load balancer) can reach a warm routing pool, mirroring
+how production compiler stacks package routing passes as services.
+
+Endpoints
+---------
+``POST /v1/route``
+    One request document (same shape as a ``repro batch`` line, see
+    :func:`~repro.service.handler.request_from_doc`) -> one result
+    document.
+``POST /v1/route_batch``
+    ``{"requests": [...], "include_schedule": false, "timeout": null}``
+    -> ``{"ok": true, "count": N, "results": [...]}``; per-entry errors
+    are isolated into their slots.
+``POST /v1/transpile_batch``
+    ``{"requests": [...], "include_qasm": false}`` over transpile
+    documents (``qasm`` + ``rows``/``cols`` + options).
+``POST /v1/shutdown``
+    Ask the server to drain and exit (the HTTP analogue of the NDJSON
+    ``shutdown`` op; SIGTERM does the same).
+``GET /healthz``
+    Liveness: ``{"ok": true, "status": "serving"|"draining"}``.
+``GET /stats``
+    ``{"ok": true, "stats": {...}}`` — the service stats document.
+``GET /metrics``
+    Prometheus text exposition format (version 0.0.4).
+
+Protocol behaviour: requests need ``Content-Length`` (chunked bodies
+are refused with 411), bodies above ``max_body_bytes`` are refused with
+413, connections are keep-alive by default (``Connection: close`` and
+HTTP/1.0 semantics honoured), and SIGTERM/SIGINT trigger a graceful
+drain — stop accepting, answer everything in flight (bounded by
+:data:`~repro.service.daemon.DRAIN_GRACE_SECONDS`), then close the
+service. Protocol-level failures use the stable error codes of
+:mod:`repro.service.handler` plus ``bad_http``, ``length_required``,
+``payload_too_large``, ``not_found`` and ``method_not_allowed``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+from ..errors import ReproError
+from .aio import AsyncRoutingService
+from .daemon import DRAIN_GRACE_SECONDS, poll_with_backoff
+from .handler import RequestHandler, error_doc
+
+__all__ = [
+    "HttpRoutingServer",
+    "MAX_BODY_BYTES",
+    "http_request",
+    "wait_for_http",
+]
+
+#: Default per-request body-size limit (bytes). Generous enough for a
+#: batch of explicit perms on large grids, small enough that one client
+#: cannot balloon the server's memory.
+MAX_BODY_BYTES = 8 * 2**20
+
+#: Maximum accepted size of a request line + headers (bytes).
+MAX_HEADER_BYTES = 32 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_JSON = "application/json"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _HttpError(Exception):
+    """A protocol-level failure mapped straight to a status + error doc."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+def _status_for(resp: Mapping[str, Any]) -> int:
+    """HTTP status for a handler response document.
+
+    Validation failures are client errors; per-request routing/timeout
+    failures are *results* (the request was processed) and stay 200,
+    matching the batch error-isolation contract.
+    """
+    if resp.get("ok"):
+        return 200
+    code = resp.get("code")
+    if code in ("bad_json", "bad_request", "unknown_op"):
+        return 400
+    if code == "internal":
+        return 500
+    return 200
+
+
+class HttpRoutingServer:
+    """Serve a :class:`RequestHandler` over HTTP/1.1 on a TCP port.
+
+    Parameters
+    ----------
+    service:
+        The :class:`AsyncRoutingService` to expose. Closed on exit via
+        :meth:`AsyncRoutingService.aclose` (which leaves borrowed
+        services open).
+    host, port:
+        Listen address. ``port=0`` picks a free port; the bound port is
+        published on :attr:`bound_port` once listening.
+    max_body_bytes:
+        Per-request body-size limit (413 above it).
+    """
+
+    def __init__(
+        self,
+        service: AsyncRoutingService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_body_bytes: int = MAX_BODY_BYTES,
+    ) -> None:
+        if max_body_bytes <= 0:
+            raise ValueError(f"max_body_bytes must be positive, got {max_body_bytes}")
+        self.service = service
+        self.handler = RequestHandler(service)
+        self.host = host
+        self.port = port
+        self.max_body_bytes = max_body_bytes
+        #: The actually bound port, set once the server is listening
+        #: (useful with ``port=0``); ``None`` before start and after stop.
+        self.bound_port: int | None = None
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._active_connections = 0
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to drain and exit (thread-safe)."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(stop.set)
+
+    async def serve(self) -> None:
+        """Listen until a shutdown request or signal, then drain and exit.
+
+        Installs SIGTERM/SIGINT handlers when running on the main thread
+        (a supervised deployment stops the server with SIGTERM); on
+        shutdown the listener closes first, in-flight requests get up to
+        :data:`~repro.service.daemon.DRAIN_GRACE_SECONDS` to finish,
+        stragglers are force-closed, and the service is closed last.
+        """
+        self._stop = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        server = await asyncio.start_server(
+            self._handle_conn, host=self.host, port=self.port, limit=MAX_HEADER_BYTES
+        )
+        self.bound_port = server.sockets[0].getsockname()[1]
+        installed: list[signal.Signals] = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(sig, self._stop.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or unsupported platform
+        try:
+            await self._stop.wait()
+        finally:
+            for sig in installed:
+                with contextlib.suppress(Exception):
+                    self._loop.remove_signal_handler(sig)
+            server.close()
+            await server.wait_closed()
+            await self._drain()
+            self.bound_port = None
+            await self.service.aclose()
+
+    async def _drain(self) -> None:
+        """Wait for in-flight connections, then force-close stragglers."""
+        deadline = time.monotonic() + DRAIN_GRACE_SECONDS
+        while self._active_connections > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection: sequential keep-alive request/response cycles."""
+        assert self._stop is not None
+        self._active_connections += 1
+        self._writers.add(writer)
+        self.handler.telemetry.incr("http_connections")
+        try:
+            while not self._stop.is_set():
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    # Framing is broken or refused; answer and hang up.
+                    await self._write_response(
+                        writer,
+                        exc.status,
+                        error_doc(exc.code, exc.message),
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break  # EOF between requests, or stop while idle
+                method, path, body, keep_alive = request
+                status, payload, content_type = await self._respond(
+                    method, path, body
+                )
+                if self._stop.is_set():
+                    keep_alive = False  # draining: answer, then close
+                await self._write_response(
+                    writer, status, payload, content_type, keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (OSError, ValueError, asyncio.IncompleteReadError):
+            pass  # client went away mid-message
+        finally:
+            self._active_connections -= 1
+            self._writers.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _read_line(self, reader: asyncio.StreamReader) -> bytes:
+        """One header line, or ``b""`` when stop fires while idle."""
+        assert self._stop is not None
+        line_task = asyncio.ensure_future(reader.readline())
+        stop_task = asyncio.ensure_future(self._stop.wait())
+        try:
+            await asyncio.wait(
+                {line_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if line_task.done():
+                return line_task.result()
+            line_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await line_task
+            return b""
+        finally:
+            stop_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await stop_task
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes, bool] | None:
+        """Parse one request: ``(method, path, body, keep_alive)``.
+
+        Returns ``None`` on a clean end of connection; raises
+        :class:`_HttpError` on anything refused at the protocol level.
+        """
+        try:
+            raw = await self._read_line(reader)
+        except ValueError as exc:  # request line over the stream limit
+            raise _HttpError(400, "bad_http", f"request line too long: {exc}") from None
+        if not raw:
+            return None
+        parts = raw.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _HttpError(
+                400, "bad_http", f"malformed request line: {raw[:120]!r}"
+            )
+        method, target, version = parts[0].upper(), parts[1], parts[2]
+
+        headers: dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            try:
+                hline = await reader.readline()
+            except ValueError as exc:
+                raise _HttpError(400, "bad_http", f"header too long: {exc}") from None
+            if not hline:
+                return None  # connection died mid-headers
+            header_bytes += len(hline)
+            if header_bytes > MAX_HEADER_BYTES:
+                raise _HttpError(400, "bad_http", "header section too large")
+            text = hline.decode("latin-1").strip()
+            if not text:
+                break
+            name, _, value = text.partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        keep_alive = version != "HTTP/1.0"
+        connection = headers.get("connection", "").lower()
+        if "close" in connection:
+            keep_alive = False
+        elif version == "HTTP/1.0" and "keep-alive" in connection:
+            keep_alive = True
+
+        body = b""
+        if method in ("POST", "PUT"):
+            if "transfer-encoding" in headers:
+                raise _HttpError(
+                    411,
+                    "length_required",
+                    "chunked bodies are not supported; send Content-Length",
+                )
+            length = headers.get("content-length")
+            if length is None:
+                raise _HttpError(411, "length_required", "Content-Length required")
+            try:
+                n = int(length)
+                if n < 0:
+                    raise ValueError(length)
+            except ValueError:
+                raise _HttpError(
+                    400, "bad_http", f"bad Content-Length {length!r}"
+                ) from None
+            if n > self.max_body_bytes:
+                raise _HttpError(
+                    413,
+                    "payload_too_large",
+                    f"body of {n} bytes exceeds the {self.max_body_bytes}-byte limit",
+                )
+            body = await reader.readexactly(n)
+        path = target.split("?", 1)[0]
+        return method, path, body, keep_alive
+
+    # ------------------------------------------------------------------
+    # routing table
+    # ------------------------------------------------------------------
+    async def _respond(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, Any, str]:
+        """Dispatch one parsed request to ``(status, payload, content_type)``."""
+        assert self._stop is not None
+        self.handler.telemetry.incr("http_requests")
+        if path == "/healthz":
+            if method != "GET":
+                return self._method_not_allowed(method, path)
+            status_word = "draining" if self._stop.is_set() else "serving"
+            return 200, {"ok": True, "status": status_word}, _JSON
+        if path == "/stats":
+            if method != "GET":
+                return self._method_not_allowed(method, path)
+            return 200, {"ok": True, "stats": self.handler.stats()}, _JSON
+        if path == "/metrics":
+            if method != "GET":
+                return self._method_not_allowed(method, path)
+            return 200, self.handler.prometheus_metrics(), _PROM
+        if path == "/v1/shutdown":
+            if method != "POST":
+                return self._method_not_allowed(method, path)
+            self._stop.set()
+            return 200, {"ok": True, "op": "shutdown"}, _JSON
+        if path == "/v1/route":
+            if method != "POST":
+                return self._method_not_allowed(method, path)
+            doc, err = self._parse_body(body)
+            if err is not None:
+                return 400, err, _JSON
+            resp = await self.handler.dispatch({**doc, "op": "route"})
+            return _status_for(resp), resp, _JSON
+        if path == "/v1/route_batch":
+            if method != "POST":
+                return self._method_not_allowed(method, path)
+            return await self._batch(body, transpile=False)
+        if path == "/v1/transpile_batch":
+            if method != "POST":
+                return self._method_not_allowed(method, path)
+            return await self._batch(body, transpile=True)
+        return 404, error_doc("not_found", f"no endpoint at {path}"), _JSON
+
+    def _method_not_allowed(self, method: str, path: str) -> tuple[int, Any, str]:
+        return (
+            405,
+            error_doc("method_not_allowed", f"{method} not supported on {path}"),
+            _JSON,
+        )
+
+    def _parse_body(
+        self, body: bytes
+    ) -> tuple[dict[str, Any], None] | tuple[None, dict[str, Any]]:
+        """The request body as a JSON object, or a ``bad_json`` error doc."""
+        try:
+            doc = json.loads(body)
+            if not isinstance(doc, dict):
+                raise ValueError("expected a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return None, error_doc("bad_json", f"bad request body: {exc}")
+        return doc, None
+
+    async def _batch(self, body: bytes, transpile: bool) -> tuple[int, Any, str]:
+        doc, err = self._parse_body(body)
+        if err is not None:
+            return 400, err, _JSON
+        docs = doc.get("requests")
+        if not isinstance(docs, list):
+            return (
+                400,
+                error_doc("bad_request", "'requests' must be a JSON array"),
+                _JSON,
+            )
+        try:
+            timeout = (
+                float(doc["timeout"]) if doc.get("timeout") is not None else None
+            )
+        except (TypeError, ValueError):
+            return (
+                400,
+                error_doc("bad_request", "'timeout' must be a number"),
+                _JSON,
+            )
+        if transpile:
+            results = await self.handler.transpile_batch_docs(
+                docs,
+                include_qasm=bool(doc.get("include_qasm")),
+                timeout=timeout,
+            )
+        else:
+            results = await self.handler.route_batch_docs(
+                docs,
+                include_schedule=bool(doc.get("include_schedule")),
+                timeout=timeout,
+            )
+        return 200, {"ok": True, "count": len(results), "results": results}, _JSON
+
+    # ------------------------------------------------------------------
+    # response writing
+    # ------------------------------------------------------------------
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        content_type: str = _JSON,
+        keep_alive: bool = True,
+    ) -> None:
+        if isinstance(payload, (dict, list)):
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+        elif isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = bytes(payload)
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        self.handler.telemetry.incr(f"http_status_{status // 100}xx")
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# client side (stdlib urllib; shared by the CLI, tests and benchmarks)
+# ----------------------------------------------------------------------
+def http_request(
+    url: str,
+    doc: Mapping[str, Any] | None = None,
+    *,
+    method: str | None = None,
+    timeout: float = 300.0,
+) -> tuple[int, Any]:
+    """One HTTP request to a repro server: ``(status, parsed body)``.
+
+    ``doc`` (when given) is sent as a JSON body with ``POST`` unless
+    ``method`` overrides it. Non-2xx responses are returned, not
+    raised; bodies that fail to parse as JSON come back as text.
+
+    Raises
+    ------
+    ReproError
+        When the server cannot be reached at all.
+    """
+    data = None
+    headers = {"Accept": _JSON}
+    if doc is not None:
+        data = json.dumps(dict(doc)).encode("utf-8")
+        headers["Content-Type"] = _JSON
+    req = urllib.request.Request(
+        url,
+        data=data,
+        headers=headers,
+        method=method or ("POST" if data is not None else "GET"),
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            status, raw = resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        status, raw = exc.code, exc.read()
+    except (urllib.error.URLError, OSError) as exc:
+        raise ReproError(f"cannot reach HTTP server at {url}: {exc}") from exc
+    text = raw.decode("utf-8", errors="replace")
+    try:
+        return status, json.loads(text)
+    except ValueError:
+        return status, text
+
+
+def wait_for_http(base_url: str, timeout: float = 10.0) -> None:
+    """Block until ``GET {base_url}/healthz`` answers 200.
+
+    Polls with exponential backoff (the shared
+    :func:`~repro.service.daemon.poll_with_backoff` loop).
+
+    Raises
+    ------
+    ReproError
+        If the server does not answer before ``timeout`` elapses.
+    """
+    url = base_url.rstrip("/") + "/healthz"
+
+    def probe() -> bool:
+        try:
+            status, _body = http_request(url, timeout=1.0)
+            return status == 200
+        except ReproError:
+            return False
+
+    poll_with_backoff(probe, timeout, f"no HTTP server answering at {base_url}")

@@ -131,3 +131,51 @@ class TestScheduleCacheDisk:
         c.put("k", sched)
         assert c.stats.disk_errors == 1
         assert c.get("k") == sched
+
+
+class TestDiskEvictionRace:
+    def test_concurrent_corrupt_eviction_tolerated_and_counted_once(
+        self, tmp_path, monkeypatch
+    ):
+        """Two threads racing to drop the same corrupt disk entry.
+
+        Both must survive (the loser's unlink sees the file already
+        gone) and the eviction must be counted exactly once. A barrier
+        inside the parse step guarantees both threads read the file
+        before either unlinks it, which is the racing interleaving.
+        """
+        import repro.service.cache as cache_mod
+
+        c = ScheduleCache(maxsize=4, disk_dir=tmp_path)
+        (tmp_path / "kr.json").write_text("{not json", encoding="utf-8")
+
+        barrier = threading.Barrier(2, timeout=30)
+        real_parse = cache_mod.schedule_from_json
+
+        def synchronized_parse(text):
+            barrier.wait()
+            return real_parse(text)
+
+        monkeypatch.setattr(cache_mod, "schedule_from_json", synchronized_parse)
+
+        results: list = []
+        errors: list = []
+
+        def load() -> None:
+            try:
+                results.append(c.get("kr"))
+            except Exception as exc:  # noqa: BLE001 - the bug under test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=load) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+            assert not t.is_alive()
+
+        assert errors == []  # the unlink loser must not crash
+        assert results == [None, None]  # both observe a miss
+        assert c.stats.disk_errors == 1  # the eviction is counted once
+        assert c.stats.misses == 2
+        assert not (tmp_path / "kr.json").exists()

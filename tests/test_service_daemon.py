@@ -16,7 +16,7 @@ import threading
 import pytest
 
 from repro.cli import main
-from repro.errors import ReproError
+from repro.errors import DaemonDisconnectedError, ReproError
 from repro.service import (
     AsyncRoutingService,
     DaemonClient,
@@ -123,15 +123,24 @@ class TestUnixSocketDaemon:
                 client._file.flush()
                 garbage = client._recv()
                 assert not garbage["ok"] and "bad request" in garbage["error"]
-                # Non-ReproError failures (bad timeout type, an options
-                # key colliding with a submit_async parameter) must also
-                # come back as one error line, not kill the connection.
+                # Validation failures (bad timeout type) and
+                # non-ReproError failures (an options key colliding with
+                # a submit_async parameter) must also come back as one
+                # error line, not kill the connection.
                 bad_timeout = client.request({
                     "op": "route", "rows": 3, "cols": 3,
                     "workload": "random", "timeout": "abc",
                 })
                 assert not bad_timeout["ok"]
-                assert "ValueError" in bad_timeout["error"]
+                assert bad_timeout["code"] == "bad_request"
+                assert "'timeout'" in bad_timeout["error"]
+                bad_perm = client.request({
+                    "op": "route", "rows": 2, "cols": 2,
+                    "perm": ["a", "b", "c", "d"],
+                })
+                assert not bad_perm["ok"]
+                assert bad_perm["code"] == "bad_request"
+                assert "perm" in bad_perm["error"]
                 collision = client.request({
                     "op": "route", "rows": 3, "cols": 3,
                     "workload": "random", "options": {"router": "naive"},
@@ -253,6 +262,176 @@ class TestUnixSocketDaemon:
             client.ping()
         with pytest.raises(ReproError):
             wait_for_socket(tmp_path / "nothing.sock", timeout=0.2)
+
+
+class TestBindRace:
+    """The stale-socket TOCTOU fix: probe→unlink→bind under a lock file."""
+
+    def test_racing_daemons_exactly_one_wins(self, tmp_path):
+        import os
+        import socket as socket_mod
+
+        sock = str(tmp_path / "race.sock")
+        # Seed the TOCTOU condition both daemons must resolve: a stale
+        # socket file from a dead daemon.
+        stale = socket_mod.socket(socket_mod.AF_UNIX, socket_mod.SOCK_STREAM)
+        stale.bind(sock)
+        stale.close()
+
+        barrier = threading.Barrier(2, timeout=JOIN_TIMEOUT)
+        served: list[str] = []
+        lost: list[str] = []
+
+        def run(name: str) -> None:
+            svc = AsyncRoutingService(cache_size=8, max_workers=1)
+            daemon = RoutingDaemon(svc)
+            barrier.wait()
+            try:
+                asyncio.run(daemon.serve_unix(sock))
+                served.append(name)
+            except ReproError as exc:
+                lost.append(str(exc))
+                asyncio.run(svc.aclose())
+
+        threads = [
+            threading.Thread(target=run, args=(f"d{i}",), daemon=True)
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        wait_for_socket(sock, timeout=JOIN_TIMEOUT)
+        # The loser notices the live winner and exits loudly.
+        import time as time_mod
+
+        deadline = time_mod.monotonic() + JOIN_TIMEOUT
+        while len(lost) < 1 and time_mod.monotonic() < deadline:
+            time_mod.sleep(0.01)
+        assert len(lost) == 1 and "already listening" in lost[0]
+        # The winner is fully functional and shuts down cleanly.
+        with DaemonClient(sock, timeout=JOIN_TIMEOUT) as client:
+            assert client.ping()
+            assert client.shutdown()
+        for t in threads:
+            t.join(timeout=JOIN_TIMEOUT)
+            assert not t.is_alive()
+        assert served and len(served) + len(lost) == 2
+        assert not os.path.exists(sock + ".lock")
+
+    def test_stale_lock_from_dead_pid_is_broken(self, tmp_path):
+        import os
+        import subprocess
+        import sys as sys_mod
+
+        sock = str(tmp_path / "repro.sock")
+        proc = subprocess.Popen([sys_mod.executable, "-c", "pass"])
+        proc.wait()
+        with open(sock + ".lock", "w", encoding="ascii") as fh:
+            fh.write(str(proc.pid))
+        sock2, thread, _svc = _start_daemon(tmp_path)
+        assert sock2 == sock
+        try:
+            with DaemonClient(sock, timeout=JOIN_TIMEOUT) as client:
+                assert client.ping()
+        finally:
+            _shutdown(sock, thread)
+        assert not os.path.exists(sock + ".lock")
+
+    def test_unremovable_stale_lock_times_out(self, tmp_path, monkeypatch):
+        """A stale lock that cannot be unlinked must hit the timeout,
+        not spin forever retrying the unlink."""
+        import os
+
+        from repro.service import daemon as daemon_mod
+
+        monkeypatch.setattr(daemon_mod, "SOCKET_LOCK_TIMEOUT", 0.2)
+        sock = str(tmp_path / "stuck.sock")
+        lock = sock + ".lock"
+        with open(lock, "w", encoding="ascii") as fh:
+            fh.write("0")  # pid 0: always considered stale
+        real_unlink = os.unlink
+
+        def failing_unlink(p, *args, **kwargs):
+            if str(p) == lock:
+                raise PermissionError(f"cannot unlink {p}")
+            return real_unlink(p, *args, **kwargs)
+
+        monkeypatch.setattr(daemon_mod.os, "unlink", failing_unlink)
+        svc = AsyncRoutingService(cache_size=8, max_workers=1)
+        try:
+            with pytest.raises(ReproError, match="socket lock"):
+                asyncio.run(RoutingDaemon(svc).serve_unix(sock))
+        finally:
+            asyncio.run(svc.aclose())
+
+    def test_held_lock_times_out_with_helpful_error(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.service import daemon as daemon_mod
+
+        monkeypatch.setattr(daemon_mod, "SOCKET_LOCK_TIMEOUT", 0.2)
+        sock = str(tmp_path / "held.sock")
+        with open(sock + ".lock", "w", encoding="ascii") as fh:
+            fh.write(str(os.getpid()))  # alive: never considered stale
+        svc = AsyncRoutingService(cache_size=8, max_workers=1)
+        try:
+            with pytest.raises(ReproError, match="socket lock"):
+                asyncio.run(RoutingDaemon(svc).serve_unix(sock))
+        finally:
+            asyncio.run(svc.aclose())
+            os.unlink(sock + ".lock")
+
+
+class TestHalfOpenClient:
+    def test_dead_connection_raises_and_reconnects(self, tmp_path):
+        sock, thread, _svc = _start_daemon(tmp_path)
+        client = DaemonClient(sock, timeout=JOIN_TIMEOUT)
+        try:
+            assert client.ping()
+            # The daemon exits between this client's send and recv
+            # cycles, leaving the client's connection half-open.
+            _shutdown(sock, thread)
+            with pytest.raises(DaemonDisconnectedError):
+                client.request({"op": "ping"})
+            # The client marked itself disconnected...
+            assert client._sock is None and client._file is None
+            # ...so once a daemon is back on the path, the next request
+            # transparently reconnects instead of writing into the dead
+            # socket.
+            sock2, thread2, _svc2 = _start_daemon(tmp_path)
+            assert sock2 == sock
+            try:
+                assert client.ping()
+            finally:
+                _shutdown(sock, thread2)
+        finally:
+            client.close()
+
+
+class TestWaitForSocket:
+    def test_timeout_error_names_path_and_elapsed(self, tmp_path):
+        path = tmp_path / "nothing.sock"
+        with pytest.raises(ReproError) as excinfo:
+            wait_for_socket(path, timeout=0.2)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "after" in message and "timeout 0.2s" in message
+
+    def test_backoff_grows_and_caps(self, tmp_path, monkeypatch):
+        from repro.service import daemon as daemon_mod
+
+        delays: list[float] = []
+        real_sleep = daemon_mod.time.sleep
+        monkeypatch.setattr(
+            daemon_mod.time, "sleep", lambda s: delays.append(s) or real_sleep(0)
+        )
+        with pytest.raises(ReproError):
+            wait_for_socket(tmp_path / "nothing.sock", timeout=0.05)
+        assert len(delays) >= 4, delays
+        # Doubling from 2 ms while under the remaining budget...
+        assert delays[:4] == pytest.approx([0.002, 0.004, 0.008, 0.016])
+        # ...and never above the cap (later entries clamp to what is
+        # left of the timeout budget).
+        assert max(delays) <= 0.5
 
 
 class TestPipeDaemon:

@@ -1,0 +1,161 @@
+"""Tests for the transport-agnostic dispatch layer (repro.service.handler)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service import (
+    ERROR_CODES,
+    AsyncRoutingService,
+    RequestHandler,
+    render_prometheus,
+    transpile_request_from_doc,
+)
+
+QASM = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[4];\ncx q[0],q[3];\n'
+
+
+class TestTranspileRequestFromDoc:
+    def test_full_doc(self):
+        req = transpile_request_from_doc({
+            "qasm": QASM, "rows": 2, "cols": 2, "router": "naive",
+            "mapping": "random", "seed": 3, "completion": "full",
+            "options": {},
+        })
+        assert req.graph.n_vertices == 4
+        assert req.router == "naive" and req.mapping == "random"
+        assert req.seed == 3 and req.completion == "full"
+
+    def test_defaults(self):
+        req = transpile_request_from_doc({"qasm": QASM, "rows": 2, "cols": 2})
+        assert req.router == "local" and req.mapping == "identity"
+        assert req.seed == 0
+
+    @pytest.mark.parametrize("doc", [
+        [1],
+        {"rows": 2, "cols": 2},
+        {"qasm": "", "rows": 2, "cols": 2},
+        {"qasm": QASM, "rows": 2},
+        {"qasm": QASM, "rows": "x", "cols": 2},
+        {"qasm": QASM, "rows": 2, "cols": 2, "seed": "nope"},
+        {"qasm": QASM, "rows": 2, "cols": 2, "options": "nope"},
+    ])
+    def test_malformed_docs_raise(self, doc):
+        with pytest.raises(ReproError):
+            transpile_request_from_doc(doc)
+
+
+class TestDispatch:
+    def test_ops_and_error_codes(self):
+        async def run():
+            async with AsyncRoutingService(cache_size=16, max_workers=1) as svc:
+                handler = RequestHandler(svc)
+                bad = await handler.dispatch_line(b"{definitely not json")
+                assert not bad["ok"] and bad["code"] == "bad_json"
+                unknown = await handler.dispatch({"op": "frobnicate"})
+                assert unknown["code"] == "unknown_op"
+                invalid = await handler.dispatch({"op": "route", "rows": 3})
+                assert invalid["code"] == "bad_request" and invalid["op"] == "route"
+                ping = await handler.dispatch({"op": "ping", "id": 5})
+                assert ping == {"ok": True, "op": "ping", "id": 5}
+                route = await handler.dispatch(
+                    {"rows": 3, "cols": 3, "workload": "random", "seed": 0}
+                )
+                assert route["ok"] and route["source"] == "computed"
+                assert "code" not in route
+                transpiled = await handler.dispatch(
+                    {"op": "transpile", "qasm": QASM, "rows": 2, "cols": 2}
+                )
+                assert transpiled["ok"] and transpiled["op"] == "transpile"
+                stats = await handler.dispatch({"op": "stats"})
+                assert stats["ok"] and "telemetry" in stats["stats"]
+                metrics = await handler.dispatch({"op": "metrics"})
+                assert metrics["ok"]
+                assert "repro_counter_total" in metrics["metrics"]
+                collision = await handler.dispatch({
+                    "op": "route", "rows": 3, "cols": 3,
+                    "workload": "random", "options": {"router": "naive"},
+                })
+                assert not collision["ok"] and collision["code"] == "internal"
+
+        asyncio.run(run())
+
+    def test_timeout_results_carry_timeout_code(self):
+        async def run():
+            async with AsyncRoutingService(cache_size=16, max_workers=1) as svc:
+                import time as time_mod
+
+                ex = svc.service.executor
+                real_submit = ex.submit_job
+
+                def slow_submit(fn, payload):
+                    def wrapped(p):
+                        time_mod.sleep(0.5)
+                        return fn(p)
+
+                    return real_submit(wrapped, payload)
+
+                ex.submit_job = slow_submit
+                handler = RequestHandler(svc)
+                resp = await handler.dispatch({
+                    "rows": 4, "cols": 4, "workload": "random", "seed": 9,
+                    "timeout": 0.01,
+                })
+                assert not resp["ok"] and resp["code"] == "timeout"
+                assert resp["error"].startswith("TimeoutError")
+
+        asyncio.run(run())
+
+    def test_every_emitted_code_is_documented(self):
+        # The stable-code table is the public contract; any code the
+        # handler can emit must appear in it.
+        for code in (
+            "bad_json", "bad_request", "unknown_op", "timeout",
+            "route_error", "transpile_error", "internal",
+        ):
+            assert code in ERROR_CODES
+
+
+class TestRenderPrometheus:
+    def test_real_stats_document(self):
+        async def run():
+            async with AsyncRoutingService(cache_size=16, max_workers=1) as svc:
+                handler = RequestHandler(svc)
+                await handler.dispatch(
+                    {"rows": 3, "cols": 3, "workload": "random", "seed": 0}
+                )
+                return handler.prometheus_metrics()
+
+        text = asyncio.run(run())
+        assert text.endswith("\n")
+        assert '# TYPE repro_counter_total counter' in text
+        assert 'repro_counter_total{name="aio_requests"} 1' in text
+        assert '# TYPE repro_latency_seconds summary' in text
+        assert 'repro_latency_seconds{op="aio_route",quantile="0.5"}' in text
+        assert 'repro_latency_seconds_count{op="aio_route"} 1' in text
+        assert "# TYPE repro_schedule_cache_puts_total counter" in text
+        assert "repro_schedule_cache_puts_total 1" in text
+        assert "# TYPE repro_schedule_cache_entries gauge" in text
+        assert "repro_max_workers 1" in text
+
+    def test_label_escaping_and_missing_sections(self):
+        text = render_prometheus({
+            "telemetry": {
+                "counters": {'odd"name\\x': 2},
+                "latency": {},
+            },
+        })
+        assert 'repro_counter_total{name="odd\\"name\\\\x"} 2' in text
+        # No cache sections, no max_workers: still well-formed output.
+        assert "repro_schedule_cache" not in text
+
+    def test_sharded_cache_fields_export(self):
+        from repro.service import RoutingService
+
+        with RoutingService(cache_size=32, cache_shards=4, max_workers=1) as svc:
+            text = render_prometheus(svc.stats())
+        assert "repro_schedule_cache_n_shards 4" in text
+        assert "repro_schedule_cache_rejected_puts_total 0" in text
