@@ -24,7 +24,9 @@ Commands
     socket (``--socket``) or stdin/stdout (``--pipe``), or HTTP/JSON
     (``--http HOST:PORT``, including Prometheus ``/metrics``); see
     :mod:`repro.service.daemon` and :mod:`repro.service.http` for the
-    protocols.
+    protocols. Repeatable ``--peer ADDR`` joins the daemon to a
+    cluster cache ring (:mod:`repro.service.cluster`); ``repro batch
+    --cluster ADDR`` taps the same ring from a one-shot batch.
 ``sweep``
     A small Figure-4/5 style sweep printed as tables with claim checks.
 ``info``
@@ -160,6 +162,21 @@ def build_parser() -> argparse.ArgumentParser:
         "at this base URL (e.g. http://127.0.0.1:8347) via POST "
         "/v1/route_batch; same ignored-flags caveat as --daemon",
     )
+    p_batch.add_argument(
+        "--cluster",
+        metavar="ADDR",
+        action="append",
+        help="repeatable: route locally but share the schedule cache of "
+        "these peer daemons (UNIX socket path or http://HOST:PORT) over "
+        "a consistent-hash ring; this process joins as a client-only "
+        "node (warm peer entries are fetched, computed ones pushed back)",
+    )
+    p_batch.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        help="cache replicas per key on the cluster ring (with --cluster)",
+    )
 
     p_serve = sub.add_parser(
         "serve", help="long-lived routing daemon (NDJSON over a UNIX socket)"
@@ -224,6 +241,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="re-verify every computed schedule",
+    )
+    p_serve.add_argument(
+        "--peer",
+        metavar="ADDR",
+        action="append",
+        help="repeatable: peer daemon address (UNIX socket path or "
+        "http://HOST:PORT) forming one logical schedule cache over a "
+        "consistent-hash ring (see docs/OPERATIONS.md)",
+    )
+    p_serve.add_argument(
+        "--node-id",
+        help="this daemon's ring id — must be the address its peers dial "
+        "(default: the --socket path or http://HOST:PORT)",
+    )
+    p_serve.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        help="cache replicas per key on the cluster ring (with --peer)",
     )
 
     p_sweep = sub.add_parser("sweep", help="mini Figure 4/5 sweep")
@@ -466,6 +502,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     if args.daemon and args.http:
         raise ReproError("--daemon and --http are mutually exclusive")
+    if args.cluster and (args.daemon or args.http):
+        raise ReproError("--cluster routes locally; it excludes --daemon/--http")
     if args.daemon:
         return _cmd_batch_daemon(args)
     if args.http:
@@ -475,6 +513,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         raise ReproError(f"--cache-size must be positive, got {args.cache_size}")
     if args.workers is not None and args.workers < 0:
         raise ReproError(f"--workers must be >= 0, got {args.workers}")
+    if args.replication <= 0:
+        raise ReproError(f"--replication must be positive, got {args.replication}")
 
     requests = [
         _parse_batch_line(doc, lineno)
@@ -490,6 +530,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         max_workers=args.workers,
         verify=args.verify,
+        cluster_peers=tuple(args.cluster or ()),
+        cluster_replication=args.replication,
     ) as svc:
         t0 = time.perf_counter()
         if args.warm:
@@ -556,6 +598,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ReproError(
             f"--max-concurrency must be positive, got {args.max_concurrency}"
         )
+    if args.replication <= 0:
+        raise ReproError(f"--replication must be positive, got {args.replication}")
 
     http_addr = _parse_host_port(args.http) if args.http else None
     admission = (
@@ -563,6 +607,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.min_cache_seconds > 0
         else None
     )
+    node_id = args.node_id
+    if args.peer and node_id is None:
+        # A shard must sit on the ring under the address its peers dial;
+        # default to this daemon's own listen address. A --pipe daemon
+        # has no dialable address and joins client-only.
+        if args.socket:
+            node_id = args.socket
+        elif http_addr is not None:
+            node_id = f"http://{http_addr[0]}:{http_addr[1]}"
     svc = AsyncRoutingService(
         max_concurrency=args.max_concurrency,
         default_timeout=args.timeout,
@@ -572,6 +625,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_admission=admission,
         max_workers=args.workers,
         verify=args.verify,
+        cluster_peers=tuple(args.peer or ()),
+        cluster_node_id=node_id,
+        cluster_replication=args.replication,
     )
     if args.warm:
         warmed = svc.service.warm_cache()

@@ -20,6 +20,7 @@ __all__ = [
     "SimulationError",
     "ServiceClosedError",
     "DaemonDisconnectedError",
+    "ClusterShardError",
 ]
 
 
@@ -80,4 +81,15 @@ class DaemonDisconnectedError(ReproError):
     or receive hits a dead socket. The client drops the connection when
     raising this, so the next call reconnects instead of writing into
     the same dead socket forever.
+    """
+
+
+class ClusterShardError(ReproError):
+    """A remote cache shard failed or answered incoherently.
+
+    Raised by :class:`~repro.service.cluster.RemoteShardClient` on
+    transport failures and refused/malformed responses. The
+    :class:`~repro.service.cluster.ClusterScheduleCache` catches it,
+    trips the node's circuit breaker and degrades to local compute —
+    it never reaches the routing hot path.
     """

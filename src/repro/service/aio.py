@@ -509,16 +509,29 @@ class AsyncRoutingService:
             source="computed",
         )
 
+    @staticmethod
+    def _cache_blocks(cache: Any) -> bool:
+        """Whether cache operations may block (disk tier or remote shards).
+
+        A cluster cache advertises network I/O via its ``remote`` class
+        attribute; a disk-backed cache may read/parse files. Either way
+        the operation belongs on a worker thread, not the event loop.
+        """
+        return (
+            getattr(cache, "disk_dir", None) is not None
+            or bool(getattr(cache, "remote", False))
+        )
+
     async def _cache_get(self, digest: str) -> Schedule | None:
         """Probe the schedule cache without stalling the event loop.
 
         A memory-only cache answers synchronously (an OrderedDict probe
         under a lock — cheaper than a thread hop); a cache with a disk
-        tier may read and parse a file on a miss, so it runs on a
-        worker thread.
+        tier or remote cluster shards may do I/O on a miss, so it runs
+        on a worker thread.
         """
         cache = self.service.cache
-        if getattr(cache, "disk_dir", None) is None:
+        if not self._cache_blocks(cache):
             return cache.get(digest)
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(None, cache.get, digest)
@@ -526,9 +539,9 @@ class AsyncRoutingService:
     async def _cache_put(
         self, digest: str, schedule: Schedule, cost: float
     ) -> None:
-        """Store a schedule; disk-tier writes go to a worker thread."""
+        """Store a schedule; disk/remote writes go to a worker thread."""
         cache = self.service.cache
-        if getattr(cache, "disk_dir", None) is None:
+        if not self._cache_blocks(cache):
             cache.put(digest, schedule, cost=cost)
             return
         loop = asyncio.get_running_loop()

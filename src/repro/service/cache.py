@@ -128,6 +128,20 @@ class LRUCache:
         with self._lock:
             self._data.clear()
 
+    def as_dict(self) -> dict[str, Any]:
+        """Counters plus capacity and occupancy, JSON-ready.
+
+        The one stats-document shape every cache flavour extends
+        (sharded caches add per-shard breakdowns, cluster caches a
+        ``cluster`` section), so the service stats, the peer
+        ``cache_stats`` op and telemetry all agree on the base fields.
+        """
+        return {
+            **self.stats.as_dict(),
+            "entries": len(self),
+            "maxsize": self.maxsize,
+        }
+
 
 class ScheduleCache(LRUCache):
     """Schedule cache with an optional persistent disk tier.
@@ -223,3 +237,10 @@ class ScheduleCache(LRUCache):
         """Store in memory and (if configured) on disk."""
         super().put(digest, schedule, cost=cost)
         self._disk_store(digest, schedule)
+
+    def as_dict(self) -> dict[str, Any]:
+        """The LRU rollup plus the disk-tier location."""
+        return {
+            **super().as_dict(),
+            "disk_dir": str(self.disk_dir) if self.disk_dir else None,
+        }

@@ -1,0 +1,784 @@
+"""Multi-host cache sharding: consistent hashing + remote-shard protocol.
+
+:class:`~repro.service.sharding.ShardedScheduleCache` partitions one
+*process's* cache; this module partitions the cache across *daemons*.
+Routing results are pure functions of the canonical request fingerprint
+(:mod:`repro.service.keys`), so any daemon that has computed a schedule
+can serve it to every other daemon — the way tket-style routers
+amortize repeated passes over circuit families — as long as all of them
+agree on who owns which key.
+
+Three pieces provide that agreement:
+
+* :class:`HashRing` — consistent hashing with virtual nodes over the
+  request-fingerprint digest. Every daemon builds the same ring from
+  the same node ids, so ownership is a pure function of the digest; on
+  membership change only ~1/n of the key space moves (see the
+  hypothesis tests for the exact invariants).
+* :class:`RemoteShardClient` — a thin client for the ``cache_get`` /
+  ``cache_put`` / ``cache_stats`` operations that
+  :class:`~repro.service.handler.RequestHandler` exposes on **both**
+  transports: the NDJSON daemon framing (address = UNIX-socket path)
+  and the HTTP facade (address = ``http://host:port``). Schedules ship
+  as the :mod:`repro.routing.serialize` JSON documents.
+* :class:`ClusterScheduleCache` — the ``ScheduleCache`` drop-in that
+  the service layer actually holds. ``get`` probes the local tier
+  first, then the key's remote owners in ring order; ``put`` writes
+  the local tier plus every remote replica. Remote hits are
+  **read-repaired**: promoted into the local tier and pushed to any
+  replica that was probed and missed first.
+
+Failure isolation is absolute: a dead shard degrades the cluster to
+local compute, never to an error. Each node has a tiny circuit breaker
+— after a transport failure the node is skipped for
+``retry_interval`` seconds, then probed again — and every remote
+failure is counted, not raised, so the routing hot path can only ever
+see a cache miss.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Protocol, Sequence
+
+from ..errors import ClusterShardError, ReproError
+from ..routing.schedule import Schedule
+from ..routing.serialize import schedule_from_json, schedule_to_json
+from .cache import CacheStats, ScheduleCache
+from .sharding import ShardedScheduleCache
+
+__all__ = [
+    "HashRing",
+    "ShardClient",
+    "RemoteShardClient",
+    "InProcessShardClient",
+    "ClusterScheduleCache",
+    "ClusterStats",
+]
+
+#: Default virtual nodes per ring member. 128 points per node keeps the
+#: max/min load ratio of a 3-node ring around ~1.2 while the ring stays
+#: small enough to rebuild on every membership change.
+DEFAULT_VNODES = 128
+
+#: Seconds a failed node is skipped before being probed again.
+DEFAULT_RETRY_INTERVAL = 30.0
+
+#: Default transport timeout for shard operations (seconds). Cache
+#: probes must be much cheaper than recomputing, so this is short: a
+#: peer slower than this is treated as down and the key recomputed.
+DEFAULT_SHARD_TIMEOUT = 5.0
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes over digest hex strings.
+
+    Each node is hashed to ``vnodes`` points on a 64-bit ring; a key
+    (the first 16 hex chars of its SHA-256 request digest) is owned by
+    the first node point at or clockwise after it. Because ownership
+    depends only on the node ids and ``vnodes``, every process that
+    builds a ring from the same members computes identical owners —
+    the property multi-daemon cache sharding rests on.
+
+    Parameters
+    ----------
+    nodes:
+        Initial node ids (arbitrary non-empty strings — in a cluster,
+        the addresses peers use to reach each node).
+    vnodes:
+        Virtual-node points per node; higher is smoother but slower to
+        rebuild. Must be positive.
+
+    Raises
+    ------
+    ValueError
+        On a non-positive ``vnodes`` or a duplicate/empty node id.
+
+    >>> ring = HashRing(["a", "b", "c"])
+    >>> ring.owner("00" * 32) in {"a", "b", "c"}
+    True
+    >>> ring.replicas("00" * 32, 2) == ring.replicas("00" * 32, 2)
+    True
+    """
+
+    def __init__(self, nodes: Sequence[str] = (), vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes <= 0:
+            raise ValueError(f"vnodes must be positive, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._nodes: set[str] = set()
+        self._points: list[tuple[int, str]] = []
+        for node in nodes:
+            self.add_node(node)
+
+    @staticmethod
+    def _node_point(node: str, replica: int) -> int:
+        payload = f"{node}\x00{replica}".encode("utf-8")
+        return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+    @staticmethod
+    def _key_point(digest: str) -> int:
+        try:
+            return int(digest[:16], 16)
+        except ValueError:
+            raise ValueError(f"digest must be a hex string, got {digest!r}") from None
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        """The current ring members (a snapshot)."""
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add_node(self, node: str) -> None:
+        """Place ``node`` (its ``vnodes`` points) on the ring.
+
+        Raises
+        ------
+        ValueError
+            If the id is empty or already a member.
+        """
+        if not node:
+            raise ValueError("node id must be a non-empty string")
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            bisect.insort(self._points, (self._node_point(node, i), node))
+
+    def remove_node(self, node: str) -> None:
+        """Remove ``node`` from the ring; its key span moves to successors.
+
+        Raises
+        ------
+        ValueError
+            If the node is not a member.
+        """
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} is not on the ring")
+        self._nodes.discard(node)
+        self._points = [(p, n) for (p, n) in self._points if n != node]
+
+    def owner(self, digest: str) -> str:
+        """The single node owning ``digest``.
+
+        Raises
+        ------
+        ValueError
+            On an empty ring or a non-hex digest.
+        """
+        owners = self.replicas(digest, 1)
+        if not owners:
+            raise ValueError("cannot look up an owner on an empty ring")
+        return owners[0]
+
+    def replicas(self, digest: str, n: int) -> list[str]:
+        """The first ``n`` *distinct* nodes clockwise from ``digest``.
+
+        The list is deterministic, duplicate-free, and clamps to the
+        member count; element 0 is the primary owner. An empty ring
+        yields an empty list.
+        """
+        if n <= 0 or not self._points:
+            return []
+        start = bisect.bisect_left(self._points, (self._key_point(digest), ""))
+        out: list[str] = []
+        seen: set[str] = set()
+        for k in range(len(self._points)):
+            _, node = self._points[(start + k) % len(self._points)]
+            if node not in seen:
+                seen.add(node)
+                out.append(node)
+                if len(out) >= min(n, len(self._nodes)):
+                    break
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HashRing(nodes={sorted(self._nodes)}, vnodes={self.vnodes})"
+
+
+class ShardClient(Protocol):
+    """The transport contract :class:`ClusterScheduleCache` speaks.
+
+    Implementations raise :class:`~repro.errors.ClusterShardError` (or
+    any :class:`~repro.errors.ReproError`) on transport failure; the
+    cluster cache isolates the failure, it never propagates to routing.
+    """
+
+    def cache_get(self, digest: str) -> Schedule | None:
+        """The shard's schedule for ``digest``, or ``None`` on a miss."""
+        ...
+
+    def cache_put(
+        self, digest: str, schedule: Schedule, cost: float | None = None
+    ) -> bool:
+        """Store a schedule on the shard; ``True`` when acknowledged."""
+        ...
+
+    def cache_stats(self) -> dict[str, Any]:
+        """The shard's local cache-stats document."""
+        ...
+
+    def close(self) -> None:
+        """Release any transport resources (idempotent)."""
+        ...
+
+
+class RemoteShardClient:
+    """Speak the cache ops to a remote daemon, over either transport.
+
+    Parameters
+    ----------
+    address:
+        ``http://`` / ``https://`` base URLs use the HTTP facade
+        (``POST /v1/cache_get`` and friends); anything else is treated
+        as a UNIX-socket path and spoken NDJSON via
+        :class:`~repro.service.daemon.DaemonClient`.
+    timeout:
+        Per-operation transport timeout in seconds. Short by design
+        (:data:`DEFAULT_SHARD_TIMEOUT`): a cache probe slower than this
+        is worse than recomputing.
+
+    The client is thread-safe (one lock around the shared connection)
+    and reconnects transparently after a failure, which is what the
+    cluster cache's retry-after-cooldown loop relies on.
+    """
+
+    def __init__(self, address: str, timeout: float = DEFAULT_SHARD_TIMEOUT) -> None:
+        if not address:
+            raise ValueError("shard address must be a non-empty string")
+        self.address = address
+        self.timeout = float(timeout)
+        self._lock = threading.Lock()
+        self._is_http = address.startswith(("http://", "https://"))
+        self._daemon: Any = None
+        if not self._is_http:
+            from .daemon import DaemonClient  # local import: avoids a cycle
+
+            self._daemon = DaemonClient(address, timeout=self.timeout)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(self, doc: dict[str, Any]) -> dict[str, Any]:
+        if self._is_http:
+            from .http import http_request  # local import: avoids a cycle
+
+            url = self.address.rstrip("/") + "/v1/" + str(doc["op"])
+            status, body = http_request(url, doc, timeout=self.timeout)
+            if not isinstance(body, dict):
+                raise ClusterShardError(
+                    f"shard {self.address}: non-JSON response (status {status})"
+                )
+            return body
+        with self._lock:
+            try:
+                return self._daemon.request(doc)
+            except ReproError:
+                raise
+            except (OSError, ValueError) as exc:
+                # ValueError covers json.JSONDecodeError: a garbled line
+                # (wrong service on the path, version skew, truncation)
+                # must degrade like any other shard failure, and the
+                # half-parsed connection cannot be trusted for the next
+                # request either.
+                self._daemon.close()
+                raise ClusterShardError(f"shard {self.address}: {exc}") from exc
+
+    def _checked(self, doc: dict[str, Any]) -> dict[str, Any]:
+        resp = self._request(doc)
+        if not resp.get("ok"):
+            raise ClusterShardError(
+                f"shard {self.address} refused {doc.get('op')}: "
+                f"{resp.get('code')}: {resp.get('error')}"
+            )
+        return resp
+
+    # ------------------------------------------------------------------
+    # the ShardClient surface
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        """Whether the shard answers at all (never raises)."""
+        try:
+            if self._is_http:
+                from .http import http_request  # local import: avoids a cycle
+
+                status, body = http_request(
+                    self.address.rstrip("/") + "/healthz", timeout=self.timeout
+                )
+                return status == 200 and isinstance(body, dict) and bool(body.get("ok"))
+            return bool(self._request({"op": "ping"}).get("ok"))
+        except ReproError:
+            return False
+
+    def cache_get(self, digest: str) -> Schedule | None:
+        """Fetch ``digest`` from the shard's **local** cache tier.
+
+        Returns
+        -------
+        Schedule | None
+            The deserialized schedule, or ``None`` when the shard does
+            not hold the key.
+
+        Raises
+        ------
+        ClusterShardError
+            On transport failure or a refused/malformed response.
+        """
+        resp = self._checked({"op": "cache_get", "digest": digest})
+        if not resp.get("found"):
+            return None
+        try:
+            return schedule_from_json(json.dumps(resp["schedule"]))
+        except (KeyError, TypeError, ReproError) as exc:
+            raise ClusterShardError(
+                f"shard {self.address} returned a malformed schedule "
+                f"for {digest[:12]}: {exc}"
+            ) from exc
+
+    def cache_put(
+        self, digest: str, schedule: Schedule, cost: float | None = None
+    ) -> bool:
+        """Replicate a schedule onto the shard.
+
+        Returns ``True`` when the shard accepted the entry (its local
+        admission policy may still reject it silently).
+
+        Raises
+        ------
+        ClusterShardError
+            On transport failure or a refused response.
+        """
+        doc = {
+            "op": "cache_put",
+            "digest": digest,
+            "schedule": json.loads(schedule_to_json(schedule)),
+        }
+        if cost is not None:
+            doc["cost"] = float(cost)
+        return bool(self._checked(doc).get("stored"))
+
+    def cache_stats(self) -> dict[str, Any]:
+        """The shard's local cache-stats document.
+
+        Raises
+        ------
+        ClusterShardError
+            On transport failure or a refused response.
+        """
+        return dict(self._checked({"op": "cache_stats"}).get("stats") or {})
+
+    def close(self) -> None:
+        """Close the underlying connection (HTTP clients are stateless)."""
+        if self._daemon is not None:
+            with self._lock:
+                self._daemon.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RemoteShardClient({self.address!r})"
+
+
+class InProcessShardClient:
+    """A :class:`ShardClient` over a cache object in this process.
+
+    Lets tests and :mod:`examples.cluster_demo` build a multi-node ring
+    without sockets: each "node" is just another cache instance. Pass
+    the *local tier* of the other node (a
+    :class:`~repro.service.cache.ScheduleCache` or
+    :class:`~repro.service.sharding.ShardedScheduleCache`); passing a
+    :class:`ClusterScheduleCache` automatically unwraps to its local
+    tier so two nodes pointing at each other can never recurse.
+    """
+
+    def __init__(self, cache: Any) -> None:
+        self.cache = getattr(cache, "local", cache)
+
+    def ping(self) -> bool:
+        """Always reachable."""
+        return True
+
+    def cache_get(self, digest: str) -> Schedule | None:
+        """Probe the wrapped cache."""
+        return self.cache.get(digest)
+
+    def cache_put(
+        self, digest: str, schedule: Schedule, cost: float | None = None
+    ) -> bool:
+        """Store into the wrapped cache."""
+        self.cache.put(digest, schedule, cost=cost)
+        return True
+
+    def cache_stats(self) -> dict[str, Any]:
+        """The wrapped cache's stats document."""
+        return self.cache.as_dict()
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+@dataclass
+class ClusterStats:
+    """Cluster-level counters (monotonic since construction).
+
+    ``remote_hits`` / ``remote_misses`` count *probes* answered by
+    peers; ``remote_errors`` counts transport failures (each also
+    trips that node's circuit breaker); ``read_repairs`` counts
+    entries pushed back to replicas that missed; ``degraded_gets``
+    counts lookups where at least one owner was skipped as dead —
+    the "a dead shard degrades to local compute" path.
+    """
+
+    remote_hits: int = 0
+    remote_misses: int = 0
+    remote_errors: int = 0
+    remote_puts: int = 0
+    remote_put_errors: int = 0
+    read_repairs: int = 0
+    degraded_gets: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        """The counters as a JSON-ready dict."""
+        return {
+            "remote_hits": self.remote_hits,
+            "remote_misses": self.remote_misses,
+            "remote_errors": self.remote_errors,
+            "remote_puts": self.remote_puts,
+            "remote_put_errors": self.remote_put_errors,
+            "read_repairs": self.read_repairs,
+            "degraded_gets": self.degraded_gets,
+        }
+
+
+@dataclass
+class _NodeState:
+    """Per-peer health + counters (guarded by the cluster lock)."""
+
+    client: ShardClient
+    hits: int = 0
+    misses: int = 0
+    errors: int = 0
+    puts: int = 0
+    consecutive_failures: int = 0
+    down_until: float = 0.0
+    last_error: str | None = None
+
+    def as_dict(self, now: float) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "errors": self.errors,
+            "puts": self.puts,
+            "up": now >= self.down_until,
+            "consecutive_failures": self.consecutive_failures,
+            "last_error": self.last_error,
+        }
+
+
+class ClusterScheduleCache:
+    """One logical schedule cache spread over a ring of daemons.
+
+    A ``ScheduleCache`` drop-in for the service layer: ``get`` / ``put``
+    / ``__contains__`` / ``__len__`` / ``keys`` / ``clear`` / ``stats``
+    / ``maxsize`` / ``disk_dir`` all exist, with cluster semantics:
+
+    * ``get`` — local tier first (it doubles as a near-cache), then
+      each remote owner of the key in ring order. A remote hit is
+      promoted into the local tier and read-repaired onto any replica
+      that was probed and missed before it.
+    * ``put`` — local tier always (local compute is never wasted),
+      plus every *remote* owner in the key's replica set.
+    * Failure isolation — a peer that errors is marked down for
+      ``retry_interval`` seconds and skipped; its keys fall back to
+      local compute. No remote failure ever escapes as an exception.
+
+    Parameters
+    ----------
+    local:
+        The local cache tier (:class:`~repro.service.cache.ScheduleCache`
+        or :class:`~repro.service.sharding.ShardedScheduleCache`).
+    peers:
+        Mapping of node id -> :class:`ShardClient`. Node ids must be
+        the addresses *other* daemons use for this ring so every member
+        computes identical ownership.
+    node_id:
+        This node's own ring id. ``None`` keeps the local node **off**
+        the ring (client-only mode: every key is remote-owned — what
+        ``repro batch --cluster`` uses); a daemon that is itself a
+        shard passes the address its peers dial.
+    replication:
+        Owners per key (clamped to the ring size). 1 stores each key
+        on exactly one shard; 2 tolerates one dead shard without
+        losing warm entries.
+    vnodes:
+        Virtual nodes per ring member (see :class:`HashRing`).
+    retry_interval:
+        Seconds a failed peer is skipped before being retried.
+
+    Raises
+    ------
+    ValueError
+        On a non-positive ``replication`` / ``retry_interval``, or a
+        ``node_id`` that collides with a peer id.
+    """
+
+    #: Tells the async front end that ``get``/``put`` may block on
+    #: network I/O and must run on a worker thread, exactly like a
+    #: disk-backed cache (see ``AsyncRoutingService._cache_get``).
+    remote = True
+
+    def __init__(
+        self,
+        local: ScheduleCache | ShardedScheduleCache,
+        peers: Mapping[str, ShardClient],
+        node_id: str | None = None,
+        replication: int = 2,
+        vnodes: int = DEFAULT_VNODES,
+        retry_interval: float = DEFAULT_RETRY_INTERVAL,
+    ) -> None:
+        if replication <= 0:
+            raise ValueError(f"replication must be positive, got {replication}")
+        if retry_interval <= 0:
+            raise ValueError(f"retry_interval must be positive, got {retry_interval}")
+        if node_id is not None and node_id in peers:
+            raise ValueError(f"node_id {node_id!r} collides with a peer id")
+        self.local = local
+        self.node_id = node_id
+        self.replication = int(replication)
+        self.retry_interval = float(retry_interval)
+        members = list(peers)
+        if node_id is not None:
+            members.append(node_id)
+        self.ring = HashRing(members, vnodes=vnodes)
+        self._lock = threading.Lock()
+        self._nodes: dict[str, _NodeState] = {
+            nid: _NodeState(client=client) for nid, client in peers.items()
+        }
+        self.cluster_stats = ClusterStats()
+
+    # ------------------------------------------------------------------
+    # node health
+    # ------------------------------------------------------------------
+    def _live_client(self, node: str) -> ShardClient | None:
+        """The node's client, or ``None`` while its breaker is open."""
+        with self._lock:
+            state = self._nodes[node]
+            if time.monotonic() < state.down_until:
+                return None
+            return state.client
+
+    def _mark_ok(self, node: str) -> None:
+        with self._lock:
+            state = self._nodes[node]
+            state.consecutive_failures = 0
+            state.down_until = 0.0
+            state.last_error = None
+
+    def _mark_failed(self, node: str, exc: Exception) -> None:
+        with self._lock:
+            state = self._nodes[node]
+            state.errors += 1
+            state.consecutive_failures += 1
+            state.down_until = time.monotonic() + self.retry_interval
+            state.last_error = f"{type(exc).__name__}: {exc}"
+            self.cluster_stats.remote_errors += 1
+
+    def dead_nodes(self) -> list[str]:
+        """Peers currently skipped by the circuit breaker."""
+        now = time.monotonic()
+        with self._lock:
+            return sorted(nid for nid, s in self._nodes.items() if now < s.down_until)
+
+    # ------------------------------------------------------------------
+    # the ScheduleCache surface
+    # ------------------------------------------------------------------
+    def _owners(self, digest: str) -> list[str]:
+        return self.ring.replicas(digest, self.replication)
+
+    def get(self, digest: str) -> Schedule | None:
+        """Local tier, then each live remote owner; ``None`` on miss.
+
+        May block on network I/O — the async front end runs it on a
+        worker thread (see the ``remote`` class attribute). Never
+        raises for a dead or misbehaving peer.
+        """
+        schedule = self.local.get(digest)
+        if schedule is not None:
+            return schedule
+        missed: list[str] = []
+        degraded = False
+        for node in self._owners(digest):
+            if node == self.node_id:
+                continue  # the local tier already missed
+            client = self._live_client(node)
+            if client is None:
+                degraded = True
+                continue
+            try:
+                schedule = client.cache_get(digest)
+            except ReproError as exc:
+                self._mark_failed(node, exc)
+                degraded = True
+                continue
+            self._mark_ok(node)
+            if schedule is None:
+                with self._lock:
+                    self._nodes[node].misses += 1
+                    self.cluster_stats.remote_misses += 1
+                missed.append(node)
+                continue
+            with self._lock:
+                self._nodes[node].hits += 1
+                self.cluster_stats.remote_hits += 1
+            # Promote into the local tier (near-cache) and repair the
+            # replicas that answered "not found" before this hit.
+            self.local.put(digest, schedule)
+            for lagging in missed:
+                self._repair(lagging, digest, schedule)
+            return schedule
+        if degraded:
+            with self._lock:
+                self.cluster_stats.degraded_gets += 1
+        return None
+
+    def _repair(self, node: str, digest: str, schedule: Schedule) -> None:
+        """Best-effort read-repair of one lagging replica."""
+        client = self._live_client(node)
+        if client is None:
+            return
+        try:
+            client.cache_put(digest, schedule)
+        except ReproError as exc:
+            self._mark_failed(node, exc)
+            return
+        with self._lock:
+            self.cluster_stats.read_repairs += 1
+
+    def put(self, digest: str, schedule: Schedule, cost: float | None = None) -> None:
+        """Store locally and replicate to every remote owner (best effort).
+
+        The local tier always receives the entry — a computing node
+        never throws its own work away, and a fully dead cluster
+        degrades to exactly the single-process cache. Remote failures
+        are counted, never raised.
+        """
+        self.local.put(digest, schedule, cost=cost)
+        for node in self._owners(digest):
+            if node == self.node_id:
+                continue  # stored by the local put above
+            client = self._live_client(node)
+            if client is None:
+                continue
+            try:
+                client.cache_put(digest, schedule, cost=cost)
+            except ReproError as exc:
+                self._mark_failed(node, exc)
+                with self._lock:
+                    self.cluster_stats.remote_put_errors += 1
+                continue
+            self._mark_ok(node)
+            with self._lock:
+                self._nodes[node].puts += 1
+                self.cluster_stats.remote_puts += 1
+
+    def __contains__(self, digest: str) -> bool:
+        """Local-tier containment only (no network probe)."""
+        return digest in self.local
+
+    def __len__(self) -> int:
+        """Local-tier entry count (peers report theirs via ``cache_stats``)."""
+        return len(self.local)
+
+    def keys(self) -> Iterator[str]:
+        """Local-tier digests only."""
+        return self.local.keys()
+
+    def clear(self) -> None:
+        """Drop the local tier; remote shards are their daemons' business."""
+        self.local.clear()
+
+    @property
+    def maxsize(self) -> int:
+        """The local tier's in-memory capacity."""
+        return self.local.maxsize
+
+    @property
+    def disk_dir(self):
+        """The local tier's persistent directory (``None`` when memory-only)."""
+        return self.local.disk_dir
+
+    def close(self) -> None:
+        """Close every peer client (idempotent; peers keep running)."""
+        with self._lock:
+            states = list(self._nodes.values())
+        for state in states:
+            try:
+                state.client.close()
+            except Exception:  # noqa: BLE001 - teardown is best-effort
+                pass
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        """The cluster view as plain cache counters (a fresh snapshot).
+
+        A remote hit rescued a local miss, so cluster hits are local
+        hits plus remote hits and cluster misses are local misses minus
+        the rescued ones; the disk counters are the local tier's.
+        """
+        local = self.local.stats
+        with self._lock:
+            remote_hits = self.cluster_stats.remote_hits
+        total = CacheStats(
+            hits=local.hits + remote_hits,
+            misses=max(local.misses - remote_hits, 0),
+            evictions=local.evictions,
+            puts=local.puts,
+            disk_hits=local.disk_hits,
+            disk_writes=local.disk_writes,
+            disk_errors=local.disk_errors,
+        )
+        return total
+
+    def per_node_stats(self) -> dict[str, dict[str, Any]]:
+        """One health + counter dict per peer (for telemetry)."""
+        now = time.monotonic()
+        with self._lock:
+            return {nid: s.as_dict(now) for nid, s in self._nodes.items()}
+
+    def as_dict(self) -> dict[str, Any]:
+        """Local-tier stats plus the ``cluster`` section, JSON-ready.
+
+        The shape extends the sharded cache's ``as_dict``: callers (the
+        stats document, Prometheus rendering) read the usual cache
+        counters at the top level and cluster telemetry under
+        ``"cluster"``. Involves no network I/O — peer stats are their
+        own daemons' ``cache_stats`` documents.
+        """
+        doc = self.local.as_dict()
+        with self._lock:
+            cluster = self.cluster_stats.as_dict()
+        doc["cluster"] = {
+            **cluster,
+            "node_id": self.node_id,
+            "replication": self.replication,
+            "ring_nodes": sorted(self.ring.nodes),
+            "dead_nodes": self.dead_nodes(),
+            "nodes": self.per_node_stats(),
+        }
+        return doc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClusterScheduleCache(node_id={self.node_id!r}, "
+            f"peers={sorted(self._nodes)}, replication={self.replication})"
+        )

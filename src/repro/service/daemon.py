@@ -19,6 +19,11 @@ request, in order, per connection:
   :func:`~repro.service.service.route_result_to_dict` document plus
   ``"op"``. ``op`` defaults to ``"route"``, so a ``repro batch``
   request file works verbatim as daemon input.
+* ``{"op": "cache_get", "digest": "..."}`` /
+  ``{"op": "cache_put", "digest": "...", "schedule": {...}, "cost": 0.1}``
+  / ``{"op": "cache_stats"}`` → the remote-shard cache protocol that
+  :mod:`repro.service.cluster` peers speak, served from the **local**
+  cache tier only (see :class:`~repro.service.handler.RequestHandler`).
 * ``{"op": "shutdown"}`` → ``{"ok": true, "op": "shutdown"}``, then
   the server drains in-flight connections and exits.
 

@@ -39,6 +39,7 @@ from ..perm.permutation import Permutation
 from ..routing.base import make_router
 from ..routing.schedule import Schedule
 from .cache import ScheduleCache
+from .cluster import ClusterScheduleCache
 from .keys import RequestKey, graph_from_spec, graph_spec, request_key
 from .sharding import ShardedScheduleCache
 from .telemetry import Telemetry
@@ -160,7 +161,7 @@ class BatchExecutor:
 
     def __init__(
         self,
-        cache: ScheduleCache | ShardedScheduleCache | None = None,
+        cache: ScheduleCache | ShardedScheduleCache | ClusterScheduleCache | None = None,
         max_workers: int | None = 1,
         telemetry: Telemetry | None = None,
         verify: bool = False,

@@ -28,6 +28,12 @@ Successful responses never carry ``code``. Batch entries keep the batch
 error-isolation contract: a bad entry yields an ``"ok": false`` entry in
 its slot, never a failure of the surrounding batch.
 
+Besides the routing ops, the handler exposes the **remote-shard cache
+protocol** (``cache_get`` / ``cache_put`` / ``cache_stats``) that
+:mod:`repro.service.cluster` peers speak. These ops always address the
+*local* cache tier — a daemon answering a peer never fans the probe
+back out to the cluster, which is what makes the ring recursion-free.
+
 This module also renders the service's :meth:`stats` document as
 Prometheus text exposition format (:func:`render_prometheus`) for the
 HTTP ``/metrics`` endpoint and the NDJSON ``metrics`` op.
@@ -36,6 +42,7 @@ HTTP ``/metrics`` endpoint and the NDJSON ``metrics`` op.
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 from typing import Any, Mapping, Sequence
 
@@ -43,6 +50,7 @@ from ..errors import ReproError
 from ..graphs.grid import GridGraph
 from ..perm.generators import make_workload
 from ..perm.permutation import Permutation
+from ..routing.serialize import schedule_from_json, schedule_to_json
 from .aio import AsyncRoutingService
 from .executor import RouteRequest
 from .service import (
@@ -232,6 +240,16 @@ class RequestHandler:
                 resp = await self.route_doc(doc)
             elif op == "transpile":
                 resp = await self.transpile_doc(doc)
+            elif op == "cache_get":
+                resp = await self.cache_get_doc(doc)
+            elif op == "cache_put":
+                resp = await self.cache_put_doc(doc)
+            elif op == "cache_stats":
+                resp = {
+                    "ok": True,
+                    "op": "cache_stats",
+                    "stats": self.local_cache_stats(),
+                }
             else:
                 resp = error_doc("unknown_op", f"unknown op {op!r}")
         except ReproError as exc:
@@ -278,6 +296,93 @@ class RequestHandler:
         resp = transpile_outcome_to_dict(outcomes[0])
         resp["op"] = "transpile"
         return _attach_result_code(resp, "transpile_error")
+
+    # ------------------------------------------------------------------
+    # remote-shard cache ops (the cluster protocol)
+    # ------------------------------------------------------------------
+    def _local_cache(self):
+        """The **local** schedule-cache tier, never the cluster wrapper.
+
+        A :class:`~repro.service.cluster.ClusterScheduleCache` exposes
+        its local tier as ``.local``; serving peers from it (instead of
+        from the cluster view) keeps peer probes recursion-free.
+        """
+        cache = self.service.service.cache
+        return getattr(cache, "local", cache)
+
+    async def _cache_call(self, fn, *args):
+        """Run a local-tier cache operation without stalling the event loop.
+
+        Memory-only tiers answer synchronously; a disk-backed tier may
+        touch files, so it hops to a worker thread (the same rule
+        :class:`AsyncRoutingService` applies on the routing path).
+        """
+        cache = self._local_cache()
+        if getattr(cache, "disk_dir", None) is None:
+            return fn(*args)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, fn, *args)
+
+    @staticmethod
+    def _digest_from_doc(doc: Mapping[str, Any]) -> str:
+        digest = doc.get("digest")
+        if not isinstance(digest, str) or not digest:
+            raise ReproError("'digest' string required")
+        return digest
+
+    async def cache_get_doc(self, doc: Mapping[str, Any]) -> dict[str, Any]:
+        """Serve one ``cache_get``: local-tier probe, schedule as JSON.
+
+        The response carries ``found`` plus, on a hit, the
+        :func:`~repro.routing.serialize.schedule_to_json` document
+        under ``schedule``. Raises :class:`ReproError` on a malformed
+        request (``bad_request`` via :meth:`dispatch`).
+        """
+        digest = self._digest_from_doc(doc)
+        cache = self._local_cache()
+        schedule = await self._cache_call(cache.get, digest)
+        resp: dict[str, Any] = {
+            "ok": True,
+            "op": "cache_get",
+            "digest": digest,
+            "found": schedule is not None,
+        }
+        if schedule is not None:
+            resp["schedule"] = json.loads(schedule_to_json(schedule))
+        return resp
+
+    async def cache_put_doc(self, doc: Mapping[str, Any]) -> dict[str, Any]:
+        """Serve one ``cache_put``: validate and store into the local tier.
+
+        ``schedule`` must be a
+        :func:`~repro.routing.serialize.schedule_to_json` document (it
+        is re-validated by the :class:`~repro.routing.schedule.Schedule`
+        constructor, so a peer can never plant a corrupt entry);
+        ``cost`` optionally carries the original compute seconds for
+        the admission policy. Raises :class:`ReproError` on malformed
+        requests.
+        """
+        digest = self._digest_from_doc(doc)
+        payload = doc.get("schedule")
+        if not isinstance(payload, Mapping):
+            raise ReproError("'schedule' must be a schedule JSON document")
+        schedule = schedule_from_json(json.dumps(payload))
+        cost = doc.get("cost")
+        if cost is not None:
+            try:
+                cost = float(cost)
+            except (TypeError, ValueError):
+                raise ReproError(f"'cost' must be a number, got {cost!r}") from None
+        cache = self._local_cache()
+        await self._cache_call(
+            functools.partial(cache.put, digest, schedule, cost=cost)
+        )
+        self.telemetry.incr("cache_put_ops")
+        return {"ok": True, "op": "cache_put", "digest": digest, "stored": True}
+
+    def local_cache_stats(self) -> dict[str, Any]:
+        """The local cache tier's stats document (no network I/O)."""
+        return self._local_cache().as_dict()
 
     # ------------------------------------------------------------------
     # batch ops (the HTTP surface)
@@ -390,6 +495,16 @@ _CACHE_COUNTER_FIELDS = (
 )
 _CACHE_GAUGE_FIELDS = ("entries", "maxsize", "hit_rate", "n_shards")
 
+_CLUSTER_COUNTER_FIELDS = (
+    "remote_hits",
+    "remote_misses",
+    "remote_errors",
+    "remote_puts",
+    "remote_put_errors",
+    "read_repairs",
+    "degraded_gets",
+)
+
 #: Summary quantiles exported per latency histogram: stats-doc key ->
 #: Prometheus ``quantile`` label.
 _QUANTILES = (("p50_seconds", "0.5"), ("p95_seconds", "0.95"), ("p99_seconds", "0.99"))
@@ -446,6 +561,41 @@ def render_prometheus(stats: Mapping[str, Any]) -> str:
             if fld in cache:
                 lines.append(f"# TYPE {prefix}_{fld} gauge")
                 lines.append(f"{prefix}_{fld} {cache[fld]}")
+        # Per-shard disk errors, labeled, so one failing shard's disk
+        # tier is visible instead of drowned in the rollup sum.
+        shards = cache.get("shards")
+        if isinstance(shards, list) and shards:
+            lines.append(f"# TYPE {prefix}_shard_disk_errors_total counter")
+            for shard in shards:
+                if isinstance(shard, Mapping) and "disk_errors" in shard:
+                    lines.append(
+                        f"{prefix}_shard_disk_errors_total"
+                        f'{{shard="{shard.get("shard")}"}} '
+                        f'{shard["disk_errors"]}'
+                    )
+
+    cluster = (stats.get("schedule_cache") or {}).get("cluster") or {}
+    if cluster:
+        lines.append("# HELP repro_cluster Cross-daemon cache-sharding counters.")
+        for fld in _CLUSTER_COUNTER_FIELDS:
+            if fld in cluster:
+                lines.append(f"# TYPE repro_cluster_{fld}_total counter")
+                lines.append(f"repro_cluster_{fld}_total {cluster[fld]}")
+        lines.append("# TYPE repro_cluster_ring_nodes gauge")
+        lines.append(f"repro_cluster_ring_nodes {len(cluster.get('ring_nodes', []))}")
+        lines.append("# TYPE repro_cluster_dead_nodes gauge")
+        lines.append(f"repro_cluster_dead_nodes {len(cluster.get('dead_nodes', []))}")
+        lines.append("# TYPE repro_cluster_replication gauge")
+        lines.append(f"repro_cluster_replication {cluster.get('replication', 0)}")
+        nodes = cluster.get("nodes")
+        if isinstance(nodes, Mapping) and nodes:
+            lines.append("# TYPE repro_cluster_node_up gauge")
+            for node_id in sorted(nodes):
+                node = nodes[node_id]
+                up = 1 if isinstance(node, Mapping) and node.get("up") else 0
+                lines.append(
+                    f'repro_cluster_node_up{{node="{_prom_label(str(node_id))}"}} {up}'
+                )
 
     max_workers = stats.get("max_workers")
     if isinstance(max_workers, int):

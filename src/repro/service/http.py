@@ -19,6 +19,11 @@ Endpoints
 ``POST /v1/transpile_batch``
     ``{"requests": [...], "include_qasm": false}`` over transpile
     documents (``qasm`` + ``rows``/``cols`` + options).
+``POST /v1/cache_get`` / ``POST /v1/cache_put`` / ``POST /v1/cache_stats``
+    The remote-shard cache protocol of :mod:`repro.service.cluster`
+    (``/v1/cache_stats`` also answers ``GET``). Served from the local
+    cache tier only, so a shard answering a peer never re-enters the
+    ring.
 ``POST /v1/shutdown``
     Ask the server to drain and exit (the HTTP analogue of the NDJSON
     ``shutdown`` op; SIGTERM does the same).
@@ -379,6 +384,19 @@ class HttpRoutingServer:
             if err is not None:
                 return 400, err, _JSON
             resp = await self.handler.dispatch({**doc, "op": "route"})
+            return _status_for(resp), resp, _JSON
+        if path in ("/v1/cache_get", "/v1/cache_put"):
+            if method != "POST":
+                return self._method_not_allowed(method, path)
+            doc, err = self._parse_body(body)
+            if err is not None:
+                return 400, err, _JSON
+            resp = await self.handler.dispatch({**doc, "op": path.rsplit("/", 1)[1]})
+            return _status_for(resp), resp, _JSON
+        if path == "/v1/cache_stats":
+            if method not in ("GET", "POST"):
+                return self._method_not_allowed(method, path)
+            resp = await self.handler.dispatch({"op": "cache_stats"})
             return _status_for(resp), resp, _JSON
         if path == "/v1/route_batch":
             if method != "POST":

@@ -68,6 +68,12 @@ def graph_fingerprint(graph: Graph) -> str:
     Depends only on the vertex count and the canonical edge set —
     matching :meth:`repro.graphs.base.Graph.__eq__` — never on the
     concrete subclass, the ``name`` label, or construction order.
+
+    Returns
+    -------
+    str
+        A SHA-256 hex digest; equal graphs (in the structural sense
+        above) always hash equal, across processes and restarts.
     """
     edges = np.asarray(graph.edges, dtype=np.int64).reshape(-1, 2)
     return _h(
@@ -78,12 +84,28 @@ def graph_fingerprint(graph: Graph) -> str:
 
 
 def permutation_fingerprint(perm: Permutation) -> str:
-    """Digest of a permutation's destination array."""
+    """Digest of a permutation's destination array.
+
+    Returns
+    -------
+    str
+        A SHA-256 hex digest over the little-endian int64 encoding of
+        ``perm.targets`` — equal permutations hash equal regardless of
+        how they were constructed.
+    """
     return _h(b"perm", np.ascontiguousarray(perm.targets, dtype=np.int64).tobytes())
 
 
 def text_fingerprint(text: str) -> str:
-    """Digest of an arbitrary text payload (e.g. a QASM document)."""
+    """Digest of an arbitrary text payload (e.g. a QASM document).
+
+    Returns
+    -------
+    str
+        A SHA-256 hex digest of the UTF-8 bytes, domain-separated from
+        the other fingerprint kinds so a QASM document can never
+        collide with, say, a graph encoding.
+    """
     return _h(b"text", text.encode("utf-8"))
 
 
@@ -130,7 +152,30 @@ def request_key(
     router: str,
     options: Mapping[str, Any] | None = None,
 ) -> RequestKey:
-    """Fingerprint a ``(graph, permutation, router, options)`` request."""
+    """Fingerprint a ``(graph, permutation, router, options)`` request.
+
+    Parameters
+    ----------
+    graph, perm:
+        The routing instance (hashed structurally — see
+        :func:`graph_fingerprint` / :func:`permutation_fingerprint`).
+    router:
+        The router name; different routers cache separately.
+    options:
+        Router options, canonicalized by :func:`canonical_options` so
+        key order cannot split the cache.
+
+    Returns
+    -------
+    RequestKey
+        The digest plus the human-readable component fingerprints.
+
+    Raises
+    ------
+    TypeError
+        If an option value is not JSON-serializable (it could not be
+        fingerprinted deterministically).
+    """
     g = graph_fingerprint(graph)
     p = permutation_fingerprint(perm)
     opts = canonical_options(options)

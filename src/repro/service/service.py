@@ -35,6 +35,7 @@ from ..perm.generators import WORKLOADS, make_workload
 from ..perm.permutation import Permutation
 from ..routing.serialize import schedule_to_json
 from .cache import LRUCache, ScheduleCache
+from .cluster import ClusterScheduleCache, RemoteShardClient
 from .executor import BatchExecutor, RouteRequest, RouteResult
 from .sharding import AdmissionPolicy, ShardedScheduleCache
 from .keys import (
@@ -230,6 +231,20 @@ class RoutingService:
         :class:`~repro.service.sharding.CostThresholdAdmission` to skip
         trivially cheap instances). Requires ``cache_shards >= 1``; the
         policy implies the sharded cache even when ``cache_shards`` is 1.
+    cluster_peers:
+        Addresses of peer daemons sharing one logical cache (UNIX
+        socket paths or ``http://host:port`` base URLs). Non-empty
+        wraps the cache in a
+        :class:`~repro.service.cluster.ClusterScheduleCache` over a
+        consistent-hash ring of ``cluster_node_id`` plus the peers.
+    cluster_node_id:
+        This node's ring id — the address peers dial to reach *this*
+        daemon, so every member builds the same ring. ``None`` keeps
+        this process off the ring (client-only mode: every key is
+        remote-owned, the local tier is purely a near-cache).
+    cluster_replication:
+        Owners per key on the ring (see
+        :class:`~repro.service.cluster.ClusterScheduleCache`).
     max_workers:
         Process-pool size for batch misses. The default ``1`` computes
         inline (deterministic, no subprocess spawn); pass ``None`` for
@@ -260,18 +275,30 @@ class RoutingService:
         verify: bool = False,
         cache_shards: int = 1,
         cache_admission: "AdmissionPolicy | None" = None,
+        cluster_peers: Sequence[str] = (),
+        cluster_node_id: str | None = None,
+        cluster_replication: int = 2,
     ) -> None:
         self.default_router = default_router
         self.telemetry = Telemetry()
+        cache: ScheduleCache | ShardedScheduleCache | ClusterScheduleCache
         if cache_shards > 1 or cache_admission is not None:
-            self.cache: ScheduleCache | ShardedScheduleCache = ShardedScheduleCache(
+            cache = ShardedScheduleCache(
                 maxsize=cache_size,
                 n_shards=cache_shards,
                 disk_dir=cache_dir,
                 admission=cache_admission,
             )
         else:
-            self.cache = ScheduleCache(maxsize=cache_size, disk_dir=cache_dir)
+            cache = ScheduleCache(maxsize=cache_size, disk_dir=cache_dir)
+        if cluster_peers:
+            cache = ClusterScheduleCache(
+                local=cache,
+                peers={addr: RemoteShardClient(addr) for addr in cluster_peers},
+                node_id=cluster_node_id,
+                replication=cluster_replication,
+            )
+        self.cache = cache
         self.transpile_cache = LRUCache(maxsize=max(cache_size // 4, 16))
         self.executor = BatchExecutor(
             cache=self.cache,
@@ -284,13 +311,16 @@ class RoutingService:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the worker pool. Terminal and idempotent.
+        """Release the worker pool and any cluster connections.
 
-        Concurrent callers are safe (one shutdown happens); submitting
-        work afterwards raises
-        :class:`~repro.errors.ServiceClosedError`.
+        Terminal and idempotent. Concurrent callers are safe (one
+        shutdown happens); submitting work afterwards raises
+        :class:`~repro.errors.ServiceClosedError`. Remote cache peers
+        themselves keep running — only this node's clients close.
         """
         self.executor.close()
+        if isinstance(self.cache, ClusterScheduleCache):
+            self.cache.close()
 
     @property
     def closed(self) -> bool:
@@ -493,25 +523,15 @@ class RoutingService:
         """Cache counters, telemetry and configuration, JSON-ready.
 
         With a sharded schedule cache the ``schedule_cache`` section
-        additionally carries ``n_shards``, ``rejected_puts`` and a
-        per-shard breakdown under ``shards``.
+        additionally carries ``n_shards``, ``rejected_puts``, a
+        per-shard breakdown under ``shards`` and a
+        ``disk_errors_by_shard`` map; with a cluster cache it carries a
+        ``cluster`` section (ring membership, per-node health, remote
+        hit/miss/repair counters).
         """
-        if isinstance(self.cache, ShardedScheduleCache):
-            schedule_cache = self.cache.as_dict()
-        else:
-            schedule_cache = {
-                **self.cache.stats.as_dict(),
-                "entries": len(self.cache),
-                "maxsize": self.cache.maxsize,
-                "disk_dir": str(self.cache.disk_dir) if self.cache.disk_dir else None,
-            }
         return {
-            "schedule_cache": schedule_cache,
-            "transpile_cache": {
-                **self.transpile_cache.stats.as_dict(),
-                "entries": len(self.transpile_cache),
-                "maxsize": self.transpile_cache.maxsize,
-            },
+            "schedule_cache": self.cache.as_dict(),
+            "transpile_cache": self.transpile_cache.as_dict(),
             "telemetry": self.telemetry.snapshot(),
             "max_workers": self.executor.max_workers,
             "default_router": self.default_router,

@@ -215,6 +215,19 @@ class ShardedScheduleCache:
             for i, s in enumerate(self._shards)
         ]
 
+    def disk_errors_by_shard(self) -> dict[int, int]:
+        """Shard index -> disk-error count, for shards with any errors.
+
+        The summed rollup hides a single failing shard's disk tier
+        behind healthy neighbours; this map (also exported per-shard to
+        Prometheus) points straight at the broken one.
+        """
+        return {
+            i: s.stats.disk_errors
+            for i, s in enumerate(self._shards)
+            if s.stats.disk_errors
+        }
+
     def as_dict(self) -> dict[str, Any]:
         """Rollup plus per-shard breakdown, JSON-ready."""
         return {
@@ -224,5 +237,8 @@ class ShardedScheduleCache:
             "n_shards": self.n_shards,
             "rejected_puts": self.rejected_puts,
             "disk_dir": str(self.disk_dir) if self.disk_dir else None,
+            "disk_errors_by_shard": {
+                str(i): n for i, n in self.disk_errors_by_shard().items()
+            },
             "shards": self.per_shard_stats(),
         }

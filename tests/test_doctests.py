@@ -29,6 +29,7 @@ MODULE_NAMES = [
     "repro.service.telemetry",
     "repro.service.aio",
     "repro.service.sharding",
+    "repro.service.cluster",
 ]
 
 

@@ -159,3 +159,113 @@ class TestRenderPrometheus:
             text = render_prometheus(svc.stats())
         assert "repro_schedule_cache_n_shards 4" in text
         assert "repro_schedule_cache_rejected_puts_total 0" in text
+
+
+class TestCacheOps:
+    """The remote-shard cache protocol (cache_get/cache_put/cache_stats)."""
+
+    def test_roundtrip_and_validation(self):
+        from repro.graphs import GridGraph
+        from repro.perm import random_permutation
+        from repro.routing import route
+        from repro.routing.serialize import schedule_to_json
+        import json as json_mod
+
+        grid = GridGraph(3, 3)
+        schedule = route(grid, random_permutation(grid, seed=0))
+        digest = "ab" * 32
+        payload = json_mod.loads(schedule_to_json(schedule))
+
+        async def run():
+            async with AsyncRoutingService(cache_size=16, max_workers=1) as svc:
+                handler = RequestHandler(svc)
+                miss = await handler.dispatch({"op": "cache_get", "digest": digest})
+                assert miss["ok"] and miss["found"] is False
+                assert "schedule" not in miss
+
+                stored = await handler.dispatch({
+                    "op": "cache_put", "digest": digest,
+                    "schedule": payload, "cost": 0.5, "id": 9,
+                })
+                assert stored["ok"] and stored["stored"] and stored["id"] == 9
+
+                hit = await handler.dispatch({"op": "cache_get", "digest": digest})
+                assert hit["ok"] and hit["found"] is True
+                assert hit["schedule"]["layers"] == payload["layers"]
+
+                stats = await handler.dispatch({"op": "cache_stats"})
+                assert stats["ok"] and stats["stats"]["entries"] == 1
+
+                # Validation failures are bad_request, never internal.
+                for doc in (
+                    {"op": "cache_get"},
+                    {"op": "cache_get", "digest": 7},
+                    {"op": "cache_put", "digest": digest},
+                    {"op": "cache_put", "digest": digest, "schedule": "x"},
+                    {"op": "cache_put", "digest": digest,
+                     "schedule": {"format": "nope"}},
+                    {"op": "cache_put", "digest": digest,
+                     "schedule": payload, "cost": "slow"},
+                ):
+                    resp = await handler.dispatch(doc)
+                    assert not resp["ok"] and resp["code"] == "bad_request", doc
+
+        asyncio.run(run())
+
+    def test_cache_ops_serve_local_tier_of_cluster_cache(self):
+        """Peer probes never re-enter the ring (no recursion)."""
+        from repro.service import (
+            ClusterScheduleCache,
+            InProcessShardClient,
+            ScheduleCache,
+        )
+
+        async def run():
+            async with AsyncRoutingService(cache_size=16, max_workers=1) as svc:
+                remote_tier = ScheduleCache(maxsize=8)
+                svc.service.cache = ClusterScheduleCache(
+                    svc.service.cache,
+                    {"peer": InProcessShardClient(remote_tier)},
+                    node_id="self",
+                    replication=2,
+                )
+                handler = RequestHandler(svc)
+                assert handler._local_cache() is svc.service.cache.local
+                resp = await handler.dispatch(
+                    {"op": "cache_get", "digest": "cd" * 32}
+                )
+                assert resp["ok"] and resp["found"] is False
+                # The miss did not fan out to the peer tier.
+                assert remote_tier.stats.lookups == 0
+
+        asyncio.run(run())
+
+    def test_cluster_fields_export_to_prometheus(self):
+        from repro.service import (
+            ClusterScheduleCache,
+            InProcessShardClient,
+            RoutingService,
+            ScheduleCache,
+        )
+
+        with RoutingService(cache_size=32, max_workers=1) as svc:
+            svc.cache = ClusterScheduleCache(
+                svc.cache,
+                {"peer-a": InProcessShardClient(ScheduleCache(maxsize=8))},
+                node_id="self",
+            )
+            text = render_prometheus(svc.stats())
+        assert "repro_cluster_remote_hits_total 0" in text
+        assert "repro_cluster_ring_nodes 2" in text
+        assert "repro_cluster_dead_nodes 0" in text
+        assert 'repro_cluster_node_up{node="peer-a"} 1' in text
+
+    def test_per_shard_disk_errors_export(self):
+        from repro.service import ShardedScheduleCache
+
+        cache = ShardedScheduleCache(maxsize=32, n_shards=4)
+        cache._shards[2].stats.disk_errors = 7
+        doc = {"schedule_cache": cache.as_dict()}
+        assert cache.as_dict()["disk_errors_by_shard"] == {"2": 7}
+        text = render_prometheus(doc)
+        assert 'repro_schedule_cache_shard_disk_errors_total{shard="2"} 7' in text

@@ -165,6 +165,48 @@ class TestEndpoints:
         finally:
             _shutdown(base, thread)
 
+    def test_cache_endpoints_roundtrip(self):
+        """The remote-shard protocol over HTTP, incl. RemoteShardClient."""
+        from repro.graphs import GridGraph
+        from repro.perm import random_permutation
+        from repro.routing import route
+        from repro.routing.serialize import schedule_to_json
+        from repro.service import RemoteShardClient
+
+        grid = GridGraph(3, 3)
+        schedule = route(grid, random_permutation(grid, seed=2))
+        digest = "ef" * 32
+        payload = json.loads(schedule_to_json(schedule))
+        server, base, thread = _start_http()
+        try:
+            status, body = http_request(
+                base + "/v1/cache_get", {"digest": digest}
+            )
+            assert status == 200 and body["ok"] and body["found"] is False
+            status, body = http_request(base + "/v1/cache_put", {
+                "digest": digest, "schedule": payload, "cost": 0.1,
+            })
+            assert status == 200 and body["stored"]
+            status, body = http_request(
+                base + "/v1/cache_get", {"digest": digest}
+            )
+            assert body["found"] and body["schedule"]["layers"] == payload["layers"]
+            status, body = http_request(base + "/v1/cache_stats")
+            assert status == 200 and body["stats"]["entries"] == 1
+            # Validation failures map to 400.
+            status, body = http_request(base + "/v1/cache_get", {})
+            assert status == 400 and body["code"] == "bad_request"
+
+            # The shard client speaks the same endpoints end to end.
+            client = RemoteShardClient(base, timeout=JOIN_TIMEOUT)
+            assert client.ping()
+            assert client.cache_get(digest) == schedule
+            assert client.cache_get("01" * 32) is None
+            assert client.cache_stats()["entries"] == 1
+            client.close()
+        finally:
+            _shutdown(base, thread)
+
     def test_protocol_errors(self):
         server, base, thread = _start_http()
         try:

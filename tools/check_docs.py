@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""CI documentation checks (stdlib only): links + service docstrings.
+
+Two gates, both designed to fail loudly with a file/symbol list:
+
+1. **Intra-repo markdown links** — every relative link target in
+   ``README.md`` and ``docs/*.md`` (plus the other root-level ``*.md``
+   files) must exist on disk. External (``http``/``https``/``mailto``)
+   links and pure anchors are skipped; fenced code blocks are ignored
+   so protocol examples cannot trip the scanner.
+2. **Public docstrings** — every class and function exported by
+   ``repro.service`` (its ``__all__``) must carry a docstring, and so
+   must each of their public methods and properties defined in this
+   package. This is the teeth behind docs/API.md: a symbol without a
+   docstring would generate an empty reference entry.
+
+Run from the repository root::
+
+    python tools/check_docs.py
+
+Exit status 0 when clean, 1 with a findings list otherwise.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+#: Markdown link: ``[text](target)``; images share the syntax via ``!``.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Link schemes that are not filesystem paths.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files() -> list[str]:
+    """Root-level ``*.md`` plus everything under ``docs/``."""
+    files = [
+        os.path.join(REPO_ROOT, name)
+        for name in sorted(os.listdir(REPO_ROOT))
+        if name.endswith(".md")
+    ]
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs_dir, name))
+    return files
+
+
+def check_links() -> list[str]:
+    """Broken relative link targets, as ``file: target`` findings."""
+    findings: list[str] = []
+    for path in iter_markdown_files():
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        in_fence = False
+        for lineno, line in enumerate(lines, 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                    continue
+                target_path = target.split("#", 1)[0]
+                if not target_path:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target_path)
+                )
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(path, REPO_ROOT)
+                    findings.append(f"{rel}:{lineno}: broken link -> {target}")
+    return findings
+
+
+def _needs_doc(obj: object) -> bool:
+    return inspect.isclass(obj) or inspect.isfunction(obj)
+
+
+def _missing_member_docs(cls: type) -> list[str]:
+    """Public methods/properties of ``cls`` (defined in repro) lacking docs."""
+    missing: list[str] = []
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(member, property):
+            target = member.fget
+        elif inspect.isfunction(member):
+            target = member
+        else:
+            continue
+        if target is None or getattr(target, "__module__", "").split(".")[0] != "repro":
+            continue
+        if not inspect.getdoc(target):
+            missing.append(f"repro.service.{cls.__name__}.{name}")
+    return missing
+
+
+def check_docstrings() -> list[str]:
+    """Exported repro.service symbols (and their members) without docs."""
+    import repro.service as service
+
+    findings: list[str] = []
+    for name in service.__all__:
+        obj = getattr(service, name, None)
+        if obj is None:
+            findings.append(f"repro.service.{name}: exported but missing")
+            continue
+        if not _needs_doc(obj):
+            continue  # data exports (tables, type aliases) carry no __doc__
+        if not inspect.getdoc(obj):
+            findings.append(f"repro.service.{name}: missing docstring")
+        if inspect.isclass(obj):
+            findings.extend(
+                f"{member}: missing docstring"
+                for member in _missing_member_docs(obj)
+            )
+    return findings
+
+
+def main() -> int:
+    findings = check_links() + check_docstrings()
+    if findings:
+        print(f"check_docs: {len(findings)} finding(s)")
+        for finding in findings:
+            print(f"  {finding}")
+        return 1
+    n_files = len(iter_markdown_files())
+    print(f"check_docs: OK ({n_files} markdown files, repro.service docstrings)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
