@@ -1,7 +1,8 @@
-"""Multi-daemon cluster cache: cross-daemon warm hits + failure tolerance.
+"""Multi-daemon cluster cache: warm hits, live scale-up + failure tolerance.
 
 The acceptance bar for :mod:`repro.service.cluster` is that a ring of
-daemons really does behave like one logical cache:
+daemons really does behave like one logical cache — including while
+its membership changes:
 
 * **Cross-daemon warm serving** — three daemons form a consistent-hash
   ring (``repro serve --peer``, replication 1, so every key lives on
@@ -10,6 +11,14 @@ daemons really does behave like one logical cache:
   least **50%** of the requests answered by *remote* shards (B owns
   only ~1/3 of the key space) and at least **2x** faster than cold
   local compute of the same workload.
+* **Live scale-up (join + key-space handoff)** — a fourth daemon is
+  started with no peers and added to the ring with ``repro topology
+  join`` (no restarts). All four members must converge on one shared
+  epoch, the warm workload re-driven through B *during* the
+  transition must complete with **zero errors**, and after handoff
+  the joined shard must hold at least **50%** of the
+  previously-cached keys it now owns in its *local* tier (it starts
+  warm, not cold).
 * **Failure isolation** — one shard is SIGKILLed and a fresh workload
   is driven through a surviving daemon: every request must still
   succeed (dead owners degrade to local compute, never to an error).
@@ -36,8 +45,11 @@ sys.path.insert(0, os.path.dirname(__file__))
 
 from _common import make_parser, report, write_json
 from bench_async import _env_with_src
+from repro.cli import main as repro_main
 from repro.service import (
     DaemonClient,
+    HashRing,
+    RemoteShardClient,
     RoutingService,
     request_from_doc,
     wait_for_socket,
@@ -82,6 +94,25 @@ def _spawn_shard(sock: str, peers: list[str]) -> subprocess.Popen:
         stdout=subprocess.DEVNULL,
         stderr=subprocess.DEVNULL,
     )
+
+
+def _cluster_stats(sock: str) -> dict:
+    with DaemonClient(sock) as client:
+        return client.stats()["schedule_cache"]["cluster"]
+
+
+def _wait_for_epoch(socks: list[str], epoch: int, timeout: float = 60.0) -> None:
+    """Block until every daemon reports ``epoch`` and an idle handoff."""
+    deadline = time.monotonic() + timeout
+    while True:
+        stats = [_cluster_stats(sock) for sock in socks]
+        if all(s["epoch"] == epoch for s in stats) and not any(
+            s["handoff_active"] for s in stats
+        ):
+            return
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"ring never converged on epoch {epoch}: {stats}")
+        time.sleep(0.05)
 
 
 def _cold_local_seconds(docs: list[dict]) -> float:
@@ -137,6 +168,64 @@ def bench_cluster(n_requests: int = 200) -> dict:
                 else float("inf")
             )
 
+            # Live scale-up: start a fourth daemon with *no* peers and
+            # join it through the admin CLI — no restarts anywhere.
+            sock_d = os.path.join(tmp, "shard-3.sock")
+            proc_d = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "serve", "--socket",
+                    sock_d, "--workers", "1", "--replication", "1",
+                ],
+                env=_env_with_src(),
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            procs.append(proc_d)
+            wait_for_socket(sock_d, timeout=60.0)
+            t0 = time.perf_counter()
+            assert repro_main(
+                ["topology", "join", sock_d, "--contact", socks[0]]
+            ) == 0, "topology join failed"
+
+            # Zero request errors *during* the transition: the warm
+            # workload through B must not notice the membership change.
+            with DaemonClient(socks[1]) as cb:
+                during = cb.route_batch(docs)
+            stats["transition_errors"] = sum(
+                1 for r in during if not r.get("ok")
+            )
+            assert stats["transition_errors"] == 0, "errors during the join"
+
+            _wait_for_epoch(socks + [sock_d], epoch=2)
+            stats["join_seconds"] = time.perf_counter() - t0
+            stats["epoch_after_join"] = 2
+            stats["handoff_keys_sent"] = sum(
+                _cluster_stats(sock)["handoff_keys_sent"] for sock in socks
+            )
+
+            # After handoff the joined shard holds its share of the
+            # previously-cached key space in its *local* tier.
+            ring = HashRing(socks + [sock_d])
+            digests = [request_from_doc(doc).key().digest for doc in docs]
+            owned = [d for d in digests if ring.owner(d) == sock_d]
+            shard_d = RemoteShardClient(sock_d)
+            try:
+                warm = sum(1 for d in owned if shard_d.cache_get(d) is not None)
+            finally:
+                shard_d.close()
+            stats["joined_owned_keys"] = len(owned)
+            stats["joined_warm_keys"] = warm
+            stats["joined_warm_rate"] = warm / len(owned) if owned else 1.0
+
+            # Scale back down the documented way: leave, then stop.
+            assert repro_main(
+                ["topology", "leave", sock_d, "--contact", socks[0]]
+            ) == 0, "topology leave failed"
+            _wait_for_epoch(socks, epoch=3)
+            with DaemonClient(sock_d) as client:
+                client.shutdown()
+            proc_d.wait(timeout=60)
+
             # Kill shard C outright; a fresh workload through B must
             # still complete with zero errors (dead owners degrade to
             # local compute).
@@ -174,11 +263,15 @@ def bench_cluster(n_requests: int = 200) -> dict:
 def test_cluster_warm_hits_and_failure_tolerance():
     stats = bench_cluster(n_requests=24)
     # Correctness is asserted inside the bench (all ok, zero degraded
-    # errors); the thresholds here are deliberately lenient — the
-    # strict gates are the standalone run's business.
+    # errors, epoch convergence); the thresholds here are deliberately
+    # lenient — the strict gates are the standalone run's business.
     assert stats["remote_hit_rate"] > 0.2, stats
     assert stats["served_from_cache"] == 24, stats
     assert stats["degraded_errors"] == 0, stats
+    assert stats["transition_errors"] == 0, stats
+    assert stats["epoch_after_join"] == 2, stats
+    assert stats["handoff_keys_sent"] > 0, stats
+    assert stats["joined_warm_rate"] > 0.2, stats
 
 
 # ----------------------------------------------------------------------
@@ -194,6 +287,7 @@ def main(argv: list[str] | None = None) -> int:
 
     hit_ok = stats["remote_hit_rate"] >= 0.5
     speed_ok = stats["speedup_vs_cold"] >= 2.0
+    warm_join_ok = stats["joined_warm_rate"] >= 0.5
     print(
         f"\nremote-cache hit rate {stats['remote_hit_rate']:.2f} "
         f"(>=0.50 required): {'PASS' if hit_ok else 'FAIL'}"
@@ -201,6 +295,16 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"warm cluster serve {stats['speedup_vs_cold']:.2f}x cold local "
         f"compute (>=2x required): {'PASS' if speed_ok else 'FAIL'}"
+    )
+    print(
+        f"joined shard warm-hit rate {stats['joined_warm_rate']:.2f} on "
+        f"{stats['joined_owned_keys']} owned keys after handoff "
+        f"(>=0.50 required): {'PASS' if warm_join_ok else 'FAIL'}"
+    )
+    print(
+        f"join transition: {stats['transition_errors']} request errors "
+        f"(0 required): "
+        f"{'PASS' if stats['transition_errors'] == 0 else 'FAIL'}"
     )
     print(
         f"killed shard: workload completed with "
@@ -211,7 +315,14 @@ def main(argv: list[str] | None = None) -> int:
         # The CI gate is "the benchmark runs and produces numbers";
         # shared-runner timing is reported, not asserted.
         return 0
-    return 0 if (hit_ok and speed_ok and stats["degraded_errors"] == 0) else 1
+    ok = (
+        hit_ok
+        and speed_ok
+        and warm_join_ok
+        and stats["transition_errors"] == 0
+        and stats["degraded_errors"] == 0
+    )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Cluster cache demo: two shards, one logical cache, a cross-shard hit.
+"""Cluster cache demo: two shards, one logical cache, a live join.
 
 Run:
     python examples/cluster_demo.py
@@ -14,13 +14,18 @@ the other node's local tier through
    the shard that owns it on the ring);
 2. node B serves the *same* workload entirely from cache — partly from
    its own tier, partly as **remote hits** fetched from A — without
-   computing anything.
+   computing anything;
+3. node C **joins the ring at runtime** (one epoch-guarded
+   :class:`~repro.service.ClusterTopology` mutation, no restarts) and
+   is warmed by key-space handoff: the old primary owners stream the
+   entries C now owns into its tier before it serves anything.
 
 The real multi-host version is the same object graph with
 :class:`~repro.service.RemoteShardClient` instead of the in-process
-client: start daemons with ``repro serve --socket ... --peer ...`` (see
-docs/OPERATIONS.md, and benchmarks/bench_cluster.py for a measured
-3-daemon ring).
+client: start daemons with ``repro serve --socket ... --peer ...`` and
+scale them with ``repro topology join|leave`` (see docs/OPERATIONS.md,
+and benchmarks/bench_cluster.py for a measured ring with the live join
+drill).
 """
 
 from __future__ import annotations
@@ -34,28 +39,34 @@ from repro.service import (
 )
 
 
-def join_ring(svc: RoutingService, node_id: str, peers: dict) -> None:
+def join_ring(svc: RoutingService, node_id: str, tiers: dict) -> None:
     """Swap the service's plain cache for a cluster cache on the ring.
 
     This is exactly what ``repro serve --peer`` / ``repro batch
-    --cluster`` do, with in-process peers instead of remote daemons.
+    --cluster`` do, with in-process peers instead of remote daemons:
+    the ``tiers`` registry plays the role of "dialable addresses", so
+    members that join the topology later are wired up on demand.
     """
     cluster = ClusterScheduleCache(
         local=svc.cache,
-        peers=peers,
+        peers={nid: InProcessShardClient(t) for nid, t in tiers.items()
+               if nid != node_id},
         node_id=node_id,
         replication=1,  # each key lives on exactly one shard
+        client_factory=lambda nid: InProcessShardClient(tiers[nid]),
     )
     svc.cache = cluster
     svc.executor.cache = cluster
+    svc.cluster_topology = cluster.topology
 
 
 def main() -> None:
     node_a = RoutingService(cache_size=256, max_workers=1)
     node_b = RoutingService(cache_size=256, max_workers=1)
     tier_a, tier_b = node_a.cache, node_b.cache  # the local tiers
-    join_ring(node_a, "node-A", {"node-B": InProcessShardClient(tier_b)})
-    join_ring(node_b, "node-B", {"node-A": InProcessShardClient(tier_a)})
+    tiers = {"node-A": tier_a, "node-B": tier_b}
+    join_ring(node_a, "node-A", tiers)
+    join_ring(node_b, "node-B", tiers)
 
     grid = GridGraph(8, 8)
     requests = [
@@ -83,6 +94,31 @@ def main() -> None:
     assert all(r.source == "cache" for r in results_b), "expected a warm serve"
     assert cluster_b.remote_hits > 0, "expected at least one cross-shard hit"
 
+    print("\nnode C joins the ring live (epoch bump + key-space handoff):")
+    tier_c = RoutingService(cache_size=256, max_workers=1)
+    tiers["node-C"] = tier_c.cache  # now "dialable" by the factory
+    # Mutate each member's topology — what `repro topology join` does
+    # over the wire, every member converging on the same bumped epoch.
+    for node in (node_a, node_b):
+        node.cluster_topology.join("node-C")
+    assert node_a.cache.wait_for_handoff(timeout=30.0)
+    assert node_b.cache.wait_for_handoff(timeout=30.0)
+    moved = [
+        r.key.digest
+        for r in results_a
+        if node_a.cache.ring.owner(r.key.digest) == "node-C"
+    ]
+    warm = sum(1 for digest in moved if digest in tier_c.cache)
+    sent = (
+        node_a.cache.cluster_stats.handoff_keys_sent
+        + node_b.cache.cluster_stats.handoff_keys_sent
+    )
+    print(f"  epoch {node_a.cache.epoch} on every member, "
+          f"{len(moved)} keys re-homed to node-C, "
+          f"{warm} already in its tier via handoff ({sent} streamed)")
+    assert node_a.cache.epoch == node_b.cache.epoch == 2
+    assert warm == len(moved), "handoff should warm every re-homed key"
+
     print("\ncluster telemetry (node B):")
     for key, value in node_b.cache.as_dict()["cluster"].items():
         if key != "nodes":
@@ -90,6 +126,7 @@ def main() -> None:
 
     node_a.close()
     node_b.close()
+    tier_c.close()
 
 
 if __name__ == "__main__":

@@ -25,8 +25,17 @@ Commands
     (``--http HOST:PORT``, including Prometheus ``/metrics``); see
     :mod:`repro.service.daemon` and :mod:`repro.service.http` for the
     protocols. Repeatable ``--peer ADDR`` joins the daemon to a
-    cluster cache ring (:mod:`repro.service.cluster`); ``repro batch
-    --cluster ADDR`` taps the same ring from a one-shot batch.
+    cluster cache ring (:mod:`repro.service.cluster`);
+    ``--topology-file PATH`` instead watches a JSON membership file
+    (reloaded on mtime change or SIGHUP); ``repro batch --cluster
+    ADDR`` taps the same ring from a one-shot batch.
+``topology``
+    Inspect or change a live ring's membership without restarts:
+    ``repro topology show ADDR`` prints a daemon's epoch + members;
+    ``repro topology join NEW --contact ADDR`` / ``repro topology
+    leave NODE --contact ADDR`` push an epoch-guarded membership
+    change to every member (scale-up triggers key-space handoff so
+    the new shard starts warm).
 ``sweep``
     A small Figure-4/5 style sweep printed as tables with claim checks.
 ``info``
@@ -177,6 +186,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="cache replicas per key on the cluster ring (with --cluster)",
     )
+    p_batch.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        help="seconds a failed cluster peer is skipped before being "
+        "probed again (with --cluster)",
+    )
 
     p_serve = sub.add_parser(
         "serve", help="long-lived routing daemon (NDJSON over a UNIX socket)"
@@ -259,7 +275,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--replication",
         type=int,
         default=2,
-        help="cache replicas per key on the cluster ring (with --peer)",
+        help="cache replicas per key on the cluster ring",
+    )
+    p_serve.add_argument(
+        "--topology-file",
+        metavar="PATH",
+        help="watch this JSON membership file (mtime poll + SIGHUP) "
+        "instead of a static --peer list; the file lists every ring "
+        "member address including this daemon's own node id",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        help="seconds a failed cluster peer is skipped before being "
+        "probed again (the per-node circuit-breaker cooldown)",
+    )
+
+    p_topo = sub.add_parser(
+        "topology",
+        help="inspect or change a live cluster ring (no restarts)",
+    )
+    topo_sub = p_topo.add_subparsers(dest="topology_command", required=True)
+    t_show = topo_sub.add_parser(
+        "show", help="print a daemon's current epoch and member set"
+    )
+    t_show.add_argument(
+        "contact", help="any ring member's address (socket path or http://...)"
+    )
+    t_show.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    t_join = topo_sub.add_parser(
+        "join",
+        help="add a running daemon to the ring (triggers key-space handoff)",
+    )
+    t_join.add_argument(
+        "node",
+        help="the joining daemon's node id — the address the other "
+        "members will dial (its --node-id / listen address)",
+    )
+    t_join.add_argument(
+        "--contact",
+        required=True,
+        metavar="ADDR",
+        help="any current ring member to read the topology from",
+    )
+    t_leave = topo_sub.add_parser(
+        "leave", help="remove a member from the ring (its keys re-home)"
+    )
+    t_leave.add_argument("node", help="the leaving member's node id")
+    t_leave.add_argument(
+        "--contact",
+        required=True,
+        metavar="ADDR",
+        help="any current ring member to read the topology from",
     )
 
     p_sweep = sub.add_parser("sweep", help="mini Figure 4/5 sweep")
@@ -515,6 +585,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         raise ReproError(f"--workers must be >= 0, got {args.workers}")
     if args.replication <= 0:
         raise ReproError(f"--replication must be positive, got {args.replication}")
+    if args.breaker_cooldown <= 0:
+        raise ReproError(
+            f"--breaker-cooldown must be positive, got {args.breaker_cooldown}"
+        )
 
     requests = [
         _parse_batch_line(doc, lineno)
@@ -532,6 +606,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         verify=args.verify,
         cluster_peers=tuple(args.cluster or ()),
         cluster_replication=args.replication,
+        cluster_retry_interval=args.breaker_cooldown,
     ) as svc:
         t0 = time.perf_counter()
         if args.warm:
@@ -586,7 +661,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """The ``serve`` daemon: warm pool + cache shared across clients."""
     import asyncio
 
-    from .service import AsyncRoutingService, CostThresholdAdmission, RoutingDaemon
+    from .service import (
+        AsyncRoutingService,
+        ClusterTopology,
+        CostThresholdAdmission,
+        RoutingDaemon,
+        TopologyFileWatcher,
+    )
 
     if args.cache_size <= 0:
         raise ReproError(f"--cache-size must be positive, got {args.cache_size}")
@@ -600,6 +681,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     if args.replication <= 0:
         raise ReproError(f"--replication must be positive, got {args.replication}")
+    if args.breaker_cooldown <= 0:
+        raise ReproError(
+            f"--breaker-cooldown must be positive, got {args.breaker_cooldown}"
+        )
+    if args.topology_file and args.peer:
+        raise ReproError(
+            "--topology-file and --peer are mutually exclusive (the file "
+            "is the authoritative member list)"
+        )
 
     http_addr = _parse_host_port(args.http) if args.http else None
     admission = (
@@ -608,14 +698,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else None
     )
     node_id = args.node_id
-    if args.peer and node_id is None:
-        # A shard must sit on the ring under the address its peers dial;
-        # default to this daemon's own listen address. A --pipe daemon
-        # has no dialable address and joins client-only.
+    if node_id is None:
+        # A shard sits on the ring under the address its peers dial;
+        # default to this daemon's own listen address. Any socket/http
+        # daemon is therefore joinable at runtime (`repro topology
+        # join`) even when started with no peers. A --pipe daemon has
+        # no dialable address and stays out of cluster mode unless
+        # given an explicit --node-id.
         if args.socket:
             node_id = args.socket
         elif http_addr is not None:
             node_id = f"http://{http_addr[0]}:{http_addr[1]}"
+
+    topology = None
+    watcher = None
+    if args.topology_file:
+        topology = ClusterTopology([node_id] if node_id else [])
+        watcher = TopologyFileWatcher(topology, args.topology_file)
+        watcher.reload()  # a malformed file fails the start loudly
+
     svc = AsyncRoutingService(
         max_concurrency=args.max_concurrency,
         default_timeout=args.timeout,
@@ -628,26 +729,114 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cluster_peers=tuple(args.peer or ()),
         cluster_node_id=node_id,
         cluster_replication=args.replication,
+        cluster_topology=topology,
+        cluster_retry_interval=args.breaker_cooldown,
     )
     if args.warm:
         warmed = svc.service.warm_cache()
         print(f"warmed cache with {warmed} schedules", file=sys.stderr)
-    if http_addr is not None:
-        from .service import HttpRoutingServer
+    on_reload = watcher.reload_now if watcher is not None else None
+    if watcher is not None:
+        watcher.start()
+    try:
+        if http_addr is not None:
+            from .service import HttpRoutingServer
 
-        host, port = http_addr
-        server = HttpRoutingServer(svc, host=host, port=port)
-        print(f"repro daemon listening on http://{host}:{port}", file=sys.stderr)
-        asyncio.run(server.serve())
-        print("repro daemon stopped", file=sys.stderr)
+            host, port = http_addr
+            server = HttpRoutingServer(svc, host=host, port=port, on_reload=on_reload)
+            print(f"repro daemon listening on http://{host}:{port}", file=sys.stderr)
+            asyncio.run(server.serve())
+            print("repro daemon stopped", file=sys.stderr)
+            return 0
+        daemon = RoutingDaemon(svc, on_reload=on_reload)
+        if args.pipe:
+            asyncio.run(daemon.serve_pipe())
+        else:
+            print(f"repro daemon listening on {args.socket}", file=sys.stderr)
+            asyncio.run(daemon.serve_unix(args.socket))
+            print("repro daemon stopped", file=sys.stderr)
         return 0
-    daemon = RoutingDaemon(svc)
-    if args.pipe:
-        asyncio.run(daemon.serve_pipe())
-    else:
-        print(f"repro daemon listening on {args.socket}", file=sys.stderr)
-        asyncio.run(daemon.serve_unix(args.socket))
-        print("repro daemon stopped", file=sys.stderr)
+    finally:
+        if watcher is not None:
+            watcher.stop()
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    """The ``topology`` admin subcommand: show / join / leave a live ring."""
+    from .service import RemoteShardClient
+
+    def _topology_from(addr: str) -> dict:
+        client = RemoteShardClient(addr)
+        try:
+            return client.topology_get()
+        finally:
+            client.close()
+
+    if args.topology_command == "show":
+        topo = _topology_from(args.contact)
+        if args.json:
+            print(json.dumps(topo, indent=2))
+        else:
+            print(f"epoch {topo.get('epoch')}")
+            for member in topo.get("members", []):
+                print(f"  {member}")
+        return 0
+
+    topo = _topology_from(args.contact)
+    epoch = int(topo.get("epoch", 0))
+    members = list(topo.get("members", []))
+    if args.topology_command == "join":
+        if args.node in members:
+            raise ReproError(f"{args.node} is already a ring member")
+        new_members = sorted(set(members) | {args.node})
+        # The newcomer first (its epoch differs, so no CAS — just the
+        # monotonic guard), then every existing member under a strict
+        # expected-epoch CAS: two racing admins cannot split the ring.
+        push_order = [(args.node, False)] + [(m, True) for m in members]
+    else:  # leave
+        if args.node not in members:
+            raise ReproError(f"{args.node} is not a ring member")
+        new_members = sorted(set(members) - {args.node})
+        if not new_members:
+            raise ReproError(
+                f"refusing to remove the last ring member {args.node}; "
+                "shut the daemon down instead"
+            )
+        # Remaining members first (CAS-guarded); the leaver last and
+        # best-effort — it may already be gone, which is fine.
+        push_order = [(m, True) for m in new_members] + [(args.node, False)]
+    new_epoch = epoch + 1
+    doc = {"members": new_members, "epoch": new_epoch}
+    failures: list[str] = []
+    for addr, cas in push_order:
+        update = {**doc, "expected_epoch": epoch} if cas else doc
+        client = RemoteShardClient(addr)
+        try:
+            client.topology_update(update)
+        except ReproError as exc:
+            if args.topology_command == "join" and addr == args.node:
+                # The newcomer is pushed first; if it cannot be
+                # reached, abort before any live member learns the new
+                # ring — otherwise they would route a share of the key
+                # space to a dead address.
+                raise ReproError(
+                    f"cannot reach joining node {addr} ({exc}); aborting "
+                    "the join before updating the ring"
+                ) from exc
+            if args.topology_command == "leave" and addr == args.node:
+                print(f"note: leaver {addr} unreachable ({exc})", file=sys.stderr)
+            else:
+                failures.append(f"{addr}: {exc}")
+        finally:
+            client.close()
+    if failures:
+        raise ReproError(
+            f"topology update reached only part of the ring: {'; '.join(failures)}"
+        )
+    print(
+        f"ring now at epoch {new_epoch} with {len(new_members)} member(s): "
+        + ", ".join(new_members)
+    )
     return 0
 
 
@@ -674,6 +863,7 @@ _COMMANDS = {
     "transpile": _cmd_transpile,
     "batch": _cmd_batch,
     "serve": _cmd_serve,
+    "topology": _cmd_topology,
     "sweep": _cmd_sweep,
     "info": _cmd_info,
 }

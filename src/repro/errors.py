@@ -21,6 +21,7 @@ __all__ = [
     "ServiceClosedError",
     "DaemonDisconnectedError",
     "ClusterShardError",
+    "StaleEpochError",
 ]
 
 
@@ -92,4 +93,16 @@ class ClusterShardError(ReproError):
     :class:`~repro.service.cluster.ClusterScheduleCache` catches it,
     trips the node's circuit breaker and degrades to local compute —
     it never reaches the routing hot path.
+    """
+
+
+class StaleEpochError(ReproError):
+    """A topology update lost the compare-and-set race on the epoch.
+
+    Raised by :class:`~repro.service.cluster.ClusterTopology` when an
+    update carries an ``expected_epoch`` that no longer matches the
+    current epoch, or tries to install an epoch that is not strictly
+    newer than the current one. Concurrent administrators therefore
+    cannot split-brain a ring: exactly one of two racing updates wins,
+    the other sees this error and must re-read the topology first.
     """

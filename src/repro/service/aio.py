@@ -513,9 +513,10 @@ class AsyncRoutingService:
     def _cache_blocks(cache: Any) -> bool:
         """Whether cache operations may block (disk tier or remote shards).
 
-        A cluster cache advertises network I/O via its ``remote`` class
-        attribute; a disk-backed cache may read/parse files. Either way
-        the operation belongs on a worker thread, not the event loop.
+        A cluster cache advertises network I/O via its ``remote``
+        property (true exactly while the current topology has peers);
+        a disk-backed cache may read/parse files. Either way the
+        operation belongs on a worker thread, not the event loop.
         """
         return (
             getattr(cache, "disk_dir", None) is not None

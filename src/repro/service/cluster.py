@@ -8,15 +8,25 @@ can serve it to every other daemon — the way tket-style routers
 amortize repeated passes over circuit families — as long as all of them
 agree on who owns which key.
 
-Three pieces provide that agreement:
+Four pieces provide that agreement:
 
+* :class:`ClusterTopology` — the epoch-versioned membership object
+  every other layer observes. Each change (join / leave / replace)
+  swaps in a freshly built :class:`HashRing` and bumps a monotonic
+  epoch under a compare-and-set guard, so concurrent administrators
+  cannot split-brain a ring and observers can tell "the ring changed
+  under me" from "my probe missed". ``--peer`` flags, a watched
+  ``--topology-file`` (:class:`TopologyFileWatcher`, reloaded on mtime
+  change or SIGHUP) and the runtime ``topology_update`` op are all
+  just different writers of the same object.
 * :class:`HashRing` — consistent hashing with virtual nodes over the
   request-fingerprint digest. Every daemon builds the same ring from
   the same node ids, so ownership is a pure function of the digest; on
   membership change only ~1/n of the key space moves (see the
   hypothesis tests for the exact invariants).
 * :class:`RemoteShardClient` — a thin client for the ``cache_get`` /
-  ``cache_put`` / ``cache_stats`` operations that
+  ``cache_put`` / ``cache_stats`` / ``topology_get`` /
+  ``topology_update`` operations that
   :class:`~repro.service.handler.RequestHandler` exposes on **both**
   transports: the NDJSON daemon framing (address = UNIX-socket path)
   and the HTTP facade (address = ``http://host:port``). Schedules ship
@@ -26,7 +36,16 @@ Three pieces provide that agreement:
   first, then the key's remote owners in ring order; ``put`` writes
   the local tier plus every remote replica. Remote hits are
   **read-repaired**: promoted into the local tier and pushed to any
-  replica that was probed and missed first.
+  replica that was probed and missed first. Ownership is re-read from
+  the topology on every operation, so a membership change takes
+  effect mid-flight without restarting anything.
+
+When a node **joins**, the members that lose primary ownership of keys
+stream those now-foreign hot-tier entries to the newcomer over the
+ordinary ``cache_put`` op (a bounded-rate background thread, aborted
+by the next epoch bump), so a scale-up event ends with a warm ring
+instead of a cold shard — see
+:meth:`ClusterScheduleCache.wait_for_handoff`.
 
 Failure isolation is absolute: a dead shard degrades the cluster to
 local compute, never to an error. Each node has a tiny circuit breaker
@@ -41,12 +60,18 @@ from __future__ import annotations
 import bisect
 import hashlib
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Iterator, Mapping, Protocol, Sequence
+from typing import Any, Callable, Iterator, Mapping, Protocol, Sequence
 
-from ..errors import ClusterShardError, ReproError
+from ..errors import (
+    ClusterShardError,
+    DaemonDisconnectedError,
+    ReproError,
+    StaleEpochError,
+)
 from ..routing.schedule import Schedule
 from ..routing.serialize import schedule_from_json, schedule_to_json
 from .cache import CacheStats, ScheduleCache
@@ -54,6 +79,10 @@ from .sharding import ShardedScheduleCache
 
 __all__ = [
     "HashRing",
+    "ClusterTopology",
+    "TopologyView",
+    "TopologyFileWatcher",
+    "parse_topology_doc",
     "ShardClient",
     "RemoteShardClient",
     "InProcessShardClient",
@@ -66,13 +95,23 @@ __all__ = [
 #: small enough to rebuild on every membership change.
 DEFAULT_VNODES = 128
 
-#: Seconds a failed node is skipped before being probed again.
+#: Seconds a failed node is skipped before being probed again
+#: (constructor- and CLI-tunable; see ``repro serve --breaker-cooldown``).
 DEFAULT_RETRY_INTERVAL = 30.0
 
 #: Default transport timeout for shard operations (seconds). Cache
 #: probes must be much cheaper than recomputing, so this is short: a
 #: peer slower than this is treated as down and the key recomputed.
 DEFAULT_SHARD_TIMEOUT = 5.0
+
+#: Default key-space handoff rate (``cache_put`` pushes per second the
+#: background handoff thread allows itself). Low enough that a scale-up
+#: never floods the ring with replication traffic, high enough that a
+#: few thousand hot entries migrate in seconds.
+DEFAULT_HANDOFF_RATE = 500.0
+
+#: Seconds between topology-file mtime polls.
+DEFAULT_WATCH_INTERVAL = 1.0
 
 
 class HashRing:
@@ -205,6 +244,477 @@ class HashRing:
         return f"HashRing(nodes={sorted(self._nodes)}, vnodes={self.vnodes})"
 
 
+# ----------------------------------------------------------------------
+# epoch-versioned membership
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TopologyView:
+    """One immutable observation of the cluster membership.
+
+    Readers take a view once per operation and use its ``ring`` for
+    every ownership decision inside that operation, so a concurrent
+    membership change can never split one lookup across two rings.
+    The ``ring`` object is built fresh for each view and never mutated
+    afterwards.
+    """
+
+    epoch: int
+    members: frozenset[str]
+    metadata: Mapping[str, Mapping[str, Any]]
+    ring: HashRing
+
+    def as_dict(self) -> dict[str, Any]:
+        """The view as a JSON-ready topology document."""
+        members = sorted(self.members)
+        return {
+            "epoch": self.epoch,
+            "members": members,
+            "metadata": {m: dict(self.metadata.get(m, {})) for m in members},
+        }
+
+
+class ClusterTopology:
+    """Epoch-versioned, thread-safe cluster membership.
+
+    The single source of truth for "who is on the ring right now".
+    :class:`ClusterScheduleCache`, the request handler's
+    ``topology_get`` / ``topology_update`` ops, the ``--topology-file``
+    watcher and the ``repro topology`` admin CLI all observe or mutate
+    this one object instead of owning private peer lists.
+
+    Every successful mutation swaps in a complete new
+    :class:`TopologyView` (member set, per-node metadata, freshly built
+    :class:`HashRing`) under a strictly increasing **epoch**. Two
+    guards keep concurrent writers coherent:
+
+    * ``expected_epoch`` — compare-and-set: the update applies only if
+      the current epoch still matches, else :class:`StaleEpochError`.
+    * ``epoch`` — an explicit new epoch must be strictly greater than
+      the current one, else :class:`StaleEpochError`. This is how a
+      fleet converges on one shared epoch: the administrator computes
+      ``E + 1`` once and pushes it to every member.
+
+    Subscribers registered with :meth:`subscribe` are called with
+    ``(old_view, new_view)`` after each change, outside the topology
+    lock — this is the hook the cluster cache uses to prune clients
+    and launch key-space handoff.
+
+    >>> topo = ClusterTopology(["a", "b"])
+    >>> topo.epoch
+    1
+    >>> topo.join("c").epoch
+    2
+    >>> sorted(topo.members)
+    ['a', 'b', 'c']
+    """
+
+    def __init__(
+        self,
+        members: Sequence[str] = (),
+        *,
+        epoch: int = 1,
+        vnodes: int = DEFAULT_VNODES,
+        metadata: Mapping[str, Mapping[str, Any]] | None = None,
+    ) -> None:
+        if epoch <= 0:
+            raise ValueError(f"epoch must be positive, got {epoch}")
+        self.vnodes = int(vnodes)
+        self._lock = threading.Lock()
+        self._subscribers: list[Callable[[TopologyView, TopologyView], None]] = []
+        self._view = self._build_view(int(epoch), set(members), dict(metadata or {}))
+
+    def _build_view(
+        self,
+        epoch: int,
+        members: set[str],
+        metadata: Mapping[str, Mapping[str, Any]],
+    ) -> TopologyView:
+        meta = {m: dict(metadata.get(m, {})) for m in members}
+        return TopologyView(
+            epoch=epoch,
+            members=frozenset(members),
+            metadata=meta,
+            ring=HashRing(sorted(members), vnodes=self.vnodes),
+        )
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The current epoch (monotonically increasing)."""
+        return self._view.epoch
+
+    @property
+    def members(self) -> frozenset[str]:
+        """The current member set (a snapshot)."""
+        return self._view.members
+
+    def view(self) -> TopologyView:
+        """The current immutable :class:`TopologyView`."""
+        return self._view
+
+    def as_dict(self) -> dict[str, Any]:
+        """The current topology as a JSON-ready document."""
+        return self._view.as_dict()
+
+    # ------------------------------------------------------------------
+    # observing
+    # ------------------------------------------------------------------
+    def subscribe(self, fn: Callable[[TopologyView, TopologyView], None]) -> None:
+        """Call ``fn(old_view, new_view)`` after every membership change.
+
+        Callbacks run outside the topology lock, in the mutating
+        thread; exceptions are swallowed (an observer must never be
+        able to veto or corrupt a membership change).
+        """
+        with self._lock:
+            self._subscribers.append(fn)
+
+    def unsubscribe(self, fn: Callable[[TopologyView, TopologyView], None]) -> None:
+        """Remove a subscriber registered with :meth:`subscribe` (idempotent).
+
+        Compared with ``==``, not ``is``: subscribers are typically
+        bound methods, and every attribute access creates a fresh
+        bound-method object (identity never matches; equality does).
+        """
+        with self._lock:
+            self._subscribers = [s for s in self._subscribers if s != fn]
+
+    # ------------------------------------------------------------------
+    # mutating
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        members: Sequence[str] | None = None,
+        *,
+        action: str = "replace",
+        node: str | None = None,
+        epoch: int | None = None,
+        expected_epoch: int | None = None,
+        metadata: Mapping[str, Mapping[str, Any]] | None = None,
+    ) -> TopologyView:
+        """Apply one membership change; returns the new (or unchanged) view.
+
+        ``action`` is ``"join"`` / ``"leave"`` (with ``node``) or
+        ``"replace"`` (with the full ``members`` list). A ``replace``
+        that changes nothing — same member set, no explicit ``epoch``,
+        no metadata — is a no-op and does **not** bump the epoch, so a
+        re-read topology file or a repeated admin push cannot abort an
+        in-flight handoff.
+
+        Raises
+        ------
+        StaleEpochError
+            When ``expected_epoch`` no longer matches, or ``epoch`` is
+            not strictly newer than the current epoch.
+        ReproError
+            On a malformed change (unknown action, joining an existing
+            member, leaving a non-member, missing fields).
+        """
+        with self._lock:
+            cur = self._view
+            if expected_epoch is not None and int(expected_epoch) != cur.epoch:
+                raise StaleEpochError(
+                    f"topology update expected epoch {int(expected_epoch)}, "
+                    f"but the current epoch is {cur.epoch}; re-read the "
+                    "topology and retry"
+                )
+            if action == "join":
+                if not node:
+                    raise ReproError("'node' required for a join")
+                if node in cur.members:
+                    raise ReproError(f"node {node!r} is already a ring member")
+                new_members = set(cur.members) | {node}
+            elif action == "leave":
+                if not node:
+                    raise ReproError("'node' required for a leave")
+                if node not in cur.members:
+                    raise ReproError(f"node {node!r} is not a ring member")
+                new_members = set(cur.members) - {node}
+            elif action == "replace":
+                if members is None:
+                    raise ReproError("'members' required for a replace")
+                new_members = set(members)
+            else:
+                raise ReproError(f"unknown topology action {action!r}")
+            merged_meta = {m: dict(cur.metadata.get(m, {})) for m in new_members}
+            if metadata:
+                for m, extra in metadata.items():
+                    if m in merged_meta and isinstance(extra, Mapping):
+                        merged_meta[m].update(extra)
+            if epoch is not None:
+                new_epoch = int(epoch)
+                if new_epoch <= cur.epoch:
+                    raise StaleEpochError(
+                        f"topology epoch {new_epoch} is not newer than the "
+                        f"current epoch {cur.epoch}"
+                    )
+            else:
+                unchanged = new_members == set(cur.members) and merged_meta == {
+                    m: dict(cur.metadata.get(m, {})) for m in cur.members
+                }
+                if action == "replace" and unchanged:
+                    return cur  # idempotent reload: nothing changed
+                new_epoch = cur.epoch + 1
+            new = self._build_view(new_epoch, new_members, merged_meta)
+            self._view = new
+            subscribers = list(self._subscribers)
+        for fn in subscribers:
+            try:
+                fn(cur, new)
+            except Exception:  # noqa: BLE001 - observers cannot veto changes
+                pass
+        return new
+
+    def join(self, node: str, **kwargs: Any) -> TopologyView:
+        """Add one member (sugar for :meth:`update` with ``action="join"``)."""
+        return self.update(action="join", node=node, **kwargs)
+
+    def leave(self, node: str, **kwargs: Any) -> TopologyView:
+        """Remove one member (sugar for :meth:`update` with ``action="leave"``)."""
+        return self.update(action="leave", node=node, **kwargs)
+
+    def replace(self, members: Sequence[str], **kwargs: Any) -> TopologyView:
+        """Install a full member set (sugar for ``action="replace"``)."""
+        return self.update(members=members, action="replace", **kwargs)
+
+    def apply_doc(self, doc: Mapping[str, Any]) -> TopologyView:
+        """Apply a validated ``topology_update`` request document.
+
+        The document carries ``action`` (default ``replace``) plus
+        ``node`` or ``members``, and optionally ``epoch`` /
+        ``expected_epoch`` / ``metadata`` — the wire shape the handler
+        op, the HTTP endpoint and the admin CLI all share.
+
+        Raises
+        ------
+        ReproError
+            On malformed fields (the handler maps this to
+            ``bad_request``).
+        StaleEpochError
+            On a lost epoch race (mapped to ``stale_epoch``).
+        """
+        action = doc.get("action", "replace")
+        if not isinstance(action, str):
+            raise ReproError("'action' must be a string")
+        members = doc.get("members")
+        if members is not None:
+            if not isinstance(members, list) or not all(
+                isinstance(m, str) and m for m in members
+            ):
+                raise ReproError("'members' must be a list of non-empty strings")
+        node = doc.get("node")
+        if node is not None and (not isinstance(node, str) or not node):
+            raise ReproError("'node' must be a non-empty string")
+        epoch = doc.get("epoch")
+        expected = doc.get("expected_epoch")
+        try:
+            epoch = int(epoch) if epoch is not None else None
+            expected = int(expected) if expected is not None else None
+        except (TypeError, ValueError):
+            raise ReproError("'epoch' and 'expected_epoch' must be integers") from None
+        metadata = doc.get("metadata")
+        if metadata is not None and not isinstance(metadata, Mapping):
+            raise ReproError("'metadata' must be a JSON object")
+        return self.update(
+            members=members,
+            action=action,
+            node=node,
+            epoch=epoch,
+            expected_epoch=expected,
+            metadata=metadata,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        view = self._view
+        return (
+            f"ClusterTopology(epoch={view.epoch}, members={sorted(view.members)})"
+        )
+
+
+def parse_topology_doc(
+    doc: Any,
+) -> tuple[list[str], int | None, dict[str, dict[str, Any]]]:
+    """Parse a topology-file document into ``(members, epoch, metadata)``.
+
+    Accepted shapes: a bare JSON array of member addresses, or an
+    object ``{"members": [...], "epoch": N}`` where each member is an
+    address string or ``{"id": "...", "metadata": {...}}``. ``epoch``
+    is optional (``None`` means "bump on change").
+
+    Raises
+    ------
+    ReproError
+        On any other shape.
+    """
+    epoch: int | None = None
+    if isinstance(doc, Mapping):
+        raw_members = doc.get("members")
+        if "epoch" in doc:
+            try:
+                epoch = int(doc["epoch"])
+            except (TypeError, ValueError):
+                raise ReproError("topology 'epoch' must be an integer") from None
+            if epoch <= 0:
+                raise ReproError(f"topology 'epoch' must be positive, got {epoch}")
+    else:
+        raw_members = doc
+    if not isinstance(raw_members, list):
+        raise ReproError(
+            "topology document must be a JSON array of member addresses or "
+            'an object with a "members" array'
+        )
+    members: list[str] = []
+    metadata: dict[str, dict[str, Any]] = {}
+    for entry in raw_members:
+        if isinstance(entry, str) and entry:
+            members.append(entry)
+        elif isinstance(entry, Mapping):
+            node = entry.get("id")
+            if not isinstance(node, str) or not node:
+                raise ReproError("topology member objects need a non-empty 'id'")
+            members.append(node)
+            extra = entry.get("metadata")
+            if extra is not None:
+                if not isinstance(extra, Mapping):
+                    raise ReproError("topology member 'metadata' must be an object")
+                metadata[node] = dict(extra)
+        else:
+            raise ReproError(
+                "topology members must be address strings or {'id': ...} objects"
+            )
+    return members, epoch, metadata
+
+
+class TopologyFileWatcher:
+    """Reload a :class:`ClusterTopology` from a watched JSON file.
+
+    The runtime-reconfiguration path for deployments that manage
+    membership as configuration (one file pushed to every host):
+    ``repro serve --topology-file PATH`` starts this watcher, which
+    polls the file's mtime every ``interval`` seconds and re-applies it
+    on change; SIGHUP (wired by the CLI to :meth:`reload_now`) forces
+    an immediate re-read. File semantics follow
+    :func:`parse_topology_doc`: a file *with* an ``epoch`` is applied
+    only while that epoch is newer than the current one (a stale file
+    with a *different* member set records an error instead of silently
+    rewinding the ring — except on the very first load, where the
+    daemon's implicit single-member epoch 1 must not shadow a fleet's
+    natural ``"epoch": 1`` starting file); a file without one bumps
+    the epoch exactly when the member set actually changes.
+
+    The watcher never raises from its thread — parse or apply failures
+    land in :attr:`last_error` and the previous topology stays in
+    force. Call :meth:`reload` directly (e.g. at daemon start) when a
+    malformed file should fail loudly.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        path: str | os.PathLike,
+        interval: float = DEFAULT_WATCH_INTERVAL,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.topology = topology
+        self.path = os.fspath(path)
+        self.interval = float(interval)
+        self.reloads = 0
+        self.last_error: str | None = None
+        self._last_mtime: int | None = None
+        self._applied = False
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def reload(self) -> bool:
+        """Read and apply the file now; ``True`` when the topology changed.
+
+        Raises
+        ------
+        ReproError
+            On an unreadable or malformed file, or a stale file epoch
+            that disagrees with the current member set.
+        """
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise ReproError(f"cannot read topology file {self.path}: {exc}") from exc
+        members, epoch, metadata = parse_topology_doc(doc)
+        before = self.topology.epoch
+        if epoch is not None and epoch <= before:
+            if frozenset(members) == self.topology.members:
+                self._applied = True
+                return False
+            if self._applied:
+                raise StaleEpochError(
+                    f"topology file {self.path} carries stale epoch {epoch} "
+                    f"(current {before}) but a different member set; bump the "
+                    "file's epoch to apply it"
+                )
+            # First load: the daemon's implicit single-member topology
+            # already sits at epoch 1, so a fleet's natural first file
+            # ("epoch": 1) must still apply — install it as a plain
+            # bump rather than refusing to start.
+            epoch = None
+        view = self.topology.replace(
+            members, epoch=epoch, metadata=metadata or None
+        )
+        changed = view.epoch != before
+        if changed:
+            self.reloads += 1
+        self._applied = True
+        return changed
+
+    def reload_now(self) -> None:
+        """Wake the watcher thread for an immediate re-read (signal-safe)."""
+        self._wake.set()
+
+    def start(self) -> None:
+        """Start the polling thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-topology-watch", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the polling thread (idempotent; joins briefly)."""
+        self._stop.set()
+        self._wake.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=self.interval + 1.0)
+        self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(self.interval)
+            forced = self._wake.is_set()
+            self._wake.clear()
+            if self._stop.is_set():
+                break
+            try:
+                mtime = os.stat(self.path).st_mtime_ns
+            except OSError as exc:
+                self.last_error = f"cannot stat {self.path}: {exc}"
+                continue
+            if not forced and mtime == self._last_mtime:
+                continue
+            self._last_mtime = mtime
+            try:
+                self.reload()
+            except ReproError as exc:
+                self.last_error = str(exc)
+            else:
+                self.last_error = None
+
+
 class ShardClient(Protocol):
     """The transport contract :class:`ClusterScheduleCache` speaks.
 
@@ -282,6 +792,24 @@ class RemoteShardClient:
         with self._lock:
             try:
                 return self._daemon.request(doc)
+            except DaemonDisconnectedError:
+                # A half-open socket — the peer idle-closed (or was
+                # restarted) between two requests — is not a dead shard.
+                # The client has already dropped the connection, so one
+                # fresh-connection retry distinguishes "connection aged
+                # out" from "node down" before the breaker trips. Only
+                # idempotent ops retry: a topology_update whose response
+                # was eaten may already be applied, and re-sending it
+                # would turn success into a spurious CAS failure.
+                if doc.get("op") == "topology_update":
+                    raise
+                try:
+                    return self._daemon.request(doc)
+                except ReproError:
+                    raise
+                except (OSError, ValueError) as exc:
+                    self._daemon.close()
+                    raise ClusterShardError(f"shard {self.address}: {exc}") from exc
             except ReproError:
                 raise
             except (OSError, ValueError) as exc:
@@ -376,6 +904,39 @@ class RemoteShardClient:
         """
         return dict(self._checked({"op": "cache_stats"}).get("stats") or {})
 
+    def topology_get(self) -> dict[str, Any]:
+        """The daemon's current topology document (epoch + members).
+
+        Raises
+        ------
+        ClusterShardError
+            On transport failure, a refused response, or a daemon
+            running without cluster mode.
+        """
+        topo = self._checked({"op": "topology_get"}).get("topology")
+        if not isinstance(topo, Mapping):
+            raise ClusterShardError(
+                f"shard {self.address} returned a malformed topology document"
+            )
+        return dict(topo)
+
+    def topology_update(self, doc: Mapping[str, Any]) -> dict[str, Any]:
+        """Apply a topology change on the daemon; returns its new topology.
+
+        ``doc`` is the ``topology_update`` request shape (``action`` /
+        ``members`` / ``node`` / ``epoch`` / ``expected_epoch``); see
+        :meth:`ClusterTopology.apply_doc`.
+
+        Raises
+        ------
+        ClusterShardError
+            On transport failure or a refused update (including a lost
+            ``stale_epoch`` compare-and-set race — the refusing code is
+            embedded in the message).
+        """
+        resp = self._checked({**dict(doc), "op": "topology_update"})
+        return dict(resp.get("topology") or {})
+
     def close(self) -> None:
         """Close the underlying connection (HTTP clients are stateless)."""
         if self._daemon is not None:
@@ -433,7 +994,12 @@ class ClusterStats:
     trips that node's circuit breaker); ``read_repairs`` counts
     entries pushed back to replicas that missed; ``degraded_gets``
     counts lookups where at least one owner was skipped as dead —
-    the "a dead shard degrades to local compute" path.
+    the "a dead shard degrades to local compute" path. The
+    ``handoff_*`` counters track key-space handoff: ``handoff_rounds``
+    background streams started by a topology change,
+    ``handoff_keys_sent`` entries pushed to newly joined owners,
+    ``handoff_errors`` failed pushes, and ``handoff_aborts`` streams
+    cut short by the next epoch bump (or close).
     """
 
     remote_hits: int = 0
@@ -443,6 +1009,10 @@ class ClusterStats:
     remote_put_errors: int = 0
     read_repairs: int = 0
     degraded_gets: int = 0
+    handoff_rounds: int = 0
+    handoff_keys_sent: int = 0
+    handoff_errors: int = 0
+    handoff_aborts: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         """The counters as a JSON-ready dict."""
@@ -454,14 +1024,23 @@ class ClusterStats:
             "remote_put_errors": self.remote_put_errors,
             "read_repairs": self.read_repairs,
             "degraded_gets": self.degraded_gets,
+            "handoff_rounds": self.handoff_rounds,
+            "handoff_keys_sent": self.handoff_keys_sent,
+            "handoff_errors": self.handoff_errors,
+            "handoff_aborts": self.handoff_aborts,
         }
 
 
 @dataclass
 class _NodeState:
-    """Per-peer health + counters (guarded by the cluster lock)."""
+    """Per-peer health + counters (guarded by the cluster lock).
 
-    client: ShardClient
+    ``client`` is ``None`` only on the throwaway template used to
+    shape stats for never-probed members; every state held in
+    ``ClusterScheduleCache._nodes`` carries a real client.
+    """
+
+    client: ShardClient | None
     hits: int = 0
     misses: int = 0
     errors: int = 0
@@ -477,6 +1056,7 @@ class _NodeState:
             "errors": self.errors,
             "puts": self.puts,
             "up": now >= self.down_until,
+            "cooldown_remaining": max(0.0, self.down_until - now),
             "consecutive_failures": self.consecutive_failures,
             "last_error": self.last_error,
         }
@@ -499,15 +1079,28 @@ class ClusterScheduleCache:
       ``retry_interval`` seconds and skipped; its keys fall back to
       local compute. No remote failure ever escapes as an exception.
 
+    Membership is **observed, not owned**: every operation reads the
+    current :class:`TopologyView` from the shared
+    :class:`ClusterTopology`, so joins and leaves take effect without
+    restarting anything. Shard clients are created lazily from member
+    addresses (``client_factory``, default :class:`RemoteShardClient`)
+    and pruned when a member leaves. When new members join while this
+    node is on the ring, a bounded-rate background thread streams the
+    hot-tier entries this node was the old primary owner of — and a
+    newcomer now owns — to the new owner via ``cache_put`` (key-space
+    handoff), aborting if the epoch moves again mid-stream.
+
     Parameters
     ----------
     local:
         The local cache tier (:class:`~repro.service.cache.ScheduleCache`
         or :class:`~repro.service.sharding.ShardedScheduleCache`).
     peers:
-        Mapping of node id -> :class:`ShardClient`. Node ids must be
-        the addresses *other* daemons use for this ring so every member
-        computes identical ownership.
+        Optional mapping of node id -> pre-wired :class:`ShardClient`
+        (in-process rings, tests). When no ``topology`` is passed,
+        these ids plus ``node_id`` form the initial membership —
+        ``--peer`` is exactly this sugar; there is no separate static
+        path.
     node_id:
         This node's own ring id. ``None`` keeps the local node **off**
         the ring (client-only mode: every key is remote-owned — what
@@ -518,72 +1111,132 @@ class ClusterScheduleCache:
         on exactly one shard; 2 tolerates one dead shard without
         losing warm entries.
     vnodes:
-        Virtual nodes per ring member (see :class:`HashRing`).
+        Virtual nodes per ring member (used when building the implicit
+        topology; an explicit ``topology`` brings its own).
     retry_interval:
-        Seconds a failed peer is skipped before being retried.
+        Seconds a failed peer's circuit breaker stays open before the
+        peer is probed again (``repro serve --breaker-cooldown``).
+    topology:
+        An explicit :class:`ClusterTopology` to observe (shared with
+        the handler's ``topology_*`` ops and the file watcher).
+        ``None`` builds one from ``peers`` + ``node_id``.
+    client_factory:
+        ``node_id -> ShardClient`` for members without a pre-wired
+        client; defaults to :class:`RemoteShardClient` with
+        ``shard_timeout``.
+    shard_timeout:
+        Transport timeout for default-constructed clients.
+    handoff:
+        Whether to stream owned keys to newly joined members.
+    handoff_rate:
+        Upper bound on handoff ``cache_put`` pushes per second.
 
     Raises
     ------
     ValueError
-        On a non-positive ``replication`` / ``retry_interval``, or a
-        ``node_id`` that collides with a peer id.
+        On a non-positive ``replication`` / ``retry_interval`` /
+        ``handoff_rate``, or a ``node_id`` that collides with a peer id.
     """
-
-    #: Tells the async front end that ``get``/``put`` may block on
-    #: network I/O and must run on a worker thread, exactly like a
-    #: disk-backed cache (see ``AsyncRoutingService._cache_get``).
-    remote = True
 
     def __init__(
         self,
         local: ScheduleCache | ShardedScheduleCache,
-        peers: Mapping[str, ShardClient],
+        peers: Mapping[str, ShardClient] | None = None,
         node_id: str | None = None,
         replication: int = 2,
         vnodes: int = DEFAULT_VNODES,
         retry_interval: float = DEFAULT_RETRY_INTERVAL,
+        *,
+        topology: ClusterTopology | None = None,
+        client_factory: Callable[[str], ShardClient] | None = None,
+        shard_timeout: float = DEFAULT_SHARD_TIMEOUT,
+        handoff: bool = True,
+        handoff_rate: float = DEFAULT_HANDOFF_RATE,
     ) -> None:
         if replication <= 0:
             raise ValueError(f"replication must be positive, got {replication}")
         if retry_interval <= 0:
             raise ValueError(f"retry_interval must be positive, got {retry_interval}")
+        if handoff_rate <= 0:
+            raise ValueError(f"handoff_rate must be positive, got {handoff_rate}")
+        peers = dict(peers or {})
         if node_id is not None and node_id in peers:
             raise ValueError(f"node_id {node_id!r} collides with a peer id")
         self.local = local
         self.node_id = node_id
         self.replication = int(replication)
         self.retry_interval = float(retry_interval)
-        members = list(peers)
-        if node_id is not None:
-            members.append(node_id)
-        self.ring = HashRing(members, vnodes=vnodes)
+        self.handoff_rate = float(handoff_rate)
+        self._handoff_enabled = bool(handoff)
+        self._preset_clients = peers
+        self._client_factory = client_factory or (
+            lambda address: RemoteShardClient(address, timeout=shard_timeout)
+        )
+        if topology is None:
+            members = set(peers)
+            if node_id is not None:
+                members.add(node_id)
+            topology = ClusterTopology(sorted(members), vnodes=vnodes)
+        self.topology = topology
         self._lock = threading.Lock()
-        self._nodes: dict[str, _NodeState] = {
-            nid: _NodeState(client=client) for nid, client in peers.items()
-        }
+        self._nodes: dict[str, _NodeState] = {}
+        self._closed = False
+        self._handoff_thread: threading.Thread | None = None
         self.cluster_stats = ClusterStats()
+        topology.subscribe(self._on_topology_change)
+
+    @property
+    def ring(self) -> HashRing:
+        """The current epoch's consistent-hash ring (a live snapshot)."""
+        return self.topology.view().ring
+
+    @property
+    def epoch(self) -> int:
+        """The topology epoch this cache currently observes."""
+        return self.topology.epoch
+
+    @property
+    def remote(self) -> bool:
+        """Whether ``get``/``put`` may block on I/O to other nodes.
+
+        Consulted by the async front end to decide on a worker-thread
+        hop (like a disk tier). True exactly when the current view
+        contains any member besides this node.
+        """
+        return any(m != self.node_id for m in self.topology.members)
 
     # ------------------------------------------------------------------
     # node health
     # ------------------------------------------------------------------
+    def _state(self, node: str) -> _NodeState:
+        """The node's health state, creating its client lazily."""
+        with self._lock:
+            state = self._nodes.get(node)
+            if state is None:
+                client = self._preset_clients.get(node)
+                if client is None:
+                    client = self._client_factory(node)
+                state = self._nodes[node] = _NodeState(client=client)
+            return state
+
     def _live_client(self, node: str) -> ShardClient | None:
         """The node's client, or ``None`` while its breaker is open."""
+        state = self._state(node)
         with self._lock:
-            state = self._nodes[node]
             if time.monotonic() < state.down_until:
                 return None
             return state.client
 
     def _mark_ok(self, node: str) -> None:
+        state = self._state(node)
         with self._lock:
-            state = self._nodes[node]
             state.consecutive_failures = 0
             state.down_until = 0.0
             state.last_error = None
 
     def _mark_failed(self, node: str, exc: Exception) -> None:
+        state = self._state(node)
         with self._lock:
-            state = self._nodes[node]
             state.errors += 1
             state.consecutive_failures += 1
             state.down_until = time.monotonic() + self.retry_interval
@@ -597,24 +1250,145 @@ class ClusterScheduleCache:
             return sorted(nid for nid, s in self._nodes.items() if now < s.down_until)
 
     # ------------------------------------------------------------------
+    # topology changes + key-space handoff
+    # ------------------------------------------------------------------
+    def _on_topology_change(self, old: TopologyView, new: TopologyView) -> None:
+        """React to a membership change: prune clients, start handoff."""
+        removed: list[_NodeState] = []
+        with self._lock:
+            if self._closed:
+                return
+            for nid in list(self._nodes):
+                if nid not in new.members:
+                    removed.append(self._nodes.pop(nid))
+        for state in removed:
+            try:
+                if state.client is not None:
+                    state.client.close()
+            except Exception:  # noqa: BLE001 - teardown is best-effort
+                pass
+        self._maybe_start_handoff(old, new)
+
+    def _maybe_start_handoff(self, old: TopologyView, new: TopologyView) -> None:
+        if not self._handoff_enabled or self.node_id is None:
+            return
+        if self.node_id not in new.members:
+            return
+        newcomers = new.members - old.members - {self.node_id}
+        if not newcomers:
+            return
+        thread = threading.Thread(
+            target=self._handoff_worker,
+            args=(old, new, frozenset(newcomers)),
+            name=f"repro-handoff-epoch{new.epoch}",
+            daemon=True,
+        )
+        with self._lock:
+            self._handoff_thread = thread
+            self.cluster_stats.handoff_rounds += 1
+        thread.start()
+
+    def _handoff_worker(
+        self, old: TopologyView, new: TopologyView, newcomers: frozenset[str]
+    ) -> None:
+        """Stream this node's now-foreign hot keys to the new owners.
+
+        Runs in a background thread after a join. For every local-tier
+        digest this node was the *old primary owner* of (the
+        primary-only rule keeps N old members from pushing the same key
+        N times), any newly joined node in the digest's new replica set
+        receives the entry via ``cache_put``, at most ``handoff_rate``
+        pushes per second. The stream aborts as soon as the topology
+        epoch moves past the one it was started for, or the cache is
+        closed.
+        """
+        interval = 1.0 / self.handoff_rate
+        errors = 0
+        aborted = False
+        for digest in list(self.local.keys()):
+            if self._closed or self.topology.epoch != new.epoch:
+                aborted = True
+                break
+            old_owners = old.ring.replicas(digest, self.replication)
+            if not old_owners or old_owners[0] != self.node_id:
+                continue
+            targets = [
+                n for n in new.ring.replicas(digest, self.replication)
+                if n in newcomers
+            ]
+            if not targets:
+                continue
+            schedule = self.local.get(digest)
+            if schedule is None:
+                continue  # evicted since the key listing
+            for node in targets:
+                if self._closed or self.topology.epoch != new.epoch:
+                    aborted = True
+                    break
+                client = self._live_client(node)
+                if client is None:
+                    errors += 1
+                    continue
+                try:
+                    client.cache_put(digest, schedule)
+                except ReproError as exc:
+                    self._mark_failed(node, exc)
+                    errors += 1
+                    continue
+                self._mark_ok(node)
+                with self._lock:
+                    self.cluster_stats.handoff_keys_sent += 1
+                time.sleep(interval)
+            if aborted:
+                break
+        with self._lock:
+            self.cluster_stats.handoff_errors += errors
+            if aborted:
+                self.cluster_stats.handoff_aborts += 1
+
+    def handoff_active(self) -> bool:
+        """Whether a key-space handoff stream is currently running."""
+        with self._lock:
+            thread = self._handoff_thread
+        return thread is not None and thread.is_alive()
+
+    def wait_for_handoff(self, timeout: float | None = None) -> bool:
+        """Block until the current handoff stream (if any) finishes.
+
+        Returns ``True`` when no stream is running afterwards (``False``
+        on timeout). Benchmarks and drills use this to assert a joined
+        shard is warm before measuring it.
+        """
+        with self._lock:
+            thread = self._handoff_thread
+        if thread is None:
+            return True
+        thread.join(timeout)
+        return not thread.is_alive()
+
+    # ------------------------------------------------------------------
     # the ScheduleCache surface
     # ------------------------------------------------------------------
-    def _owners(self, digest: str) -> list[str]:
-        return self.ring.replicas(digest, self.replication)
+    def _owners(self, digest: str, view: TopologyView | None = None) -> list[str]:
+        view = view or self.topology.view()
+        return view.ring.replicas(digest, self.replication)
 
     def get(self, digest: str) -> Schedule | None:
         """Local tier, then each live remote owner; ``None`` on miss.
 
-        May block on network I/O — the async front end runs it on a
-        worker thread (see the ``remote`` class attribute). Never
+        Ownership comes from one topology view taken at entry, so a
+        concurrent membership change can never split this lookup across
+        two rings. May block on network I/O — the async front end runs
+        it on a worker thread (see the ``remote`` property). Never
         raises for a dead or misbehaving peer.
         """
         schedule = self.local.get(digest)
         if schedule is not None:
             return schedule
+        view = self.topology.view()
         missed: list[str] = []
         degraded = False
-        for node in self._owners(digest):
+        for node in self._owners(digest, view):
             if node == self.node_id:
                 continue  # the local tier already missed
             client = self._live_client(node)
@@ -629,13 +1403,15 @@ class ClusterScheduleCache:
                 continue
             self._mark_ok(node)
             if schedule is None:
+                state = self._state(node)
                 with self._lock:
-                    self._nodes[node].misses += 1
+                    state.misses += 1
                     self.cluster_stats.remote_misses += 1
                 missed.append(node)
                 continue
+            state = self._state(node)
             with self._lock:
-                self._nodes[node].hits += 1
+                state.hits += 1
                 self.cluster_stats.remote_hits += 1
             # Promote into the local tier (near-cache) and repair the
             # replicas that answered "not found" before this hit.
@@ -670,7 +1446,8 @@ class ClusterScheduleCache:
         are counted, never raised.
         """
         self.local.put(digest, schedule, cost=cost)
-        for node in self._owners(digest):
+        view = self.topology.view()
+        for node in self._owners(digest, view):
             if node == self.node_id:
                 continue  # stored by the local put above
             client = self._live_client(node)
@@ -684,8 +1461,9 @@ class ClusterScheduleCache:
                     self.cluster_stats.remote_put_errors += 1
                 continue
             self._mark_ok(node)
+            state = self._state(node)
             with self._lock:
-                self._nodes[node].puts += 1
+                state.puts += 1
                 self.cluster_stats.remote_puts += 1
 
     def __contains__(self, digest: str) -> bool:
@@ -715,12 +1493,25 @@ class ClusterScheduleCache:
         return self.local.disk_dir
 
     def close(self) -> None:
-        """Close every peer client (idempotent; peers keep running)."""
+        """Close every peer client (idempotent; peers keep running).
+
+        Also stops observing the topology and aborts any in-flight
+        key-space handoff stream.
+        """
         with self._lock:
+            self._closed = True
             states = list(self._nodes.values())
+        self.topology.unsubscribe(self._on_topology_change)
+        self.wait_for_handoff(timeout=1.0)  # the worker sees _closed fast
         for state in states:
             try:
-                state.client.close()
+                if state.client is not None:
+                    state.client.close()
+            except Exception:  # noqa: BLE001 - teardown is best-effort
+                pass
+        for client in self._preset_clients.values():
+            try:
+                client.close()
             except Exception:  # noqa: BLE001 - teardown is best-effort
                 pass
 
@@ -750,10 +1541,20 @@ class ClusterScheduleCache:
         return total
 
     def per_node_stats(self) -> dict[str, dict[str, Any]]:
-        """One health + counter dict per peer (for telemetry)."""
+        """One health + counter dict per peer (for telemetry).
+
+        Members never probed yet (no client materialized) report
+        all-zero counters and ``up: true`` — a fresh joiner is assumed
+        healthy until a probe says otherwise.
+        """
         now = time.monotonic()
         with self._lock:
-            return {nid: s.as_dict(now) for nid, s in self._nodes.items()}
+            stats = {nid: s.as_dict(now) for nid, s in self._nodes.items()}
+        fresh = _NodeState(client=None).as_dict(now)
+        for nid in self.topology.members:
+            if nid != self.node_id and nid not in stats:
+                stats[nid] = dict(fresh)
+        return stats
 
     def as_dict(self) -> dict[str, Any]:
         """Local-tier stats plus the ``cluster`` section, JSON-ready.
@@ -765,20 +1566,26 @@ class ClusterScheduleCache:
         own daemons' ``cache_stats`` documents.
         """
         doc = self.local.as_dict()
+        view = self.topology.view()
         with self._lock:
             cluster = self.cluster_stats.as_dict()
         doc["cluster"] = {
             **cluster,
             "node_id": self.node_id,
             "replication": self.replication,
-            "ring_nodes": sorted(self.ring.nodes),
+            "epoch": view.epoch,
+            "retry_interval": self.retry_interval,
+            "handoff_active": self.handoff_active(),
+            "ring_nodes": sorted(view.members),
             "dead_nodes": self.dead_nodes(),
             "nodes": self.per_node_stats(),
         }
         return doc
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        view = self.topology.view()
         return (
             f"ClusterScheduleCache(node_id={self.node_id!r}, "
-            f"peers={sorted(self._nodes)}, replication={self.replication})"
+            f"epoch={view.epoch}, members={sorted(view.members)}, "
+            f"replication={self.replication})"
         )

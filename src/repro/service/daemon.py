@@ -24,6 +24,11 @@ request, in order, per connection:
   / ``{"op": "cache_stats"}`` → the remote-shard cache protocol that
   :mod:`repro.service.cluster` peers speak, served from the **local**
   cache tier only (see :class:`~repro.service.handler.RequestHandler`).
+* ``{"op": "topology_get"}`` / ``{"op": "topology_update", ...}`` →
+  read / change the daemon's epoch-versioned cluster membership at
+  runtime (join, leave, replace; epoch compare-and-set). SIGHUP asks
+  the daemon to re-read its ``--topology-file`` when one is configured
+  (the ``on_reload`` hook).
 * ``{"op": "shutdown"}`` → ``{"ok": true, "op": "shutdown"}``, then
   the server drains in-flight connections and exits.
 
@@ -151,6 +156,46 @@ def _socket_bind_lock(path: str, timeout: float | None = None):
             os.unlink(lock_path)
 
 
+def install_signal_handlers(
+    loop: "asyncio.AbstractEventLoop",
+    stop: Callable[[], None],
+    on_reload: Callable[[], None] | None = None,
+) -> list[signal.Signals]:
+    """Install the serve-loop signal handlers; returns what was installed.
+
+    SIGTERM and SIGINT trigger ``stop`` (graceful drain); SIGHUP — when
+    the platform has it and ``on_reload`` is given — triggers the
+    reload hook (topology-file re-read). Shared by the NDJSON daemon
+    and the HTTP server so the two serve loops cannot drift. Signals
+    that cannot be installed (non-main thread, unsupported platform)
+    are skipped silently; pass the returned list to
+    :func:`remove_signal_handlers` on the way out.
+    """
+    handlers: list[tuple[signal.Signals, Callable[[], None]]] = [
+        (signal.SIGTERM, stop),
+        (signal.SIGINT, stop),
+    ]
+    if on_reload is not None and hasattr(signal, "SIGHUP"):
+        handlers.append((signal.SIGHUP, on_reload))
+    installed: list[signal.Signals] = []
+    for sig, handler in handlers:
+        try:
+            loop.add_signal_handler(sig, handler)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread or unsupported platform
+    return installed
+
+
+def remove_signal_handlers(
+    loop: "asyncio.AbstractEventLoop", installed: Sequence[signal.Signals]
+) -> None:
+    """Remove handlers previously added by :func:`install_signal_handlers`."""
+    for sig in installed:
+        with contextlib.suppress(Exception):
+            loop.remove_signal_handler(sig)
+
+
 class RoutingDaemon:
     """Serve an :class:`AsyncRoutingService` over NDJSON transports.
 
@@ -158,11 +203,21 @@ class RoutingDaemon:
     (and its worker pool and caches) stays warm for the daemon's whole
     lifetime and is closed on exit via
     :meth:`AsyncRoutingService.aclose`.
+
+    ``on_reload`` (when given) is installed as the SIGHUP handler for
+    the serve loop's lifetime — the runtime-reconfiguration hook the
+    CLI wires to :meth:`TopologyFileWatcher.reload_now` so operators
+    can force a topology re-read with ``kill -HUP``.
     """
 
-    def __init__(self, service: AsyncRoutingService) -> None:
+    def __init__(
+        self,
+        service: AsyncRoutingService,
+        on_reload: Callable[[], None] | None = None,
+    ) -> None:
         self.service = service
         self.handler = RequestHandler(service)
+        self.on_reload = on_reload
         self._stop: asyncio.Event | None = None
         self._active_connections = 0
         self._writers: set[asyncio.StreamWriter] = set()
@@ -322,19 +377,11 @@ class RoutingDaemon:
                 self._handle_conn, path=path, limit=2**20
             )
         loop = asyncio.get_running_loop()
-        installed: list[signal.Signals] = []
-        for sig in (signal.SIGTERM, signal.SIGINT):
-            try:
-                loop.add_signal_handler(sig, stop.set)
-                installed.append(sig)
-            except (NotImplementedError, RuntimeError, ValueError):
-                pass  # non-main thread or unsupported platform
+        installed = install_signal_handlers(loop, stop.set, self.on_reload)
         try:
             await stop.wait()
         finally:
-            for sig in installed:
-                with contextlib.suppress(Exception):
-                    loop.remove_signal_handler(sig)
+            remove_signal_handlers(loop, installed)
             server.close()
             await server.wait_closed()
             await self._drain()

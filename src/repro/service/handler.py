@@ -20,6 +20,8 @@ Error codes (the ``"code"`` field on ``"ok": false`` responses):
 ``timeout``          The request exceeded its per-request timeout.
 ``route_error``      Routing itself failed for this instance.
 ``transpile_error``  Transpilation failed for this instance.
+``stale_epoch``      A ``topology_update`` lost the epoch
+                     compare-and-set race (re-read and retry).
 ``internal``         An unexpected server-side failure (isolated per
                      request; the connection survives).
 ==================== ==================================================
@@ -33,6 +35,11 @@ protocol** (``cache_get`` / ``cache_put`` / ``cache_stats``) that
 :mod:`repro.service.cluster` peers speak. These ops always address the
 *local* cache tier — a daemon answering a peer never fans the probe
 back out to the cluster, which is what makes the ring recursion-free.
+Runtime reconfiguration rides the same surface: ``topology_get`` /
+``topology_update`` read and mutate the daemon's epoch-versioned
+:class:`~repro.service.cluster.ClusterTopology` (join / leave /
+replace, guarded by an epoch compare-and-set), which is how ``repro
+topology`` scales a live ring without restarts.
 
 This module also renders the service's :meth:`stats` document as
 Prometheus text exposition format (:func:`render_prometheus`) for the
@@ -46,7 +53,7 @@ import functools
 import json
 from typing import Any, Mapping, Sequence
 
-from ..errors import ReproError
+from ..errors import ReproError, StaleEpochError
 from ..graphs.grid import GridGraph
 from ..perm.generators import make_workload
 from ..perm.permutation import Permutation
@@ -77,6 +84,7 @@ ERROR_CODES: dict[str, str] = {
     "timeout": "request exceeded its timeout",
     "route_error": "routing failed for this instance",
     "transpile_error": "transpilation failed for this instance",
+    "stale_epoch": "topology update lost the epoch compare-and-set race",
     "internal": "unexpected server-side failure",
 }
 
@@ -250,6 +258,10 @@ class RequestHandler:
                     "op": "cache_stats",
                     "stats": self.local_cache_stats(),
                 }
+            elif op == "topology_get":
+                resp = self.topology_get_doc()
+            elif op == "topology_update":
+                resp = self.topology_update_doc(doc)
             else:
                 resp = error_doc("unknown_op", f"unknown op {op!r}")
         except ReproError as exc:
@@ -385,6 +397,57 @@ class RequestHandler:
         return self._local_cache().as_dict()
 
     # ------------------------------------------------------------------
+    # topology ops (runtime ring reconfiguration)
+    # ------------------------------------------------------------------
+    def _topology(self):
+        """The service's :class:`~repro.service.cluster.ClusterTopology`.
+
+        Raises :class:`ReproError` (``bad_request`` via
+        :meth:`dispatch`) when the daemon runs without cluster mode —
+        there is no ring to describe or change.
+        """
+        topology = getattr(self.service.service, "cluster_topology", None)
+        if topology is None:
+            raise ReproError(
+                "this daemon has no cluster topology (start it with a "
+                "dialable address, --peer or --topology-file)"
+            )
+        return topology
+
+    def topology_get_doc(self) -> dict[str, Any]:
+        """Serve one ``topology_get``: the current epoch + member set."""
+        return {
+            "ok": True,
+            "op": "topology_get",
+            "topology": self._topology().as_dict(),
+        }
+
+    def topology_update_doc(self, doc: Mapping[str, Any]) -> dict[str, Any]:
+        """Serve one ``topology_update``: epoch-guarded join/leave/replace.
+
+        The document carries ``action`` (``join`` / ``leave`` /
+        ``replace``, default ``replace``) plus ``node`` or ``members``,
+        and optionally ``epoch`` / ``expected_epoch`` / ``metadata``
+        (see :meth:`~repro.service.cluster.ClusterTopology.apply_doc`).
+        A lost epoch race answers ``"ok": false`` with the stable
+        ``stale_epoch`` code instead of raising, so admins can re-read
+        and retry; malformed documents raise :class:`ReproError`
+        (``bad_request``).
+        """
+        topology = self._topology()
+        try:
+            view = topology.apply_doc(doc)
+        except StaleEpochError as exc:
+            return error_doc("stale_epoch", str(exc), op="topology_update")
+        self.telemetry.incr("topology_updates")
+        return {
+            "ok": True,
+            "op": "topology_update",
+            "epoch": view.epoch,
+            "topology": view.as_dict(),
+        }
+
+    # ------------------------------------------------------------------
     # batch ops (the HTTP surface)
     # ------------------------------------------------------------------
     async def route_batch_docs(
@@ -503,6 +566,10 @@ _CLUSTER_COUNTER_FIELDS = (
     "remote_put_errors",
     "read_repairs",
     "degraded_gets",
+    "handoff_rounds",
+    "handoff_keys_sent",
+    "handoff_errors",
+    "handoff_aborts",
 )
 
 #: Summary quantiles exported per latency histogram: stats-doc key ->
@@ -587,6 +654,17 @@ def render_prometheus(stats: Mapping[str, Any]) -> str:
         lines.append(f"repro_cluster_dead_nodes {len(cluster.get('dead_nodes', []))}")
         lines.append("# TYPE repro_cluster_replication gauge")
         lines.append(f"repro_cluster_replication {cluster.get('replication', 0)}")
+        lines.append("# TYPE repro_cluster_epoch gauge")
+        lines.append(f"repro_cluster_epoch {cluster.get('epoch', 0)}")
+        lines.append("# TYPE repro_cluster_retry_interval_seconds gauge")
+        lines.append(
+            "repro_cluster_retry_interval_seconds "
+            f"{cluster.get('retry_interval', 0)}"
+        )
+        lines.append("# TYPE repro_cluster_handoff_active gauge")
+        lines.append(
+            f"repro_cluster_handoff_active {1 if cluster.get('handoff_active') else 0}"
+        )
         nodes = cluster.get("nodes")
         if isinstance(nodes, Mapping) and nodes:
             lines.append("# TYPE repro_cluster_node_up gauge")
@@ -595,6 +673,18 @@ def render_prometheus(stats: Mapping[str, Any]) -> str:
                 up = 1 if isinstance(node, Mapping) and node.get("up") else 0
                 lines.append(
                     f'repro_cluster_node_up{{node="{_prom_label(str(node_id))}"}} {up}'
+                )
+            lines.append("# TYPE repro_cluster_node_cooldown_seconds gauge")
+            for node_id in sorted(nodes):
+                node = nodes[node_id]
+                cooldown = (
+                    node.get("cooldown_remaining", 0.0)
+                    if isinstance(node, Mapping)
+                    else 0.0
+                )
+                lines.append(
+                    "repro_cluster_node_cooldown_seconds"
+                    f'{{node="{_prom_label(str(node_id))}"}} {cooldown}'
                 )
 
     max_workers = stats.get("max_workers")

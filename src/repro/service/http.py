@@ -24,6 +24,14 @@ Endpoints
     (``/v1/cache_stats`` also answers ``GET``). Served from the local
     cache tier only, so a shard answering a peer never re-enters the
     ring.
+``GET /v1/topology`` / ``POST /v1/topology``
+    Read / change the daemon's epoch-versioned ring membership
+    (``POST`` takes the ``topology_update`` document: ``action`` =
+    ``join``/``leave``/``replace``, ``node`` or ``members``, optional
+    ``epoch`` / ``expected_epoch``). A lost epoch compare-and-set
+    answers 409 with code ``stale_epoch``. ``POST
+    /v1/topology_get`` / ``/v1/topology_update`` are op-style aliases
+    (what :class:`~repro.service.cluster.RemoteShardClient` speaks).
 ``POST /v1/shutdown``
     Ask the server to drain and exit (the HTTP analogue of the NDJSON
     ``shutdown`` op; SIGTERM does the same).
@@ -50,15 +58,19 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
-import signal
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from ..errors import ReproError
 from .aio import AsyncRoutingService
-from .daemon import DRAIN_GRACE_SECONDS, poll_with_backoff
+from .daemon import (
+    DRAIN_GRACE_SECONDS,
+    install_signal_handlers,
+    poll_with_backoff,
+    remove_signal_handlers,
+)
 from .handler import RequestHandler, error_doc
 
 __all__ = [
@@ -81,6 +93,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     411: "Length Required",
     413: "Payload Too Large",
     500: "Internal Server Error",
@@ -113,6 +126,8 @@ def _status_for(resp: Mapping[str, Any]) -> int:
     code = resp.get("code")
     if code in ("bad_json", "bad_request", "unknown_op"):
         return 400
+    if code == "stale_epoch":
+        return 409
     if code == "internal":
         return 500
     return 200
@@ -132,6 +147,10 @@ class HttpRoutingServer:
         published on :attr:`bound_port` once listening.
     max_body_bytes:
         Per-request body-size limit (413 above it).
+    on_reload:
+        Optional zero-argument callback installed as the SIGHUP
+        handler while serving (the CLI wires it to the topology-file
+        watcher's ``reload_now``).
     """
 
     def __init__(
@@ -141,6 +160,7 @@ class HttpRoutingServer:
         port: int = 0,
         *,
         max_body_bytes: int = MAX_BODY_BYTES,
+        on_reload: Callable[[], None] | None = None,
     ) -> None:
         if max_body_bytes <= 0:
             raise ValueError(f"max_body_bytes must be positive, got {max_body_bytes}")
@@ -149,6 +169,7 @@ class HttpRoutingServer:
         self.host = host
         self.port = port
         self.max_body_bytes = max_body_bytes
+        self.on_reload = on_reload
         #: The actually bound port, set once the server is listening
         #: (useful with ``port=0``); ``None`` before start and after stop.
         self.bound_port: int | None = None
@@ -182,19 +203,13 @@ class HttpRoutingServer:
             self._handle_conn, host=self.host, port=self.port, limit=MAX_HEADER_BYTES
         )
         self.bound_port = server.sockets[0].getsockname()[1]
-        installed: list[signal.Signals] = []
-        for sig in (signal.SIGTERM, signal.SIGINT):
-            try:
-                self._loop.add_signal_handler(sig, self._stop.set)
-                installed.append(sig)
-            except (NotImplementedError, RuntimeError, ValueError):
-                pass  # non-main thread or unsupported platform
+        installed = install_signal_handlers(
+            self._loop, self._stop.set, self.on_reload
+        )
         try:
             await self._stop.wait()
         finally:
-            for sig in installed:
-                with contextlib.suppress(Exception):
-                    self._loop.remove_signal_handler(sig)
+            remove_signal_handlers(self._loop, installed)
             server.close()
             await server.wait_closed()
             await self._drain()
@@ -385,7 +400,7 @@ class HttpRoutingServer:
                 return 400, err, _JSON
             resp = await self.handler.dispatch({**doc, "op": "route"})
             return _status_for(resp), resp, _JSON
-        if path in ("/v1/cache_get", "/v1/cache_put"):
+        if path in ("/v1/cache_get", "/v1/cache_put", "/v1/topology_update"):
             if method != "POST":
                 return self._method_not_allowed(method, path)
             doc, err = self._parse_body(body)
@@ -393,11 +408,22 @@ class HttpRoutingServer:
                 return 400, err, _JSON
             resp = await self.handler.dispatch({**doc, "op": path.rsplit("/", 1)[1]})
             return _status_for(resp), resp, _JSON
-        if path == "/v1/cache_stats":
+        if path in ("/v1/cache_stats", "/v1/topology_get"):
             if method not in ("GET", "POST"):
                 return self._method_not_allowed(method, path)
-            resp = await self.handler.dispatch({"op": "cache_stats"})
+            resp = await self.handler.dispatch({"op": path.rsplit("/", 1)[1]})
             return _status_for(resp), resp, _JSON
+        if path == "/v1/topology":
+            if method == "GET":
+                resp = await self.handler.dispatch({"op": "topology_get"})
+                return _status_for(resp), resp, _JSON
+            if method == "POST":
+                doc, err = self._parse_body(body)
+                if err is not None:
+                    return 400, err, _JSON
+                resp = await self.handler.dispatch({**doc, "op": "topology_update"})
+                return _status_for(resp), resp, _JSON
+            return self._method_not_allowed(method, path)
         if path == "/v1/route_batch":
             if method != "POST":
                 return self._method_not_allowed(method, path)

@@ -35,7 +35,13 @@ from ..perm.generators import WORKLOADS, make_workload
 from ..perm.permutation import Permutation
 from ..routing.serialize import schedule_to_json
 from .cache import LRUCache, ScheduleCache
-from .cluster import ClusterScheduleCache, RemoteShardClient
+from .cluster import (
+    DEFAULT_HANDOFF_RATE,
+    DEFAULT_RETRY_INTERVAL,
+    ClusterScheduleCache,
+    ClusterTopology,
+    RemoteShardClient,
+)
 from .executor import BatchExecutor, RouteRequest, RouteResult
 from .sharding import AdmissionPolicy, ShardedScheduleCache
 from .keys import (
@@ -233,18 +239,34 @@ class RoutingService:
         policy implies the sharded cache even when ``cache_shards`` is 1.
     cluster_peers:
         Addresses of peer daemons sharing one logical cache (UNIX
-        socket paths or ``http://host:port`` base URLs). Non-empty
-        wraps the cache in a
-        :class:`~repro.service.cluster.ClusterScheduleCache` over a
-        consistent-hash ring of ``cluster_node_id`` plus the peers.
+        socket paths or ``http://host:port`` base URLs). Sugar for an
+        initial :class:`~repro.service.cluster.ClusterTopology` of the
+        peers plus ``cluster_node_id``; the cache is wrapped in a
+        :class:`~repro.service.cluster.ClusterScheduleCache` observing
+        that topology.
     cluster_node_id:
         This node's ring id — the address peers dial to reach *this*
         daemon, so every member builds the same ring. ``None`` keeps
         this process off the ring (client-only mode: every key is
-        remote-owned, the local tier is purely a near-cache).
+        remote-owned, the local tier is purely a near-cache). Passing
+        a node id with *no* peers still enables cluster mode with a
+        single-member ring, so the daemon can be joined to a ring at
+        runtime (``repro topology join``).
     cluster_replication:
         Owners per key on the ring (see
         :class:`~repro.service.cluster.ClusterScheduleCache`).
+    cluster_topology:
+        An explicit epoch-versioned
+        :class:`~repro.service.cluster.ClusterTopology` to observe
+        (e.g. one fed by a ``--topology-file`` watcher). Enables
+        cluster mode by itself; published on
+        :attr:`cluster_topology` either way.
+    cluster_retry_interval:
+        Seconds a failed peer's circuit breaker stays open
+        (``repro serve --breaker-cooldown``).
+    cluster_handoff_rate:
+        Upper bound on key-space-handoff pushes per second after a
+        ring join.
     max_workers:
         Process-pool size for batch misses. The default ``1`` computes
         inline (deterministic, no subprocess spawn); pass ``None`` for
@@ -278,6 +300,9 @@ class RoutingService:
         cluster_peers: Sequence[str] = (),
         cluster_node_id: str | None = None,
         cluster_replication: int = 2,
+        cluster_topology: "ClusterTopology | None" = None,
+        cluster_retry_interval: float = DEFAULT_RETRY_INTERVAL,
+        cluster_handoff_rate: float = DEFAULT_HANDOFF_RATE,
     ) -> None:
         self.default_router = default_router
         self.telemetry = Telemetry()
@@ -291,13 +316,23 @@ class RoutingService:
             )
         else:
             cache = ScheduleCache(maxsize=cache_size, disk_dir=cache_dir)
-        if cluster_peers:
+        #: The epoch-versioned ring membership this service observes
+        #: (``None`` when cluster mode is off). The handler's
+        #: ``topology_get`` / ``topology_update`` ops and the
+        #: ``--topology-file`` watcher mutate this object; the cluster
+        #: cache reacts without any restart.
+        self.cluster_topology: ClusterTopology | None = None
+        if cluster_topology is not None or cluster_peers or cluster_node_id is not None:
             cache = ClusterScheduleCache(
                 local=cache,
                 peers={addr: RemoteShardClient(addr) for addr in cluster_peers},
                 node_id=cluster_node_id,
                 replication=cluster_replication,
+                retry_interval=cluster_retry_interval,
+                topology=cluster_topology,
+                handoff_rate=cluster_handoff_rate,
             )
+            self.cluster_topology = cache.topology
         self.cache = cache
         self.transpile_cache = LRUCache(maxsize=max(cache_size // 4, 16))
         self.executor = BatchExecutor(
