@@ -18,6 +18,10 @@ Quickstart
 True
 """
 
+# Defined before the subpackage imports so service modules can report
+# the version (``/healthz``, ``ping``) without a circular import.
+__version__ = "1.0.0"
+
 from .errors import (
     CircuitError,
     GraphError,
@@ -104,8 +108,6 @@ from .service import (
     TranspileRequest,
     request_key,
 )
-
-__version__ = "1.0.0"
 
 __all__ = [
     # errors

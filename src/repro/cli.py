@@ -29,6 +29,13 @@ Commands
     ``--topology-file PATH`` instead watches a JSON membership file
     (reloaded on mtime change or SIGHUP); ``repro batch --cluster
     ADDR`` taps the same ring from a one-shot batch.
+``trace``
+    Fetch finished request traces from one or more daemons and render
+    each as a span tree with durations (``--id`` for one trace,
+    ``--slow N`` for traces above a threshold). Traces fetched from
+    several ring members are merged by trace id, so a request that
+    hopped daemons renders as one tree (see
+    :mod:`repro.service.tracing` and docs/OBSERVABILITY.md).
 ``topology``
     Inspect or change a live ring's membership without restarts:
     ``repro topology show ADDR`` prints a daemon's epoch + members;
@@ -290,6 +297,65 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="seconds a failed cluster peer is skipped before being "
         "probed again (the per-node circuit-breaker cooldown)",
+    )
+    p_serve.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="minimum level for the service's structured logs (stderr)",
+    )
+    p_serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as one JSON object per line (with trace_id / "
+        "span_id correlation fields) instead of human-readable text",
+    )
+    p_serve.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=512,
+        metavar="N",
+        help="finished request traces kept in the in-memory ring "
+        "(0 disables tracing entirely)",
+    )
+    p_serve.add_argument(
+        "--trace-slow",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="log a structured warning for any trace slower than this "
+        "(0 = never)",
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="fetch and render request traces from running daemons",
+    )
+    p_trace.add_argument(
+        "contacts",
+        nargs="+",
+        metavar="ADDR",
+        help="daemon addresses (socket path or http://HOST:PORT); give "
+        "every ring member to merge cross-daemon traces into one tree",
+    )
+    p_trace.add_argument(
+        "--id", dest="trace_id", metavar="TRACE", help="fetch one trace by id"
+    )
+    p_trace.add_argument(
+        "--slow",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="only traces with total duration above this many seconds",
+    )
+    p_trace.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="newest traces to show (per daemon fetch; default 10)",
+    )
+    p_trace.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
     )
 
     p_topo = sub.add_parser(
@@ -667,10 +733,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         CostThresholdAdmission,
         RoutingDaemon,
         TopologyFileWatcher,
+        configure_logging,
+        get_logger,
     )
 
     if args.cache_size <= 0:
         raise ReproError(f"--cache-size must be positive, got {args.cache_size}")
+    if args.trace_buffer < 0:
+        raise ReproError(f"--trace-buffer must be >= 0, got {args.trace_buffer}")
+    if args.trace_slow < 0:
+        raise ReproError(f"--trace-slow must be >= 0, got {args.trace_slow}")
     if args.workers is not None and args.workers < 0:
         raise ReproError(f"--workers must be >= 0, got {args.workers}")
     if args.shards <= 0:
@@ -690,6 +762,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "--topology-file and --peer are mutually exclusive (the file "
             "is the authoritative member list)"
         )
+
+    configure_logging(args.log_level, json_output=args.log_json)
+    log = get_logger("repro.service.cli")
 
     http_addr = _parse_host_port(args.http) if args.http else None
     admission = (
@@ -731,10 +806,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cluster_replication=args.replication,
         cluster_topology=topology,
         cluster_retry_interval=args.breaker_cooldown,
+        trace_buffer=args.trace_buffer,
+        trace_slow=args.trace_slow,
     )
     if args.warm:
         warmed = svc.service.warm_cache()
-        print(f"warmed cache with {warmed} schedules", file=sys.stderr)
+        log.info("warmed cache", extra={"schedules": warmed})
     on_reload = watcher.reload_now if watcher is not None else None
     if watcher is not None:
         watcher.start()
@@ -744,21 +821,152 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
             host, port = http_addr
             server = HttpRoutingServer(svc, host=host, port=port, on_reload=on_reload)
-            print(f"repro daemon listening on http://{host}:{port}", file=sys.stderr)
+            log.info(
+                "repro daemon listening",
+                extra={"address": f"http://{host}:{port}", "transport": "http"},
+            )
             asyncio.run(server.serve())
-            print("repro daemon stopped", file=sys.stderr)
+            log.info("repro daemon stopped", extra={"transport": "http"})
             return 0
         daemon = RoutingDaemon(svc, on_reload=on_reload)
         if args.pipe:
             asyncio.run(daemon.serve_pipe())
         else:
-            print(f"repro daemon listening on {args.socket}", file=sys.stderr)
+            log.info(
+                "repro daemon listening",
+                extra={"address": args.socket, "transport": "ndjson"},
+            )
             asyncio.run(daemon.serve_unix(args.socket))
-            print("repro daemon stopped", file=sys.stderr)
+            log.info("repro daemon stopped", extra={"transport": "ndjson"})
         return 0
     finally:
         if watcher is not None:
             watcher.stop()
+
+
+def _merge_traces(trace_docs: list[dict]) -> dict[str, dict]:
+    """Group per-node trace documents by trace id, concatenating spans.
+
+    A request that hopped daemons produces one trace document *per
+    node*, all sharing a trace id; the remote node's root span is
+    parented on the caller's span id, so the concatenated span set
+    forms one well-nested tree.
+    """
+    merged: dict[str, dict] = {}
+    for doc in trace_docs:
+        trace_id = str(doc.get("trace_id", ""))
+        if not trace_id:
+            continue
+        entry = merged.setdefault(
+            trace_id,
+            {"trace_id": trace_id, "nodes": [], "spans": [], "start_unix": None},
+        )
+        node = str(doc.get("node_id", ""))
+        if node and node not in entry["nodes"]:
+            entry["nodes"].append(node)
+        for span_doc in doc.get("spans", []):
+            if any(
+                s.get("span_id") == span_doc.get("span_id")
+                for s in entry["spans"]
+            ):
+                continue  # same node polled twice
+            entry["spans"].append({**span_doc, "node_id": node})
+        start = doc.get("start_unix")
+        if start is not None and (
+            entry["start_unix"] is None or start < entry["start_unix"]
+        ):
+            entry["start_unix"] = start
+    return merged
+
+
+def _render_span_tree(spans: list[dict]) -> list[str]:
+    """A merged span set as indented ``name duration [attrs]`` lines.
+
+    Spans whose parent is absent from the set (the trace root, or a
+    hop whose caller's node was not polled) render at the top level;
+    siblings sort by wall-clock start.
+    """
+    by_id = {s.get("span_id"): s for s in spans if s.get("span_id")}
+    children: dict[str | None, list[dict]] = {}
+    for s in spans:
+        parent = s.get("parent_id")
+        children.setdefault(parent if parent in by_id else None, []).append(s)
+    for kids in children.values():
+        kids.sort(key=lambda s: (s.get("start_unix") or 0.0, s.get("name") or ""))
+
+    lines: list[str] = []
+
+    def walk(span_doc: dict, depth: int) -> None:
+        ms = float(span_doc.get("duration_seconds") or 0.0) * 1e3
+        parts = [f"{'  ' * depth}{span_doc.get('name', '?')}", f"{ms:.3f}ms"]
+        node = span_doc.get("node_id")
+        if node:
+            parts.append(f"@{node}")
+        attrs = span_doc.get("attrs") or {}
+        parts.extend(f"{k}={v}" for k, v in sorted(attrs.items()))
+        if span_doc.get("status", "ok") != "ok":
+            parts.append(f"status={span_doc['status']}")
+        lines.append("  ".join(parts))
+        for child in children.get(span_doc.get("span_id"), []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return lines
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """The ``trace`` subcommand: fetch, merge and render request traces."""
+    from .service import RemoteShardClient
+
+    if args.limit <= 0:
+        raise ReproError(f"--limit must be positive, got {args.limit}")
+    fetched: list[dict] = []
+    errors: list[str] = []
+    for contact in args.contacts:
+        client = RemoteShardClient(contact)
+        try:
+            fetched.extend(
+                client.trace_get(
+                    trace_id=args.trace_id,
+                    limit=None if args.trace_id else args.limit,
+                    min_seconds=args.slow,
+                )
+            )
+        except ReproError as exc:
+            errors.append(f"{contact}: {exc}")
+        finally:
+            client.close()
+    for err in errors:
+        print(f"note: {err}", file=sys.stderr)
+    if len(errors) == len(args.contacts):
+        raise ReproError("no daemon answered trace_get")
+    merged = _merge_traces(fetched)
+    if args.json:
+        print(json.dumps(list(merged.values()), indent=2))
+        return 0
+    if not merged:
+        print("no traces recorded (is tracing enabled and traffic flowing?)")
+        return 0
+    # Newest first, like the daemon's own ring ordering.
+    ordered = sorted(
+        merged.values(), key=lambda t: t.get("start_unix") or 0.0, reverse=True
+    )
+    for entry in ordered:
+        total = max(
+            (
+                float(s.get("duration_seconds") or 0.0)
+                for s in entry["spans"]
+                if s.get("parent_id") is None
+            ),
+            default=0.0,
+        )
+        nodes = ", ".join(entry["nodes"]) or "?"
+        print(f"trace {entry['trace_id']}  {total * 1e3:.3f}ms  nodes: {nodes}")
+        for line in _render_span_tree(entry["spans"]):
+            print(f"  {line}")
+        print()
+    return 0
 
 
 def _cmd_topology(args: argparse.Namespace) -> int:
@@ -863,6 +1071,7 @@ _COMMANDS = {
     "transpile": _cmd_transpile,
     "batch": _cmd_batch,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
     "topology": _cmd_topology,
     "sweep": _cmd_sweep,
     "info": _cmd_info,

@@ -21,6 +21,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Sequence
 
+from ..profiling import stage
+
 __all__ = ["hopcroft_karp", "is_perfect_matching_possible"]
 
 _INF = float("inf")
@@ -107,10 +109,11 @@ def hopcroft_karp(
         return False
 
     size = 0
-    while bfs():
-        for u in range(n_left):
-            if match_l[u] == -1 and dfs(u):
-                size += 1
+    with stage("matching"):
+        while bfs():
+            for u in range(n_left):
+                if match_l[u] == -1 and dfs(u):
+                    size += 1
     return match_l, match_r, size
 
 

@@ -1,0 +1,115 @@
+"""Per-stage wall-time profiling for the routing algorithm phases.
+
+The service layer wants to know *where* a routing call spends its time —
+matching search, bottleneck assignment, swap scheduling — without the
+algorithm code knowing anything about traces, telemetry, or transports.
+This module is that seam: a :class:`StageProfiler` accumulates named
+stage durations for one algorithm invocation, and the algorithm code
+marks its phases with the :func:`stage` context manager, which is a
+near-free no-op unless a profiler has been installed for the current
+context via :func:`profile`.
+
+Timing is *exclusive* (self time): when stages nest — e.g. the
+Hopcroft–Karp ``matching`` stage runs inside the ``decomposition``
+stage — the child's wall time is subtracted from the parent's, so the
+per-stage totals partition the instrumented wall clock and can be
+rendered as sibling spans or summed into histograms without double
+counting.
+
+Kept at the package top level (stdlib only, no intra-package imports)
+so both ``repro.matching`` and ``repro.routing`` can use it without
+creating an import cycle; ``repro.routing.base`` re-exports it for
+service-layer consumers.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+__all__ = ["StageProfiler", "profile", "stage"]
+
+
+class StageProfiler:
+    """Accumulates named stage durations for one algorithm invocation.
+
+    Not thread-safe: one profiler instruments one single-threaded
+    algorithm run (the worker installs a fresh instance per request).
+
+    >>> prof = StageProfiler()
+    >>> with profile(prof):
+    ...     with stage("outer"):
+    ...         with stage("inner"):
+    ...             pass
+    >>> sorted(prof.totals)
+    ['inner', 'outer']
+    """
+
+    __slots__ = ("totals", "counts", "_stack")
+
+    def __init__(self) -> None:
+        #: Exclusive (self) seconds accumulated per stage name.
+        self.totals: dict[str, float] = {}
+        #: Number of completed invocations per stage name.
+        self.counts: dict[str, int] = {}
+        # Open stages: [name, start perf_counter, child wall seconds].
+        self._stack: list[list] = []
+
+    def _enter(self, name: str) -> None:
+        self._stack.append([name, time.perf_counter(), 0.0])
+
+    def _exit(self) -> None:
+        name, t0, child = self._stack.pop()
+        elapsed = time.perf_counter() - t0
+        self.totals[name] = self.totals.get(name, 0.0) + max(
+            0.0, elapsed - child
+        )
+        self.counts[name] = self.counts.get(name, 0) + 1
+        if self._stack:
+            self._stack[-1][2] += elapsed
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """Per-stage ``{"seconds": ..., "count": ...}``, JSON-ready."""
+        return {
+            name: {"seconds": seconds, "count": self.counts.get(name, 0)}
+            for name, seconds in sorted(self.totals.items())
+        }
+
+
+_PROFILER: ContextVar[StageProfiler | None] = ContextVar(
+    "repro_stage_profiler", default=None
+)
+
+
+@contextmanager
+def profile(profiler: StageProfiler) -> Iterator[StageProfiler]:
+    """Install ``profiler`` as the current context's stage collector.
+
+    Nested :func:`stage` blocks record into it until the ``with`` exits;
+    the previous profiler (if any) is restored afterwards.
+    """
+    token = _PROFILER.set(profiler)
+    try:
+        yield profiler
+    finally:
+        _PROFILER.reset(token)
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Record the wall time of the enclosed block under stage ``name``.
+
+    A no-op (one contextvar read) when no profiler is installed, so
+    algorithm code can mark its phases unconditionally.
+    """
+    prof = _PROFILER.get()
+    if prof is None:
+        yield
+        return
+    prof._enter(name)
+    try:
+        yield
+    finally:
+        prof._exit()

@@ -20,12 +20,28 @@ from typing import TYPE_CHECKING, Callable
 from ..errors import RoutingError
 from ..graphs.base import Graph
 from ..perm.permutation import Permutation
+
+# Re-exported so service-layer code can install a per-request profiler
+# around any Router call without importing the top-level module itself.
+# The implementation lives in ``repro.profiling`` (stdlib only) because
+# ``repro.matching`` instruments its own phases and must not import the
+# routing package back.
+from ..profiling import StageProfiler, profile, stage
 from .schedule import Schedule
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..perm.partial import PartialPermutation
 
-__all__ = ["Router", "register_router", "make_router", "available_routers", "route"]
+__all__ = [
+    "Router",
+    "register_router",
+    "make_router",
+    "available_routers",
+    "route",
+    "StageProfiler",
+    "profile",
+    "stage",
+]
 
 
 class Router(ABC):

@@ -40,7 +40,7 @@ from ..matching.bottleneck import bottleneck_assignment
 from ..matching.decompose import windowed_decomposition
 from ..matching.multigraph import ColumnMultigraph
 from ..perm.permutation import Permutation
-from .base import Router, register_router
+from .base import Router, register_router, stage
 from .grid_naive import (
     NaiveGridRouter,
     grid_route_with_sigmas,
@@ -173,29 +173,32 @@ class LocalGridRouter(Router):
         """
         m, _ = grid.shape
         mg = ColumnMultigraph(grid.shape, perm)
-        dec = windowed_decomposition(mg, growth=self.window_growth)
-        if self.assignment == "order":
-            assignment = np.arange(m)
-            bottleneck = float(
-                max(
-                    float(np.abs(ru - r).sum())
-                    for r, ru in enumerate(dec.rows_used)
+        with stage("decomposition"):
+            dec = windowed_decomposition(mg, growth=self.window_growth)
+        with stage("bottleneck_assignment"):
+            if self.assignment == "order":
+                assignment = np.arange(m)
+                bottleneck = float(
+                    max(
+                        float(np.abs(ru - r).sum())
+                        for r, ru in enumerate(dec.rows_used)
+                    )
                 )
+            else:
+                weights = delta_weights(dec.rows_used, m)
+                assignment, bottleneck = bottleneck_assignment(
+                    weights, refine=self.refine_assignment
+                )
+        with stage("swap_scheduling"):
+            sig = sigmas_from_decomposition(dec, assignment, grid.shape)
+            sched = grid_route_with_sigmas(
+                grid,
+                perm,
+                sig,
+                optimize_parity=self.optimize_parity,
+                compact=self.compact,
+                validate=self.validate,
             )
-        else:
-            weights = delta_weights(dec.rows_used, m)
-            assignment, bottleneck = bottleneck_assignment(
-                weights, refine=self.refine_assignment
-            )
-        sig = sigmas_from_decomposition(dec, assignment, grid.shape)
-        sched = grid_route_with_sigmas(
-            grid,
-            perm,
-            sig,
-            optimize_parity=self.optimize_parity,
-            compact=self.compact,
-            validate=self.validate,
-        )
         return sched, dec.window_widths, bottleneck
 
     def route_with_info(

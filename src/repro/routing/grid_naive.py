@@ -38,7 +38,7 @@ from ..graphs.grid import GridGraph
 from ..matching.decompose import Decomposition, naive_decomposition
 from ..matching.multigraph import ColumnMultigraph
 from ..perm.permutation import Permutation
-from .base import Router, register_router
+from .base import Router, register_router, stage
 from .path_oet import oet_rounds_batched
 from .schedule import Schedule
 
@@ -271,18 +271,20 @@ class NaiveGridRouter(Router):
 
     def _route_oriented(self, grid: GridGraph, perm: Permutation) -> Schedule:
         mg = ColumnMultigraph(grid.shape, perm)
-        dec = naive_decomposition(mg)
-        sig = sigmas_from_decomposition(
-            dec, np.arange(grid.shape[0]), grid.shape
-        )
-        return grid_route_with_sigmas(
-            grid,
-            perm,
-            sig,
-            optimize_parity=self.optimize_parity,
-            compact=self.compact,
-            validate=self.validate,
-        )
+        with stage("decomposition"):
+            dec = naive_decomposition(mg)
+        with stage("swap_scheduling"):
+            sig = sigmas_from_decomposition(
+                dec, np.arange(grid.shape[0]), grid.shape
+            )
+            return grid_route_with_sigmas(
+                grid,
+                perm,
+                sig,
+                optimize_parity=self.optimize_parity,
+                compact=self.compact,
+                validate=self.validate,
+            )
 
     def route(self, graph: Graph, perm: Permutation) -> Schedule:
         if not isinstance(graph, GridGraph):

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import contextvars
 import functools
 import time
 from typing import Any, AsyncIterator, Mapping, Sequence
@@ -47,7 +48,12 @@ from ..errors import ServiceClosedError
 from ..graphs.base import Graph
 from ..perm.permutation import Permutation
 from ..routing.schedule import Schedule
-from .executor import RouteRequest, RouteResult, _route_in_worker
+from .executor import (
+    RouteRequest,
+    RouteResult,
+    _route_in_worker,
+    record_stage_telemetry,
+)
 from .keys import RequestKey, graph_spec
 from .service import (
     RoutingService,
@@ -55,6 +61,7 @@ from .service import (
     TranspileRequest,
     _transpile_in_worker,
 )
+from .tracing import record_stage_spans, span
 
 __all__ = ["AsyncRoutingService"]
 
@@ -233,7 +240,8 @@ class AsyncRoutingService:
         sem = self._semaphore()
         tel.incr("aio_queue_depth")
         try:
-            await sem.acquire()
+            with span("queue.wait"):
+                await sem.acquire()
         finally:
             tel.incr("aio_queue_depth", -1)
         tel.incr("aio_inflight")
@@ -388,7 +396,9 @@ class AsyncRoutingService:
         async with self._slot():
             if key is None:
                 key = req.key()
-            cached = await self._cache_get(key.digest)
+            with span("cache.get") as csp:
+                cached = await self._cache_get(key.digest)
+                csp.set("hit", cached is not None)
             if cached is not None:
                 result = RouteResult(
                     index=index,
@@ -472,12 +482,18 @@ class AsyncRoutingService:
         )
         t0 = time.perf_counter()
         try:
-            raw = await self._await_job(
-                _route_in_worker,
-                payload,
-                timeout,
-                salvage=self._route_salvager(req, key),
-            )
+            with span("compute", router=req.router) as csp:
+                raw = await self._await_job(
+                    _route_in_worker,
+                    payload,
+                    timeout,
+                    salvage=self._route_salvager(req, key),
+                )
+                _digest, status, body, seconds, stages = raw
+                csp.set("status", status)
+                if status == "ok":
+                    record_stage_spans(stages)
+                    record_stage_telemetry(self.telemetry, req.router, stages)
         except asyncio.TimeoutError:
             self.telemetry.incr("aio_timeouts")
             elapsed = time.perf_counter() - t0
@@ -489,7 +505,6 @@ class AsyncRoutingService:
             elapsed = time.perf_counter() - t0
             message = f"{type(exc).__name__}: {exc}"
             return _route_error(index, key, req.router, elapsed, message)
-        _digest, status, body, seconds = raw
         if status != "ok":
             return _route_error(index, key, req.router, seconds, str(body))
         try:
@@ -499,7 +514,8 @@ class AsyncRoutingService:
         except Exception as exc:  # noqa: BLE001 - isolate per request
             message = f"{type(exc).__name__}: {exc}"
             return _route_error(index, key, req.router, seconds, message)
-        await self._cache_put(key.digest, schedule, seconds)
+        with span("cache.put"):
+            await self._cache_put(key.digest, schedule, seconds)
         return RouteResult(
             index=index,
             key=key,
@@ -535,7 +551,12 @@ class AsyncRoutingService:
         if not self._cache_blocks(cache):
             return cache.get(digest)
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(None, cache.get, digest)
+        # run_in_executor does not propagate contextvars; carry the
+        # trace context across the thread hop so spans opened inside the
+        # cluster cache (remote probes, read repair) join this request's
+        # trace.
+        ctx = contextvars.copy_context()
+        return await loop.run_in_executor(None, lambda: ctx.run(cache.get, digest))
 
     async def _cache_put(
         self, digest: str, schedule: Schedule, cost: float
@@ -546,8 +567,12 @@ class AsyncRoutingService:
             cache.put(digest, schedule, cost=cost)
             return
         loop = asyncio.get_running_loop()
+        ctx = contextvars.copy_context()
         await loop.run_in_executor(
-            None, functools.partial(cache.put, digest, schedule, cost=cost)
+            None,
+            lambda: ctx.run(
+                functools.partial(cache.put, digest, schedule, cost=cost)
+            ),
         )
 
     def _route_salvager(self, req: RouteRequest, key: RequestKey) -> Any:
@@ -560,7 +585,7 @@ class AsyncRoutingService:
 
         def _salvage(future: Any) -> None:
             try:
-                _digest, status, body, seconds = future.result()
+                _digest, status, body, seconds, _stages = future.result()
                 if status != "ok":
                     return
                 schedule = Schedule(req.graph.n_vertices, body)
@@ -629,7 +654,9 @@ class AsyncRoutingService:
         if timeout is None:
             timeout = self.default_timeout
         async with self._slot():
-            cached = self.service.transpile_cache.get(digest)
+            with span("cache.get") as csp:
+                cached = self.service.transpile_cache.get(digest)
+                csp.set("hit", cached is not None)
             if cached is not None:
                 return TranspileOutcome(
                     index=index,
@@ -653,12 +680,20 @@ class AsyncRoutingService:
             )
             t0 = time.perf_counter()
             try:
-                raw = await self._await_job(
-                    _transpile_in_worker,
-                    payload,
-                    timeout,
-                    salvage=self._transpile_salvager(digest),
-                )
+                with span("compute", router=req.router) as csp:
+                    raw = await self._await_job(
+                        _transpile_in_worker,
+                        payload,
+                        timeout,
+                        salvage=self._transpile_salvager(digest),
+                    )
+                    _digest, status, body, seconds, stages = raw
+                    csp.set("status", status)
+                    if status == "ok":
+                        record_stage_spans(stages)
+                        record_stage_telemetry(
+                            self.telemetry, req.router, stages
+                        )
             except asyncio.TimeoutError:
                 self.telemetry.incr("aio_timeouts")
                 elapsed = time.perf_counter() - t0
@@ -670,7 +705,6 @@ class AsyncRoutingService:
                 elapsed = time.perf_counter() - t0
                 message = f"{type(exc).__name__}: {exc}"
                 return _transpile_error(index, digest, req.router, elapsed, message)
-            _digest, status, body, seconds = raw
             if status != "ok":
                 return _transpile_error(index, digest, req.router, seconds, str(body))
             self.service.transpile_cache.put(digest, body)
@@ -689,7 +723,7 @@ class AsyncRoutingService:
 
         def _salvage(future: Any) -> None:
             try:
-                _digest, status, body, seconds = future.result()
+                _digest, status, body, seconds, _stages = future.result()
                 if status != "ok":
                     return
                 self.service.transpile_cache.put(digest, body)

@@ -76,6 +76,7 @@ from ..routing.schedule import Schedule
 from ..routing.serialize import schedule_from_json, schedule_to_json
 from .cache import CacheStats, ScheduleCache
 from .sharding import ShardedScheduleCache
+from .tracing import current_traceparent, span
 
 __all__ = [
     "HashRing",
@@ -779,16 +780,26 @@ class RemoteShardClient:
     # transport
     # ------------------------------------------------------------------
     def _request(self, doc: dict[str, Any]) -> dict[str, Any]:
+        # Propagate the caller's trace context across the hop: W3C
+        # ``traceparent`` header over HTTP, a ``trace`` field in the
+        # NDJSON request doc. The receiving daemon starts its own trace
+        # under the same trace id, parented on our current span.
+        traceparent = None if "trace" in doc else current_traceparent()
         if self._is_http:
             from .http import http_request  # local import: avoids a cycle
 
             url = self.address.rstrip("/") + "/v1/" + str(doc["op"])
-            status, body = http_request(url, doc, timeout=self.timeout)
+            headers = {"traceparent": traceparent} if traceparent else None
+            status, body = http_request(
+                url, doc, timeout=self.timeout, headers=headers
+            )
             if not isinstance(body, dict):
                 raise ClusterShardError(
                     f"shard {self.address}: non-JSON response (status {status})"
                 )
             return body
+        if traceparent is not None:
+            doc = {**doc, "trace": traceparent}
         with self._lock:
             try:
                 return self._daemon.request(doc)
@@ -936,6 +947,36 @@ class RemoteShardClient:
         """
         resp = self._checked({**dict(doc), "op": "topology_update"})
         return dict(resp.get("topology") or {})
+
+    def trace_get(
+        self,
+        trace_id: str | None = None,
+        limit: int | None = None,
+        min_seconds: float | None = None,
+    ) -> list[dict[str, Any]]:
+        """Fetch finished trace documents from the daemon's trace ring.
+
+        ``trace_id`` selects one trace; otherwise the newest traces,
+        optionally filtered to those slower than ``min_seconds`` and
+        truncated to ``limit``. Returns the raw
+        :meth:`~repro.service.tracing.Trace.to_doc` documents (the
+        ``repro trace`` CLI merges these across nodes by trace id).
+
+        Raises
+        ------
+        ClusterShardError
+            On transport failure or a refused response (including a
+            daemon running with tracing disabled).
+        """
+        doc: dict[str, Any] = {"op": "trace_get"}
+        if trace_id is not None:
+            doc["trace_id"] = trace_id
+        if limit is not None:
+            doc["limit"] = int(limit)
+        if min_seconds is not None:
+            doc["min_seconds"] = float(min_seconds)
+        traces = self._checked(doc).get("traces")
+        return list(traces) if isinstance(traces, list) else []
 
     def close(self) -> None:
         """Close the underlying connection (HTTP clients are stateless)."""
@@ -1329,12 +1370,14 @@ class ClusterScheduleCache:
                 if client is None:
                     errors += 1
                     continue
-                try:
-                    client.cache_put(digest, schedule)
-                except ReproError as exc:
-                    self._mark_failed(node, exc)
-                    errors += 1
-                    continue
+                with span("cache.handoff_put", node=node) as hsp:
+                    try:
+                        client.cache_put(digest, schedule)
+                    except ReproError as exc:
+                        hsp.status = "error"
+                        self._mark_failed(node, exc)
+                        errors += 1
+                        continue
                 self._mark_ok(node)
                 with self._lock:
                     self.cluster_stats.handoff_keys_sent += 1
@@ -1382,7 +1425,9 @@ class ClusterScheduleCache:
         it on a worker thread (see the ``remote`` property). Never
         raises for a dead or misbehaving peer.
         """
-        schedule = self.local.get(digest)
+        with span("cache.local_get") as lsp:
+            schedule = self.local.get(digest)
+            lsp.set("hit", schedule is not None)
         if schedule is not None:
             return schedule
         view = self.topology.view()
@@ -1395,12 +1440,15 @@ class ClusterScheduleCache:
             if client is None:
                 degraded = True
                 continue
-            try:
-                schedule = client.cache_get(digest)
-            except ReproError as exc:
-                self._mark_failed(node, exc)
-                degraded = True
-                continue
+            with span("cache.remote_get", node=node) as rsp:
+                try:
+                    schedule = client.cache_get(digest)
+                except ReproError as exc:
+                    rsp.status = "error"
+                    self._mark_failed(node, exc)
+                    degraded = True
+                    continue
+                rsp.set("hit", schedule is not None)
             self._mark_ok(node)
             if schedule is None:
                 state = self._state(node)
@@ -1429,11 +1477,13 @@ class ClusterScheduleCache:
         client = self._live_client(node)
         if client is None:
             return
-        try:
-            client.cache_put(digest, schedule)
-        except ReproError as exc:
-            self._mark_failed(node, exc)
-            return
+        with span("cache.read_repair", node=node) as rsp:
+            try:
+                client.cache_put(digest, schedule)
+            except ReproError as exc:
+                rsp.status = "error"
+                self._mark_failed(node, exc)
+                return
         with self._lock:
             self.cluster_stats.read_repairs += 1
 
@@ -1453,13 +1503,15 @@ class ClusterScheduleCache:
             client = self._live_client(node)
             if client is None:
                 continue
-            try:
-                client.cache_put(digest, schedule, cost=cost)
-            except ReproError as exc:
-                self._mark_failed(node, exc)
-                with self._lock:
-                    self.cluster_stats.remote_put_errors += 1
-                continue
+            with span("cache.remote_put", node=node) as rsp:
+                try:
+                    client.cache_put(digest, schedule, cost=cost)
+                except ReproError as exc:
+                    rsp.status = "error"
+                    self._mark_failed(node, exc)
+                    with self._lock:
+                        self.cluster_stats.remote_put_errors += 1
+                    continue
             self._mark_ok(node)
             state = self._state(node)
             with self._lock:

@@ -58,6 +58,9 @@ from typing import Any, Callable, IO, Mapping, Sequence
 from ..errors import DaemonDisconnectedError, ReproError
 from .aio import AsyncRoutingService
 from .handler import RequestHandler, request_from_doc
+from .logging import get_logger
+
+_log = get_logger("repro.service.daemon")
 
 __all__ = [
     "RoutingDaemon",
@@ -322,8 +325,11 @@ class RoutingDaemon:
                     if not pending:
                         break
                     # else: keep looping to answer accepted requests.
-        except (OSError, ValueError):
-            pass  # client went away mid-request, or sent an overlong line
+        except (OSError, ValueError) as exc:
+            # Client went away mid-request, or sent an overlong line.
+            _log.debug(
+                "connection dropped: %s", exc, extra={"error_type": type(exc).__name__}
+            )
         finally:
             stop_task.cancel()
             if line_task is not None:
@@ -378,6 +384,7 @@ class RoutingDaemon:
             )
         loop = asyncio.get_running_loop()
         installed = install_signal_handlers(loop, stop.set, self.on_reload)
+        _log.info("daemon listening", extra={"socket": path})
         try:
             await stop.wait()
         finally:
@@ -388,6 +395,7 @@ class RoutingDaemon:
             with contextlib.suppress(OSError):
                 os.unlink(path)
             await self.service.aclose()
+            _log.info("daemon stopped", extra={"socket": path})
 
     async def serve_pipe(
         self,
@@ -585,6 +593,35 @@ class DaemonClient:
     def route(self, doc: Mapping[str, Any]) -> dict[str, Any]:
         """Route one request document (see :func:`request_from_doc`)."""
         return self.request({**dict(doc), "op": "route"})
+
+    def trace_get(
+        self,
+        trace_id: str | None = None,
+        limit: int | None = None,
+        min_seconds: float | None = None,
+    ) -> list[dict[str, Any]]:
+        """Fetch finished trace documents from the daemon's trace ring.
+
+        Same semantics as the ``trace_get`` op (see
+        :meth:`~repro.service.handler.RequestHandler.trace_get_doc`).
+
+        Raises
+        ------
+        ReproError
+            When the daemon refuses (e.g. tracing disabled).
+        """
+        doc: dict[str, Any] = {"op": "trace_get"}
+        if trace_id is not None:
+            doc["trace_id"] = trace_id
+        if limit is not None:
+            doc["limit"] = int(limit)
+        if min_seconds is not None:
+            doc["min_seconds"] = float(min_seconds)
+        resp = self.request(doc)
+        if not resp.get("ok"):
+            raise ReproError(f"trace_get failed: {resp.get('error')}")
+        traces = resp.get("traces")
+        return list(traces) if isinstance(traces, list) else []
 
     def route_batch(
         self, docs: Sequence[Mapping[str, Any]], window: int = CONNECTION_WINDOW

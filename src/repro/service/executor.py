@@ -36,7 +36,7 @@ from typing import Any, Callable, Mapping, Sequence
 from ..errors import ServiceClosedError
 from ..graphs.base import Graph
 from ..perm.permutation import Permutation
-from ..routing.base import make_router
+from ..routing.base import StageProfiler, make_router, profile
 from ..routing.schedule import Schedule
 from .cache import ScheduleCache
 from .cluster import ClusterScheduleCache
@@ -44,7 +44,12 @@ from .keys import RequestKey, graph_from_spec, graph_spec, request_key
 from .sharding import ShardedScheduleCache
 from .telemetry import Telemetry
 
-__all__ = ["RouteRequest", "RouteResult", "BatchExecutor"]
+__all__ = [
+    "RouteRequest",
+    "RouteResult",
+    "BatchExecutor",
+    "record_stage_telemetry",
+]
 
 
 @dataclass(frozen=True)
@@ -84,6 +89,9 @@ class RouteResult:
     seconds: float
     source: str
     error: str | None = None
+    #: Per-stage compute profile ``{stage: {"seconds", "count"}}`` for
+    #: computed results (empty for cache/dedup hits and errors).
+    stages: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -118,25 +126,32 @@ def _warm_worker() -> None:
 
 def _route_in_worker(
     payload: tuple[str, dict, list[int], str, dict],
-) -> tuple[str, str, Any, float]:
+) -> tuple[str, str, Any, float, dict]:
     """Pool worker: rebuild the instance, route it, return raw layers.
 
     Module-level so it pickles by reference. Never raises: failures are
-    returned as ``(digest, "error", message, seconds)`` tuples, which is
-    what keeps one bad instance from killing the whole batch.
+    returned as ``(digest, "error", message, seconds, stages)`` tuples,
+    which is what keeps one bad instance from killing the whole batch.
+    The last element carries the per-stage routing profile — workers
+    cannot share the parent's trace context, so phase timings are
+    collected here and shipped back with the result.
     """
     digest, spec, targets, router_name, options = payload
     t0 = time.perf_counter()
+    profiler = StageProfiler()
     try:
         graph = graph_from_spec(spec)
         perm = Permutation(targets)
         router = make_router(router_name, **options)
-        schedule = router.route(graph, perm)
+        with profile(profiler):
+            schedule = router.route(graph, perm)
         layers = [list(layer) for layer in schedule]
-        return (digest, "ok", layers, time.perf_counter() - t0)
+        return (
+            digest, "ok", layers, time.perf_counter() - t0, profiler.as_dict()
+        )
     except Exception as exc:  # noqa: BLE001 - error isolation is the contract
         msg = f"{type(exc).__name__}: {exc}"
-        return (digest, "error", msg, time.perf_counter() - t0)
+        return (digest, "error", msg, time.perf_counter() - t0, {})
 
 
 class BatchExecutor:
@@ -392,12 +407,15 @@ class BatchExecutor:
         if key is None:
             key = req.key()
         t0 = time.perf_counter()
+        profiler = StageProfiler()
         try:
             router = make_router(req.router, **dict(req.options))
-            schedule = router.route(req.graph, req.perm)
+            with profile(profiler):
+                schedule = router.route(req.graph, req.perm)
             return RouteResult(
                 index=index, key=key, router=req.router, schedule=schedule,
                 seconds=time.perf_counter() - t0, source="computed",
+                stages=profiler.as_dict(),
             )
         except Exception as exc:  # noqa: BLE001 - error isolation is the contract
             return RouteResult(
@@ -426,7 +444,7 @@ class BatchExecutor:
         raw = self.run_jobs(_route_in_worker, payloads)
 
         out: list[RouteResult] = []
-        for i, (_digest, status, body, seconds) in zip(misses, raw):
+        for i, (_digest, status, body, seconds, stages) in zip(misses, raw):
             req = requests[i]
             if status == "ok":
                 try:
@@ -434,6 +452,7 @@ class BatchExecutor:
                     out.append(RouteResult(
                         index=i, key=keys[i], router=req.router,
                         schedule=schedule, seconds=seconds, source="computed",
+                        stages=stages,
                     ))
                     continue
                 except Exception as exc:  # noqa: BLE001
@@ -455,3 +474,22 @@ class BatchExecutor:
             tel.incr(f"source_{r.source}")
             if r.source == "computed":
                 tel.observe("route", r.seconds)
+                record_stage_telemetry(tel, r.router, r.stages)
+
+
+def record_stage_telemetry(
+    telemetry: Telemetry,
+    router: str,
+    stages: Mapping[str, Mapping[str, float]],
+) -> None:
+    """Roll a per-stage compute profile into stage histograms.
+
+    Histogram names follow ``stage.{router}.{stage}``, which the
+    Prometheus endpoint renders as
+    ``repro_stage_seconds{router=...,stage=...}`` — the same
+    decomposition traces show, aggregated.
+    """
+    for stage_name, info in stages.items():
+        telemetry.observe(
+            f"stage.{router}.{stage_name}", float(info.get("seconds", 0.0))
+        )

@@ -53,6 +53,7 @@ import functools
 import json
 from typing import Any, Mapping, Sequence
 
+from .. import __version__
 from ..errors import ReproError, StaleEpochError
 from ..graphs.grid import GridGraph
 from ..perm.generators import make_workload
@@ -65,6 +66,12 @@ from .service import (
     route_result_to_dict,
     transpile_outcome_to_dict,
 )
+from .tracing import TraceBuffer, start_trace
+
+#: Ops that open a trace per request. Introspection ops (``ping``,
+#: ``stats``, ``metrics``, ``trace_get`` itself, topology reads) are
+#: excluded so health probes and scrapers never pollute the trace ring.
+TRACED_OPS = frozenset({"route", "transpile", "cache_get", "cache_put"})
 
 __all__ = [
     "ERROR_CODES",
@@ -215,6 +222,33 @@ class RequestHandler:
         """The wrapped service's telemetry registry."""
         return self.service.telemetry
 
+    @property
+    def traces(self) -> TraceBuffer | None:
+        """The wrapped service's trace ring (``None`` = tracing off)."""
+        return getattr(self.service.service, "traces", None)
+
+    def node_id(self) -> str:
+        """This daemon's cluster node id (empty string off-cluster)."""
+        cache = self.service.service.cache
+        return str(getattr(cache, "node_id", "") or "")
+
+    def health_info(self) -> dict[str, Any]:
+        """Identity fields shared by ``ping`` and HTTP ``/healthz``.
+
+        Reports the package ``version`` always, plus ``node_id`` and the
+        topology ``epoch`` when the daemon runs in cluster mode — enough
+        for an operator (or a rolling deploy) to tell which build and
+        which ring generation answered the probe.
+        """
+        info: dict[str, Any] = {"version": __version__}
+        node_id = self.node_id()
+        if node_id:
+            info["node_id"] = node_id
+        topology = getattr(self.service.service, "cluster_topology", None)
+        if topology is not None:
+            info["epoch"] = topology.epoch
+        return info
+
     # ------------------------------------------------------------------
     # op dispatch (the NDJSON surface)
     # ------------------------------------------------------------------
@@ -229,50 +263,130 @@ class RequestHandler:
         return await self.dispatch(doc)
 
     async def dispatch(self, doc: dict[str, Any]) -> dict[str, Any]:
-        """Dispatch one request document by ``op`` (default ``route``)."""
+        """Dispatch one request document by ``op`` (default ``route``).
+
+        Work ops (:data:`TRACED_OPS`) run under a root span named
+        ``handler.<op>``; a ``trace`` field carrying a W3C
+        ``traceparent`` joins the request to the caller's trace (the
+        cross-daemon hop), and the response echoes the ``trace_id`` so
+        clients can fetch the finished trace via ``trace_get``.
+        """
         op = doc.get("op", "route")
-        try:
-            if op == "ping":
-                resp: dict[str, Any] = {"ok": True, "op": "ping"}
-            elif op == "stats":
-                resp = {"ok": True, "op": "stats", "stats": self.service.stats()}
-            elif op == "metrics":
-                resp = {
-                    "ok": True,
-                    "op": "metrics",
-                    "metrics": self.prometheus_metrics(),
-                }
-            elif op == "shutdown":
-                resp = {"ok": True, "op": "shutdown"}
-            elif op == "route":
-                resp = await self.route_doc(doc)
-            elif op == "transpile":
-                resp = await self.transpile_doc(doc)
-            elif op == "cache_get":
-                resp = await self.cache_get_doc(doc)
-            elif op == "cache_put":
-                resp = await self.cache_put_doc(doc)
-            elif op == "cache_stats":
-                resp = {
-                    "ok": True,
-                    "op": "cache_stats",
-                    "stats": self.local_cache_stats(),
-                }
-            elif op == "topology_get":
-                resp = self.topology_get_doc()
-            elif op == "topology_update":
-                resp = self.topology_update_doc(doc)
-            else:
-                resp = error_doc("unknown_op", f"unknown op {op!r}")
-        except ReproError as exc:
-            resp = error_doc("bad_request", str(exc), op=str(op))
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:  # noqa: BLE001 - one bad request, one error doc
-            resp = error_doc("internal", f"{type(exc).__name__}: {exc}", op=str(op))
+        buffer = self.traces if op in TRACED_OPS else None
+        traceparent = doc.get("trace")
+        with start_trace(
+            f"handler.{op}",
+            buffer,
+            traceparent=traceparent if isinstance(traceparent, str) else None,
+            node_id=self.node_id(),
+            op=str(op),
+        ) as root:
+            try:
+                if op == "ping":
+                    resp: dict[str, Any] = {
+                        "ok": True,
+                        "op": "ping",
+                        **self.health_info(),
+                    }
+                elif op == "stats":
+                    resp = {"ok": True, "op": "stats", "stats": self.service.stats()}
+                elif op == "metrics":
+                    resp = {
+                        "ok": True,
+                        "op": "metrics",
+                        "metrics": self.prometheus_metrics(),
+                    }
+                elif op == "shutdown":
+                    resp = {"ok": True, "op": "shutdown"}
+                elif op == "route":
+                    resp = await self.route_doc(doc)
+                elif op == "transpile":
+                    resp = await self.transpile_doc(doc)
+                elif op == "cache_get":
+                    resp = await self.cache_get_doc(doc)
+                elif op == "cache_put":
+                    resp = await self.cache_put_doc(doc)
+                elif op == "cache_stats":
+                    resp = {
+                        "ok": True,
+                        "op": "cache_stats",
+                        "stats": self.local_cache_stats(),
+                    }
+                elif op == "topology_get":
+                    resp = self.topology_get_doc()
+                elif op == "topology_update":
+                    resp = self.topology_update_doc(doc)
+                elif op == "trace_get":
+                    resp = self.trace_get_doc(doc)
+                else:
+                    resp = error_doc("unknown_op", f"unknown op {op!r}")
+            except ReproError as exc:
+                resp = error_doc("bad_request", str(exc), op=str(op))
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - one bad request, one error doc
+                resp = error_doc(
+                    "internal", f"{type(exc).__name__}: {exc}", op=str(op)
+                )
+            if buffer is not None:
+                if not resp.get("ok"):
+                    root.status = "error"
+                resp.setdefault("trace_id", root.trace_id)
         if "id" in doc:
             resp["id"] = doc["id"]
         return resp
+
+    def trace_get_doc(self, doc: Mapping[str, Any]) -> dict[str, Any]:
+        """Serve one ``trace_get``: finished traces from the local ring.
+
+        ``trace_id`` selects one trace (``traces`` is empty when it has
+        already been evicted); otherwise the newest traces come back,
+        optionally filtered by ``min_seconds`` (total duration) and
+        truncated to ``limit``. The response always carries the ring's
+        ``buffer`` stats so callers can see drop pressure. Raises
+        :class:`ReproError` on malformed fields or when tracing is
+        disabled (``--trace-buffer 0``).
+        """
+        buffer = self.traces
+        if buffer is None:
+            raise ReproError(
+                "tracing is disabled on this daemon (started with --trace-buffer 0)"
+            )
+        trace_id = doc.get("trace_id")
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise ReproError("'trace_id' must be a string")
+        limit = doc.get("limit")
+        if limit is not None:
+            try:
+                limit = int(limit)
+            except (TypeError, ValueError):
+                raise ReproError(f"'limit' must be an integer, got {limit!r}") from None
+            if limit < 0:
+                raise ReproError("'limit' must be >= 0")
+        min_seconds = doc.get("min_seconds")
+        if min_seconds is not None:
+            try:
+                min_seconds = float(min_seconds)
+            except (TypeError, ValueError):
+                raise ReproError(
+                    f"'min_seconds' must be a number, got {min_seconds!r}"
+                ) from None
+        if trace_id:
+            trace = buffer.get(trace_id)
+            traces = [trace] if trace is not None else []
+        else:
+            traces = buffer.list()
+            if min_seconds:
+                traces = [t for t in traces if t.duration >= min_seconds]
+            if limit is not None:
+                traces = traces[:limit]
+        return {
+            "ok": True,
+            "op": "trace_get",
+            "count": len(traces),
+            "traces": [t.to_doc() for t in traces],
+            "buffer": buffer.stats(),
+        }
 
     # ------------------------------------------------------------------
     # single-request ops
@@ -597,10 +711,33 @@ def render_prometheus(stats: Mapping[str, Any]) -> str:
             f'repro_counter_total{{name="{_prom_label(str(name))}"}} {counters[name]}'
         )
 
+    gauges = telemetry.get("gauges") or {}
+    for name in sorted(gauges):
+        metric = f"repro_{name}"
+        value = gauges[name]
+        lines.append(f"# TYPE {metric} gauge")
+        if isinstance(value, list):
+            for series in value:
+                if not isinstance(series, Mapping):
+                    continue
+                labels = series.get("labels") or {}
+                label_str = ",".join(
+                    f'{k}="{_prom_label(str(v))}"' for k, v in sorted(labels.items())
+                )
+                lines.append(f'{metric}{{{label_str}}} {series.get("value", 0)}')
+        else:
+            lines.append(f"{metric} {value}")
+
+    # Per-stage routing-phase summaries ("stage.<router>.<stage>"
+    # histograms, fed by the StageProfiler) get their own metric family
+    # with router/stage labels; everything else stays under the op label.
     latency = telemetry.get("latency") or {}
+    stage_names = sorted(n for n in latency if str(n).startswith("stage."))
     lines.append("# HELP repro_latency_seconds Operation latency summaries.")
     lines.append("# TYPE repro_latency_seconds summary")
     for name in sorted(latency):
+        if str(name).startswith("stage."):
+            continue
         hist = latency[name]
         label = _prom_label(str(name))
         for key, quantile in _QUANTILES:
@@ -616,6 +753,34 @@ def render_prometheus(stats: Mapping[str, Any]) -> str:
         lines.append(
             f'repro_latency_seconds_count{{op="{label}"}} {hist.get("count", 0)}'
         )
+
+    if stage_names:
+        lines.append(
+            "# HELP repro_stage_seconds Per-stage routing-phase "
+            "latency summaries."
+        )
+        lines.append("# TYPE repro_stage_seconds summary")
+        for name in stage_names:
+            hist = latency[name]
+            # "stage.<router>.<stage>"; a stage name may itself contain
+            # dots, so split at most twice from the left.
+            parts = str(name).split(".", 2)
+            router = parts[1] if len(parts) > 1 else ""
+            stage = parts[2] if len(parts) > 2 else ""
+            label = f'router="{_prom_label(router)}",stage="{_prom_label(stage)}"'
+            for key, quantile in _QUANTILES:
+                if key in hist:
+                    lines.append(
+                        f'repro_stage_seconds{{{label},quantile="{quantile}"}} '
+                        f"{hist[key]}"
+                    )
+            lines.append(
+                f"repro_stage_seconds_sum{{{label}}} "
+                f"{hist.get('total_seconds', 0.0)}"
+            )
+            lines.append(
+                f'repro_stage_seconds_count{{{label}}} {hist.get("count", 0)}'
+            )
 
     for section in ("schedule_cache", "transpile_cache"):
         cache = stats.get(section) or {}

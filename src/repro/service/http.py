@@ -35,12 +35,22 @@ Endpoints
 ``POST /v1/shutdown``
     Ask the server to drain and exit (the HTTP analogue of the NDJSON
     ``shutdown`` op; SIGTERM does the same).
+``GET /v1/traces``
+    Finished request traces from the daemon's in-memory ring
+    (``?id=<trace-id>&limit=N&min_seconds=S``, all optional — the
+    ``trace_get`` op; see :mod:`repro.service.tracing`).
 ``GET /healthz``
-    Liveness: ``{"ok": true, "status": "serving"|"draining"}``.
+    Liveness plus identity: ``{"ok": true, "status":
+    "serving"|"draining", "version": ..., "node_id": ..., "epoch":
+    ...}`` (the cluster fields only in cluster mode).
 ``GET /stats``
     ``{"ok": true, "stats": {...}}`` — the service stats document.
 ``GET /metrics``
     Prometheus text exposition format (version 0.0.4).
+
+Requests may carry a W3C ``traceparent`` header; work endpoints join
+the caller's distributed trace (the header becomes the ``trace`` field
+of the dispatched op document) and answer with the ``trace_id``.
 
 Protocol behaviour: requests need ``Content-Length`` (chunked bodies
 are refused with 411), bodies above ``max_body_bytes`` are refused with
@@ -60,6 +70,7 @@ import contextlib
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Any, Callable, Mapping
 
@@ -251,9 +262,9 @@ class HttpRoutingServer:
                     break
                 if request is None:
                     break  # EOF between requests, or stop while idle
-                method, path, body, keep_alive = request
+                method, path, query, headers, body, keep_alive = request
                 status, payload, content_type = await self._respond(
-                    method, path, body
+                    method, path, body, query=query, headers=headers
                 )
                 if self._stop.is_set():
                     keep_alive = False  # draining: answer, then close
@@ -292,11 +303,13 @@ class HttpRoutingServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, bytes, bool] | None:
-        """Parse one request: ``(method, path, body, keep_alive)``.
+    ) -> tuple[str, str, str, dict[str, str], bytes, bool] | None:
+        """Parse one request: ``(method, path, query, headers, body, keep_alive)``.
 
-        Returns ``None`` on a clean end of connection; raises
-        :class:`_HttpError` on anything refused at the protocol level.
+        Header names come back lowercased; ``query`` is the raw query
+        string (no leading ``?``, empty when absent). Returns ``None``
+        on a clean end of connection; raises :class:`_HttpError` on
+        anything refused at the protocol level.
         """
         try:
             raw = await self._read_line(reader)
@@ -362,23 +375,54 @@ class HttpRoutingServer:
                     f"body of {n} bytes exceeds the {self.max_body_bytes}-byte limit",
                 )
             body = await reader.readexactly(n)
-        path = target.split("?", 1)[0]
-        return method, path, body, keep_alive
+        path, _, query = target.partition("?")
+        return method, path, query, headers, body, keep_alive
 
     # ------------------------------------------------------------------
     # routing table
     # ------------------------------------------------------------------
+    @staticmethod
+    def _with_trace(doc: dict[str, Any], headers: Mapping[str, str]) -> dict[str, Any]:
+        """Copy an inbound ``traceparent`` header into the op document.
+
+        The handler reads trace context uniformly from ``doc["trace"]``
+        on both transports; an explicit ``trace`` field in the body
+        wins over the header.
+        """
+        traceparent = headers.get("traceparent")
+        if traceparent and "trace" not in doc:
+            return {**doc, "trace": traceparent}
+        return doc
+
     async def _respond(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        query: str = "",
+        headers: Mapping[str, str] | None = None,
     ) -> tuple[int, Any, str]:
         """Dispatch one parsed request to ``(status, payload, content_type)``."""
         assert self._stop is not None
+        headers = headers or {}
         self.handler.telemetry.incr("http_requests")
         if path == "/healthz":
             if method != "GET":
                 return self._method_not_allowed(method, path)
             status_word = "draining" if self._stop.is_set() else "serving"
-            return 200, {"ok": True, "status": status_word}, _JSON
+            return (
+                200,
+                {"ok": True, "status": status_word, **self.handler.health_info()},
+                _JSON,
+            )
+        if path == "/v1/traces":
+            if method != "GET":
+                return self._method_not_allowed(method, path)
+            doc, err = self._trace_query(query)
+            if err is not None:
+                return 400, err, _JSON
+            resp = await self.handler.dispatch(doc)
+            return _status_for(resp), resp, _JSON
         if path == "/stats":
             if method != "GET":
                 return self._method_not_allowed(method, path)
@@ -398,7 +442,9 @@ class HttpRoutingServer:
             doc, err = self._parse_body(body)
             if err is not None:
                 return 400, err, _JSON
-            resp = await self.handler.dispatch({**doc, "op": "route"})
+            resp = await self.handler.dispatch(
+                self._with_trace({**doc, "op": "route"}, headers)
+            )
             return _status_for(resp), resp, _JSON
         if path in ("/v1/cache_get", "/v1/cache_put", "/v1/topology_update"):
             if method != "POST":
@@ -406,7 +452,9 @@ class HttpRoutingServer:
             doc, err = self._parse_body(body)
             if err is not None:
                 return 400, err, _JSON
-            resp = await self.handler.dispatch({**doc, "op": path.rsplit("/", 1)[1]})
+            resp = await self.handler.dispatch(
+                self._with_trace({**doc, "op": path.rsplit("/", 1)[1]}, headers)
+            )
             return _status_for(resp), resp, _JSON
         if path in ("/v1/cache_stats", "/v1/topology_get"):
             if method not in ("GET", "POST"):
@@ -440,6 +488,32 @@ class HttpRoutingServer:
             error_doc("method_not_allowed", f"{method} not supported on {path}"),
             _JSON,
         )
+
+    @staticmethod
+    def _trace_query(
+        query: str,
+    ) -> tuple[dict[str, Any], None] | tuple[None, dict[str, Any]]:
+        """``GET /v1/traces`` query params as a ``trace_get`` op document."""
+        try:
+            params = urllib.parse.parse_qs(query, strict_parsing=False)
+        except ValueError as exc:  # pragma: no cover - parse_qs is lenient
+            return None, error_doc("bad_request", f"bad query string: {exc}")
+        doc: dict[str, Any] = {"op": "trace_get"}
+        if "id" in params:
+            doc["trace_id"] = params["id"][-1]
+        if "limit" in params:
+            try:
+                doc["limit"] = int(params["limit"][-1])
+            except ValueError:
+                return None, error_doc("bad_request", "'limit' must be an integer")
+        if "min_seconds" in params:
+            try:
+                doc["min_seconds"] = float(params["min_seconds"][-1])
+            except ValueError:
+                return None, error_doc(
+                    "bad_request", "'min_seconds' must be a number"
+                )
+        return doc, None
 
     def _parse_body(
         self, body: bytes
@@ -527,12 +601,15 @@ def http_request(
     *,
     method: str | None = None,
     timeout: float = 300.0,
+    headers: Mapping[str, str] | None = None,
 ) -> tuple[int, Any]:
     """One HTTP request to a repro server: ``(status, parsed body)``.
 
     ``doc`` (when given) is sent as a JSON body with ``POST`` unless
-    ``method`` overrides it. Non-2xx responses are returned, not
-    raised; bodies that fail to parse as JSON come back as text.
+    ``method`` overrides it. ``headers`` adds extra request headers
+    (e.g. a ``traceparent`` to join a distributed trace). Non-2xx
+    responses are returned, not raised; bodies that fail to parse as
+    JSON come back as text.
 
     Raises
     ------
@@ -540,14 +617,16 @@ def http_request(
         When the server cannot be reached at all.
     """
     data = None
-    headers = {"Accept": _JSON}
+    all_headers = {"Accept": _JSON}
     if doc is not None:
         data = json.dumps(dict(doc)).encode("utf-8")
-        headers["Content-Type"] = _JSON
+        all_headers["Content-Type"] = _JSON
+    if headers:
+        all_headers.update(headers)
     req = urllib.request.Request(
         url,
         data=data,
-        headers=headers,
+        headers=all_headers,
         method=method or ("POST" if data is not None else "GET"),
     )
     try:

@@ -42,7 +42,12 @@ from .cluster import (
     ClusterTopology,
     RemoteShardClient,
 )
-from .executor import BatchExecutor, RouteRequest, RouteResult
+from .executor import (
+    BatchExecutor,
+    RouteRequest,
+    RouteResult,
+    record_stage_telemetry,
+)
 from .sharding import AdmissionPolicy, ShardedScheduleCache
 from .keys import (
     _h,
@@ -53,6 +58,7 @@ from .keys import (
     text_fingerprint,
 )
 from .telemetry import Telemetry
+from .tracing import TraceBuffer
 
 __all__ = [
     "RoutingService",
@@ -139,29 +145,40 @@ def transpile_metrics(result) -> dict[str, Any]:
 
 def _transpile_in_worker(
     payload: tuple[str, str, dict, str, str, int, str, dict, bool],
-) -> tuple[str, str, Any, float]:
-    """Pool worker for transpile requests; never raises (see executor)."""
+) -> tuple[str, str, Any, float, dict]:
+    """Pool worker for transpile requests; never raises (see executor).
+
+    Mirrors ``_route_in_worker``'s 5-tuple contract: the last element is
+    the per-stage profile collected in-worker (workers cannot share the
+    parent's trace context).
+    """
     (digest, qasm, spec, router, mapping, seed, completion, options,
      include_qasm) = payload
     t0 = time.perf_counter()
+    from ..routing.base import StageProfiler, profile
+
+    profiler = StageProfiler()
     try:
         from ..circuit.qasm import dumps, loads
         from ..transpile.transpiler import transpile
 
         circuit = loads(qasm)
         graph = graph_from_spec(spec)
-        result = transpile(
-            circuit, graph, router=router, mapping=mapping, seed=seed,
-            completion=completion, **options,
-        )
+        with profile(profiler):
+            result = transpile(
+                circuit, graph, router=router, mapping=mapping, seed=seed,
+                completion=completion, **options,
+            )
         body = {
             "metrics": transpile_metrics(result),
             "physical_qasm": dumps(result.physical) if include_qasm else None,
         }
-        return (digest, "ok", body, time.perf_counter() - t0)
+        return (
+            digest, "ok", body, time.perf_counter() - t0, profiler.as_dict()
+        )
     except Exception as exc:  # noqa: BLE001 - error isolation is the contract
         msg = f"{type(exc).__name__}: {exc}"
-        return (digest, "error", msg, time.perf_counter() - t0)
+        return (digest, "error", msg, time.perf_counter() - t0, {})
 
 
 # ----------------------------------------------------------------------
@@ -267,6 +284,15 @@ class RoutingService:
     cluster_handoff_rate:
         Upper bound on key-space-handoff pushes per second after a
         ring join.
+    trace_buffer:
+        Capacity of the in-memory ring of finished request traces
+        (``repro serve --trace-buffer``). ``0`` disables tracing
+        entirely: no trace context is created and the per-span cost
+        vanishes from the hot path.
+    trace_slow:
+        Threshold in seconds above which a finished trace is also
+        emitted through the structured logger (``--trace-slow``;
+        ``0`` logs nothing).
     max_workers:
         Process-pool size for batch misses. The default ``1`` computes
         inline (deterministic, no subprocess spawn); pass ``None`` for
@@ -303,9 +329,23 @@ class RoutingService:
         cluster_topology: "ClusterTopology | None" = None,
         cluster_retry_interval: float = DEFAULT_RETRY_INTERVAL,
         cluster_handoff_rate: float = DEFAULT_HANDOFF_RATE,
+        trace_buffer: int = 512,
+        trace_slow: float = 0.0,
     ) -> None:
         self.default_router = default_router
         self.telemetry = Telemetry()
+        #: Ring buffer of finished request traces (``None`` when tracing
+        #: is disabled). The handler records one trace per traced op;
+        #: the ``trace_get`` op / ``GET /v1/traces`` read it back.
+        self.traces: TraceBuffer | None = (
+            TraceBuffer(
+                capacity=trace_buffer,
+                slow_threshold=trace_slow,
+                telemetry=self.telemetry,
+            )
+            if trace_buffer > 0
+            else None
+        )
         cache: ScheduleCache | ShardedScheduleCache | ClusterScheduleCache
         if cache_shards > 1 or cache_admission is not None:
             cache = ShardedScheduleCache(
@@ -483,9 +523,10 @@ class RoutingService:
                     include_qasm,
                 ))
             raw = self.executor.run_jobs(_transpile_in_worker, payloads)
-            for i, (digest, status, body, seconds) in zip(misses, raw):
+            for i, (digest, status, body, seconds, stages) in zip(misses, raw):
                 req = requests[i]
                 if status == "ok":
+                    record_stage_telemetry(self.telemetry, req.router, stages)
                     self.transpile_cache.put(digest, body)
                     outcomes[i] = TranspileOutcome(
                         index=i, digest=digest, router=req.router,
@@ -568,6 +609,7 @@ class RoutingService:
             "schedule_cache": self.cache.as_dict(),
             "transpile_cache": self.transpile_cache.as_dict(),
             "telemetry": self.telemetry.snapshot(),
+            "traces": self.traces.stats() if self.traces is not None else None,
             "max_workers": self.executor.max_workers,
             "default_router": self.default_router,
         }

@@ -1,16 +1,18 @@
-"""Lightweight service telemetry: counters and latency histograms.
+"""Lightweight service telemetry: counters, gauges, latency histograms.
 
-No third-party metrics client — just thread-safe counters and fixed
-log-spaced latency buckets, cheap enough to record on every request and
-structured enough for the CLI and ``RoutingService.stats()`` to render.
-The histogram quantiles are bucket-resolution approximations (each
-bucket spans a factor of 2), which is the usual trade Prometheus-style
-histograms make.
+No third-party metrics client — just thread-safe counters, labeled
+gauges, and fixed log-spaced latency buckets, cheap enough to record on
+every request and structured enough for the CLI and
+``RoutingService.stats()`` to render. The histogram quantiles are
+bucket-resolution approximations (each bucket spans a factor of 2),
+which is the usual trade Prometheus-style histograms make.
 """
 
 from __future__ import annotations
 
 import threading
+import time
+from bisect import bisect_left
 from typing import Any
 
 __all__ = ["LatencyHistogram", "Telemetry"]
@@ -40,11 +42,10 @@ class LatencyHistogram:
         self.total += seconds
         if seconds > self.max:
             self.max = seconds
-        for i, bound in enumerate(self._bounds):
-            if seconds <= bound:
-                self._counts[i] += 1
-                return
-        self._counts[-1] += 1
+        # First bucket whose bound is >= the sample; past the end means
+        # the overflow bucket. Bounds are sorted, so bisect beats the
+        # linear scan this runs on every request.
+        self._counts[bisect_left(self._bounds, seconds)] += 1
 
     @property
     def mean(self) -> float:
@@ -89,10 +90,11 @@ class LatencyHistogram:
 
 
 class Telemetry:
-    """Named counters plus named latency histograms, all thread-safe.
+    """Named counters, labeled gauges, and latency histograms, thread-safe.
 
     >>> t = Telemetry()
     >>> t.incr("requests")
+    >>> t.set_gauge("pool_size", 4)
     >>> with t.timer("route"):
     ...     pass
     >>> t.snapshot()["counters"]["requests"]
@@ -103,11 +105,35 @@ class Telemetry:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self._histograms: dict[str, LatencyHistogram] = {}
+        # gauge name -> {sorted (label, value) items -> current value}
+        self._gauges: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``name`` (created at zero)."""
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(
+        self, name: str, value: float, labels: dict[str, str] | None = None
+    ) -> None:
+        """Set gauge ``name`` (optionally one labeled series of it).
+
+        Unlike counters, gauges hold a point-in-time value that can move
+        both ways (buffer occupancy, pool depth). Each distinct
+        ``labels`` dict is an independent series under the same name.
+        """
+        key = tuple(sorted((labels or {}).items()))
+        with self._lock:
+            self._gauges.setdefault(name, {})[key] = float(value)
+
+    def gauge_series(self) -> list[tuple[str, dict[str, str], float]]:
+        """All gauge series as ``(name, labels, value)`` rows, sorted."""
+        with self._lock:
+            return [
+                (name, dict(key), value)
+                for name in sorted(self._gauges)
+                for key, value in sorted(self._gauges[name].items())
+            ]
 
     def observe(self, name: str, seconds: float) -> None:
         """Record a latency sample under histogram ``name``."""
@@ -122,10 +148,26 @@ class Telemetry:
         return _Timer(self, name)
 
     def snapshot(self) -> dict[str, Any]:
-        """Counters and histogram summaries as one JSON-ready dict."""
+        """Counters, gauges, and histogram summaries as one JSON dict.
+
+        Unlabeled gauges render as plain numbers; labeled gauges as a
+        list of ``{"labels": {...}, "value": ...}`` series under the
+        gauge name (a shape :func:`~repro.service.handler.render_prometheus`
+        can re-label without parsing).
+        """
         with self._lock:
+            gauges: dict[str, Any] = {}
+            for name, series in self._gauges.items():
+                if set(series) == {()}:
+                    gauges[name] = series[()]
+                else:
+                    gauges[name] = [
+                        {"labels": dict(key), "value": value}
+                        for key, value in sorted(series.items())
+                    ]
             return {
                 "counters": dict(self._counters),
+                "gauges": gauges,
                 "latency": {
                     name: hist.as_dict()
                     for name, hist in self._histograms.items()
@@ -143,12 +185,8 @@ class _Timer:
         self._name = name
 
     def __enter__(self) -> "_Timer":
-        import time
-
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        import time
-
         self._telemetry.observe(self._name, time.perf_counter() - self._t0)

@@ -23,6 +23,7 @@ import time
 import numpy as np
 
 from ..errors import TranspileError
+from ..profiling import stage
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.dag import CircuitDag
 from ..graphs.base import Graph
@@ -151,17 +152,18 @@ def sabre_route_circuit(
         if guard > guard_cap:  # pragma: no cover - defensive
             raise TranspileError("SABRE routing failed to progress")
 
-        extended = _extended_set(dag, executed, front, extended_size)
-        # candidate swaps: edges touching any front-gate qubit
-        active_phys = set()
-        for i in front:
-            for q in circuit[i].qubits:
-                active_phys.add(int(pos[q]))
-        candidates = [
-            (u, v)
-            for (u, v) in graph.edges
-            if u in active_phys or v in active_phys
-        ]
+        with stage("frontier_scoring"):
+            extended = _extended_set(dag, executed, front, extended_size)
+            # candidate swaps: edges touching any front-gate qubit
+            active_phys = set()
+            for i in front:
+                for q in circuit[i].qubits:
+                    active_phys.add(int(pos[q]))
+            candidates = [
+                (u, v)
+                for (u, v) in graph.edges
+                if u in active_phys or v in active_phys
+            ]
 
         phys_of = pos  # alias for clarity
 
@@ -183,7 +185,8 @@ def sabre_route_circuit(
                 front_cost + extended_weight * ext_cost
             )
 
-        best = min(candidates, key=lambda s: (score(s), s))
+        with stage("frontier_scoring"):
+            best = min(candidates, key=lambda s: (score(s), s))
         u, v = best
         phys.swap(int(u), int(v))
         n_swaps += 1

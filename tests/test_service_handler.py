@@ -60,7 +60,8 @@ class TestDispatch:
                 invalid = await handler.dispatch({"op": "route", "rows": 3})
                 assert invalid["code"] == "bad_request" and invalid["op"] == "route"
                 ping = await handler.dispatch({"op": "ping", "id": 5})
-                assert ping == {"ok": True, "op": "ping", "id": 5}
+                assert ping["ok"] and ping["op"] == "ping" and ping["id"] == 5
+                assert ping["version"]
                 route = await handler.dispatch(
                     {"rows": 3, "cols": 3, "workload": "random", "seed": 0}
                 )

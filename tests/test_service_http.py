@@ -81,7 +81,9 @@ class TestEndpoints:
         server, base, thread = _start_http()
         try:
             status, body = http_request(base + "/healthz")
-            assert status == 200 and body == {"ok": True, "status": "serving"}
+            assert status == 200
+            assert body["ok"] is True and body["status"] == "serving"
+            assert body["version"]  # identity enrichment
 
             doc = {"rows": 4, "cols": 4, "workload": "random", "seed": 0}
             status, r1 = http_request(base + "/v1/route", doc)
