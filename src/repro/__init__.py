@@ -76,8 +76,15 @@ from .routing import (
     Schedule,
     TreeRouter,
     available_routers,
+    describe_routers,
     make_router,
     route,
+)
+from .kernels import (
+    KernelBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
 )
 from .token_swap import (
     TokenSwapRouter,
@@ -156,6 +163,7 @@ __all__ = [
     "route",
     "make_router",
     "available_routers",
+    "describe_routers",
     "LocalGridRouter",
     "NaiveGridRouter",
     "CartesianRouter",
@@ -163,6 +171,11 @@ __all__ = [
     "CompleteRouter",
     "TreeRouter",
     "BestOfRouter",
+    # kernel backends
+    "KernelBackend",
+    "get_backend",
+    "available_backends",
+    "default_backend_name",
     "TokenSwapRouter",
     "approximate_token_swapping",
     "partial_token_swapping",

@@ -66,9 +66,10 @@ from typing import Sequence
 from .bench import check_claims, run_sweep, series_table
 from .errors import ReproError
 from .graphs import GridGraph
+from .kernels import available_backends, default_backend_name
 from .noise import NoiseModel
 from .perm import WORKLOADS, make_workload
-from .routing import available_routers, make_router
+from .routing import available_routers, describe_routers, make_router
 from .routing.serialize import render_grid_schedule
 
 __all__ = ["main", "build_parser"]
@@ -95,6 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         choices=available_routers(),
         help="repeatable; default: local, naive, ats",
+    )
+    p_route.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="kernel backend for the routing math (default: "
+        "REPRO_KERNEL_BACKEND or auto-detection; identical schedules "
+        "either way)",
     )
     p_route.add_argument(
         "--show", action="store_true", help="render the best schedule as ASCII"
@@ -143,6 +152,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--cache-size", type=int, default=4096)
     p_batch.add_argument(
         "--cache-dir", help="persistent schedule-cache directory"
+    )
+    p_batch.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="default kernel backend for computed routes (per-request "
+        "'backend' options override; never splits the cache)",
     )
     p_batch.add_argument(
         "--warm",
@@ -229,6 +245,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-size", type=int, default=4096)
     p_serve.add_argument(
         "--cache-dir", help="persistent schedule-cache directory"
+    )
+    p_serve.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="default kernel backend for computed routes (per-request "
+        "'backend' options override; never splits the cache)",
     )
     p_serve.add_argument(
         "--shards",
@@ -423,7 +446,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
         f"(seed {args.seed})"
     )
     for name in router_names:
-        router = make_router(name)
+        router = make_router(name, backend=args.backend)
         t0 = time.perf_counter()
         sched = router.route(grid, perm)
         dt = time.perf_counter() - t0
@@ -450,7 +473,10 @@ def _cmd_route_json(args, grid, perm, router_names, noise) -> int:
     # verify=True so --json keeps the same guarantee as the text path,
     # which re-verifies every schedule before printing it.
     svc = RoutingService(
-        cache_size=len(router_names) + 1, max_workers=1, verify=True
+        cache_size=len(router_names) + 1,
+        max_workers=1,
+        kernel_backend=args.backend,
+        verify=True,
     )
     results = []
     for name in router_names:
@@ -669,6 +695,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         cache_dir=args.cache_dir,
         max_workers=args.workers,
+        kernel_backend=args.backend,
         verify=args.verify,
         cluster_peers=tuple(args.cluster or ()),
         cluster_replication=args.replication,
@@ -800,6 +827,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_shards=args.shards,
         cache_admission=admission,
         max_workers=args.workers,
+        kernel_backend=args.backend,
         verify=args.verify,
         cluster_peers=tuple(args.peer or ()),
         cluster_node_id=node_id,
@@ -1062,6 +1090,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_info(_: argparse.Namespace) -> int:
     print("routers:  " + ", ".join(available_routers()))
+    for info in describe_routers():
+        families = ", ".join(info.families) or "-"
+        kernels = "yes" if info.kernel_backends else "no"
+        print(f"  {info.name:10s} graphs: {families:28s} kernels: {kernels}")
+        if info.summary:
+            print(f"             {info.summary}")
+    print(
+        "backends:  "
+        + ", ".join(available_backends())
+        + f" (default: {default_backend_name()})"
+    )
     print("workloads: " + ", ".join(sorted(WORKLOADS)))
     return 0
 

@@ -1,0 +1,35 @@
+"""Pluggable kernel backends for the routing core.
+
+The hot primitives of the paper's algorithms — frontier/distance scoring,
+Hopcroft–Karp matching, odd–even transposition, token displacement and
+swap-schedule assembly — live behind the :class:`KernelBackend` protocol
+with two built-in implementations:
+
+* ``python`` — the pure-Python reference kernels (always available),
+* ``numpy`` — vectorized kernels, the default whenever numpy imports.
+
+Select a backend explicitly (``make_router("local", backend="numpy")``),
+through the ``REPRO_KERNEL_BACKEND`` environment variable, or let
+:func:`get_backend` resolve the ambient default. All backends are
+result-identical by contract; only speed differs. See
+:mod:`repro.kernels.base` for the resolution rules and the equivalence
+contract.
+"""
+
+from .base import (
+    ENV_VAR,
+    KernelBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "KernelBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,213 @@
+"""The pure-Python reference kernel backend.
+
+Semantics ground truth: these kernels either delegate to the original
+reference modules (Hopcroft–Karp, :class:`~repro.routing.schedule.Schedule`
+construction) or are direct loop transcriptions of the pre-backend code
+paths. The ``numpy`` backend is pinned to this one by the equivalence
+test suite, so any behavioral change here is a semantic change for every
+backend.
+
+Array arguments are converted to plain lists at the boundary; all inner
+loops are numpy-free. This is also the fallback that serves when numpy
+is not importable (see :func:`repro.kernels.get_backend`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..errors import KernelError
+from .base import KernelBackend
+
+__all__ = ["PythonKernelBackend"]
+
+
+def _as_int_list(seq: Any) -> list[int]:
+    """Materialize an array-like of integers as a plain list of ints."""
+    if hasattr(seq, "tolist"):
+        return seq.tolist()
+    return [int(x) for x in seq]
+
+
+def _oet_rounds(dest_rows: list[list[int]], start_parity: int) -> list[list[tuple[int, int]]]:
+    """Pure-Python batched OET; mirrors ``oet_rounds_batched`` exactly.
+
+    ``dest_rows`` is the ``(L, k)`` destination matrix as nested lists.
+    Returns non-empty rounds of ``(position, path)`` swaps, in the same
+    order the vectorized version emits them (position-major, then path).
+    """
+    L = len(dest_rows)
+    k = len(dest_rows[0]) if L else 0
+    if L <= 1 or k == 0:
+        return []
+
+    def is_sorted(D: list[list[int]]) -> bool:
+        return all(D[i][c] == i for i in range(L) for c in range(k))
+
+    if is_sorted(dest_rows):
+        return []
+    D = [row[:] for row in dest_rows]
+    even_idx = range(0, L - 1, 2)
+    odd_idx = range(1, L - 1, 2)
+    rounds: list[list[tuple[int, int]]] = []
+    for r in range(L + 1):
+        idx = even_idx if (r + start_parity) % 2 == 0 else odd_idx
+        swaps: list[tuple[int, int]] = []
+        for i in idx:
+            row, nxt = D[i], D[i + 1]
+            for c in range(k):
+                if row[c] > nxt[c]:
+                    swaps.append((i, c))
+        if swaps:
+            for i, c in swaps:
+                D[i][c], D[i + 1][c] = D[i + 1][c], D[i][c]
+            rounds.append(swaps)
+            if is_sorted(D):
+                return rounds
+    if not is_sorted(D):  # pragma: no cover - defensive
+        raise KernelError("odd-even transposition failed to converge")
+    return rounds
+
+
+class PythonKernelBackend(KernelBackend):
+    """Reference kernels in pure Python (always available)."""
+
+    name = "python"
+
+    # ------------------------------------------------------------------
+    # frontier / distance scoring
+    # ------------------------------------------------------------------
+    def delta_weights(self, rows_used: Sequence[Any], n_rows: int) -> list[list[float]]:
+        out: list[list[float]] = []
+        for ru in rows_used:
+            rows = _as_int_list(ru)
+            out.append(
+                [float(sum(abs(i - r) for i in rows)) for r in range(n_rows)]
+            )
+        return out
+
+    def factor_delta_weights(
+        self, dist: Any, rows_used: Sequence[Any]
+    ) -> list[list[float]]:
+        d = [_as_int_list(row) for row in dist]
+        m = len(d)
+        out: list[list[float]] = []
+        for ru in rows_used:
+            rows = _as_int_list(ru)
+            out.append(
+                [float(sum(d[i][r] for i in rows)) for r in range(m)]
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # bipartite matching
+    # ------------------------------------------------------------------
+    def hopcroft_karp(
+        self, n_left: int, n_right: int, adj: Sequence[Sequence[int]]
+    ) -> tuple[list[int], list[int], int]:
+        # The reference implementation *is* the pure-Python one.
+        from ..matching.hopcroft_karp import hopcroft_karp
+
+        return hopcroft_karp(n_left, n_right, adj)
+
+    def bottleneck_feasible(self, weights: Any, threshold: float) -> list[int] | None:
+        rows = [
+            [float(x) for x in row] if not hasattr(row, "tolist") else row.tolist()
+            for row in weights
+        ]
+        k = len(rows)
+        adj = [
+            [j for j in range(k) if rows[i][j] <= threshold] for i in range(k)
+        ]
+        match_l, _, size = self.hopcroft_karp(k, k, adj)
+        return match_l if size == k else None
+
+    def peel_matching(
+        self,
+        tokens: Any,
+        src_col: Any,
+        dst_col: Any,
+        cost: Any,
+        n_cols: int,
+    ) -> list[int] | None:
+        toks = _as_int_list(tokens)
+        sc = _as_int_list(src_col)
+        dc = _as_int_list(dst_col)
+        cs = cost.tolist() if hasattr(cost, "tolist") else [float(x) for x in cost]
+        best: dict[tuple[int, int], tuple[float, int]] = {}
+        for c, j, jp, t in zip(cs, sc, dc, toks):
+            key = (j, jp)
+            cand = (float(c), t)
+            prev = best.get(key)
+            if prev is None or cand < prev:
+                best[key] = cand
+        adj: list[list[int]] = [[] for _ in range(n_cols)]
+        for (j, jp) in best:
+            adj[j].append(jp)
+        match_l, _, size = self.hopcroft_karp(n_cols, n_cols, adj)
+        if size < n_cols:
+            return None
+        return [best[(j, match_l[j])][1] for j in range(n_cols)]
+
+    # ------------------------------------------------------------------
+    # path routing
+    # ------------------------------------------------------------------
+    def oet_swap_layers(
+        self,
+        dest: Any,
+        pos_stride: int,
+        path_stride: int,
+        swap_offset: int,
+        optimize_parity: bool = True,
+        start_parity: int = 0,
+    ) -> list[tuple[list[int], list[int]]]:
+        D = [_as_int_list(row) for row in dest]
+        parities = (
+            (start_parity, 1 - start_parity) if optimize_parity else (start_parity,)
+        )
+        best: list[list[tuple[int, int]]] | None = None
+        for p in parities:
+            rounds = _oet_rounds(D, p)
+            if best is None or len(rounds) < len(best):
+                best = rounds
+        assert best is not None
+        layers: list[tuple[list[int], list[int]]] = []
+        for swaps in best:
+            u = [pos * pos_stride + c * path_stride for pos, c in swaps]
+            layers.append((u, [x + swap_offset for x in u]))
+        return layers
+
+    # ------------------------------------------------------------------
+    # token position/target tracking
+    # ------------------------------------------------------------------
+    def total_displacement(self, dist: Any, dest: Sequence[int]) -> int:
+        rows = [_as_int_list(row) for row in dist]
+        return int(sum(rows[v][d] for v, d in enumerate(_as_int_list(dest))))
+
+    # ------------------------------------------------------------------
+    # schedule assembly
+    # ------------------------------------------------------------------
+    def assemble_layers(
+        self,
+        n_vertices: int,
+        swap_layers: Sequence[tuple[Any, Any]],
+        compact: bool = True,
+    ) -> tuple[tuple[tuple[int, int], ...], ...]:
+        # Validation and canonicalization are exactly the reference
+        # Schedule constructor; compaction the reference ASAP pass.
+        from ..routing.schedule import Schedule
+
+        sched = Schedule(
+            n_vertices,
+            (zip(_as_int_list(u), _as_int_list(v)) for u, v in swap_layers),
+        )
+        if compact:
+            sched = sched.compact()
+        return sched.layers
+
+    def compact_serial_swaps(
+        self, n_vertices: int, swaps: Sequence[tuple[int, int]]
+    ) -> tuple[tuple[tuple[int, int], ...], ...]:
+        from ..routing.schedule import Schedule
+
+        return Schedule.from_serial_swaps(n_vertices, swaps).compact().layers

@@ -25,13 +25,16 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import MatchingError
+from ..kernels import KernelBackend, get_backend
 from .hopcroft_karp import hopcroft_karp
 
 __all__ = ["bottleneck_assignment", "max_cardinality_bottleneck_matching"]
 
 
 def bottleneck_assignment(
-    weights: np.ndarray, refine: bool = True
+    weights: np.ndarray,
+    refine: bool = True,
+    backend: KernelBackend | str | None = None,
 ) -> tuple[np.ndarray, float]:
     """Perfect matching of a complete balanced bipartite graph minimizing
     the maximum edge weight.
@@ -50,6 +53,9 @@ def bottleneck_assignment(
         other assignment would otherwise be unconstrained — refinement
         keeps the well-localized majority near their preferred rows. The
         effect is measured by the ``mcbbm`` ablation benchmark.
+    backend:
+        Kernel backend (instance, name, or ``None`` for the ambient
+        default) executing the per-threshold feasibility probes.
 
     Returns
     -------
@@ -69,11 +75,10 @@ def bottleneck_assignment(
         raise MatchingError(f"weights must be square, got shape {w.shape}")
     k = w.shape[0]
     values = np.unique(w)
+    kb = get_backend(backend)
 
     def feasible(threshold: float) -> list[int] | None:
-        adj = [np.flatnonzero(w[i] <= threshold).tolist() for i in range(k)]
-        match_l, _, size = hopcroft_karp(k, k, adj)
-        return match_l if size == k else None
+        return kb.bottleneck_feasible(w, float(threshold))
 
     lo, hi = 0, len(values) - 1
     best: list[int] | None = feasible(values[hi])

@@ -28,8 +28,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import MatchingError
+from ..kernels import KernelBackend, get_backend
 from ..perm.permutation import Permutation
-from .hopcroft_karp import hopcroft_karp
 
 __all__ = ["ColumnMultigraph"]
 
@@ -108,7 +108,11 @@ class ColumnMultigraph:
     # peeling
     # ------------------------------------------------------------------
     def peel_perfect_matching(
-        self, row_lo: int = 0, row_hi: int | None = None, pick: str = "center"
+        self,
+        row_lo: int = 0,
+        row_hi: int | None = None,
+        pick: str = "center",
+        backend: KernelBackend | str | None = None,
     ) -> np.ndarray | None:
         """Extract one perfect matching from the window ``[row_lo, row_hi]``.
 
@@ -131,6 +135,10 @@ class ColumnMultigraph:
               the locality-aware router),
             * ``"first"``  — smallest token id (the "arbitrary" choice of
               the naive ACG decomposition).
+        backend:
+            Kernel backend (instance, name, or ``None`` for the ambient
+            default) executing the representative-selection + matching
+            step.
 
         Returns
         -------
@@ -153,7 +161,9 @@ class ColumnMultigraph:
         if tokens.size < n:
             return None
 
-        # Best representative token per (source column, destination column).
+        # Best representative token per (source column, destination column),
+        # by (cost, token id); support-graph matching and instantiation are
+        # delegated to the kernel backend.
         center = 0.5 * (row_lo + row_hi)
         if pick == "center":
             cost = np.abs(self.src_row[tokens] - center) + np.abs(
@@ -161,26 +171,13 @@ class ColumnMultigraph:
             )
         else:
             cost = tokens.astype(float)
-        best: dict[tuple[int, int], tuple[float, int]] = {}
         sc = self.src_col[tokens]
         dc = self.dst_col[tokens]
-        for c, j, jp, t in zip(cost, sc, dc, tokens):
-            key = (int(j), int(jp))
-            cand = (float(c), int(t))
-            prev = best.get(key)
-            if prev is None or cand < prev:
-                best[key] = cand
-
-        adj: list[list[int]] = [[] for _ in range(n)]
-        for (j, jp) in best:
-            adj[j].append(jp)
-        match_l, _, size = hopcroft_karp(n, n, adj)
-        if size < n:
+        picked = get_backend(backend).peel_matching(tokens, sc, dc, cost, n)
+        if picked is None:
             return None
 
-        chosen = np.array(
-            [best[(j, match_l[j])][1] for j in range(n)], dtype=np.int64
-        )
+        chosen = np.asarray(picked, dtype=np.int64)
         self._remaining[chosen] = False
         return chosen
 

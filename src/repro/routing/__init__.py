@@ -1,6 +1,14 @@
 """Routing-via-matchings: schedules, primitives, grid and product routers."""
 
-from .base import Router, available_routers, make_router, register_router, route
+from .base import (
+    Router,
+    RouterInfo,
+    available_routers,
+    describe_routers,
+    make_router,
+    register_router,
+    route,
+)
 from .cartesian_route import (
     CartesianRouter,
     CompleteFactorRouter,
@@ -32,6 +40,8 @@ __all__ = [
     "register_router",
     "make_router",
     "available_routers",
+    "describe_routers",
+    "RouterInfo",
     "route",
     "oet_rounds",
     "oet_rounds_batched",

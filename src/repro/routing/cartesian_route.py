@@ -32,6 +32,7 @@ from ..graphs.base import Graph
 from ..graphs.cartesian import CartesianProduct
 from ..graphs.families import path_graph
 from ..graphs.grid import GridGraph
+from ..kernels import get_backend
 from ..matching.bottleneck import bottleneck_assignment
 from ..matching.decompose import naive_decomposition, windowed_decomposition
 from ..matching.multigraph import ColumnMultigraph
@@ -195,7 +196,9 @@ def _merge_rounds(
     return layers
 
 
-@register_router("cartesian")
+@register_router(
+    "cartesian", families=("grid", "cartesian_product"), kernel_backends=True
+)
 class CartesianRouter(Router):
     """Locality-aware (or naive) 3-phase routing on ``G1 □ G2``.
 
@@ -247,18 +250,19 @@ class CartesianRouter(Router):
         m, n = g1.n_vertices, g2.n_vertices
         N = m * n
 
+        kb = self.backend
         mg = ColumnMultigraph((m, n), perm)
         if self.locality:
-            dec = windowed_decomposition(mg, growth=self.window_growth)
+            dec = windowed_decomposition(mg, growth=self.window_growth, backend=kb)
             d1 = g1.distance_matrix()
             if (d1 < 0).any():
                 raise RoutingError("factor G1 must be connected")
-            weights = np.stack(
-                [d1[ru].sum(axis=0) for ru in dec.rows_used]
-            ).astype(float)
-            assignment, _ = bottleneck_assignment(weights)
+            weights = np.asarray(
+                kb.factor_delta_weights(d1, dec.rows_used), dtype=float
+            )
+            assignment, _ = bottleneck_assignment(weights, backend=kb)
         else:
-            dec = naive_decomposition(mg)
+            dec = naive_decomposition(mg, backend=kb)
             assignment = np.arange(m)
         sig = sigmas_from_decomposition(dec, assignment, (m, n))
 
@@ -311,10 +315,11 @@ class CartesianRouter(Router):
         if not np.array_equal(dst[occ2d.ravel()], np.arange(N)):
             raise RoutingError("product routing realized the wrong permutation")
 
-        sched = Schedule(N, layers)
-        if self.compact:
-            sched = sched.compact()
-        return sched
+        # Layers from _merge_rounds are never empty, so the (u_seq, v_seq)
+        # form assemble_layers expects loses nothing.
+        swap_layers = [tuple(zip(*layer)) for layer in layers]
+        canon = kb.assemble_layers(N, swap_layers, compact=self.compact)
+        return Schedule._from_canonical(N, canon, {"backend": kb.name})
 
     def route(self, graph: Graph, perm: Permutation) -> Schedule:
         self._check_sizes(graph, perm)

@@ -43,7 +43,7 @@ def involution_matching(p: Permutation) -> list[tuple[int, int]]:
     return pairs
 
 
-@register_router("complete")
+@register_router("complete", families=("complete",))
 class CompleteRouter(Router):
     """Depth-(<= 2) routing on complete graphs.
 

@@ -48,7 +48,7 @@ def cycle_order(graph: Graph) -> list[int] | None:
     return order
 
 
-@register_router("cycle")
+@register_router("cycle", families=("cycle",))
 class CycleRouter(Router):
     """Route permutations on cycle graphs via best-cut path reduction.
 

@@ -36,6 +36,7 @@ import numpy as np
 from ..errors import RoutingError
 from ..graphs.base import Graph
 from ..graphs.grid import GridGraph
+from ..kernels import KernelBackend, get_backend
 from ..matching.bottleneck import bottleneck_assignment
 from ..matching.decompose import windowed_decomposition
 from ..matching.multigraph import ColumnMultigraph
@@ -51,7 +52,11 @@ from .schedule import Schedule
 __all__ = ["LocalGridRouter", "LocalRouteInfo", "delta_weights"]
 
 
-def delta_weights(rows_used: list[np.ndarray], n_rows: int) -> np.ndarray:
+def delta_weights(
+    rows_used: list[np.ndarray],
+    n_rows: int,
+    backend: KernelBackend | str | None = None,
+) -> np.ndarray:
     """The ``Delta(M, r)`` weight matrix of Algorithm 2.
 
     Parameters
@@ -62,16 +67,17 @@ def delta_weights(rows_used: list[np.ndarray], n_rows: int) -> np.ndarray:
         :meth:`repro.matching.multigraph.ColumnMultigraph.matching_rows`).
     n_rows:
         Number of grid rows ``m``.
+    backend:
+        Kernel backend (instance, name, or ``None`` for the ambient
+        default) computing the matrix.
 
     Returns
     -------
     ``(len(rows_used), n_rows)`` float array;
     ``W[k, r] = sum |rows_k - r|``.
     """
-    r = np.arange(n_rows)
-    return np.stack(
-        [np.abs(ru[:, None] - r[None, :]).sum(axis=0) for ru in rows_used]
-    ).astype(float)
+    kb = get_backend(backend)
+    return np.asarray(kb.delta_weights(rows_used, n_rows), dtype=float)
 
 
 @dataclass
@@ -105,7 +111,7 @@ class LocalRouteInfo:
     used_naive_fallback: bool = False
 
 
-@register_router("local")
+@register_router("local", families=("grid",), kernel_backends=True)
 class LocalGridRouter(Router):
     """The paper's locality-aware router (Algorithms 1 + 2).
 
@@ -171,10 +177,11 @@ class LocalGridRouter(Router):
 
         Returns (schedule, window widths, MCBBM bottleneck).
         """
+        kb = self.backend
         m, _ = grid.shape
         mg = ColumnMultigraph(grid.shape, perm)
         with stage("decomposition"):
-            dec = windowed_decomposition(mg, growth=self.window_growth)
+            dec = windowed_decomposition(mg, growth=self.window_growth, backend=kb)
         with stage("bottleneck_assignment"):
             if self.assignment == "order":
                 assignment = np.arange(m)
@@ -185,9 +192,9 @@ class LocalGridRouter(Router):
                     )
                 )
             else:
-                weights = delta_weights(dec.rows_used, m)
+                weights = delta_weights(dec.rows_used, m, backend=kb)
                 assignment, bottleneck = bottleneck_assignment(
-                    weights, refine=self.refine_assignment
+                    weights, refine=self.refine_assignment, backend=kb
                 )
         with stage("swap_scheduling"):
             sig = sigmas_from_decomposition(dec, assignment, grid.shape)
@@ -198,6 +205,7 @@ class LocalGridRouter(Router):
                 optimize_parity=self.optimize_parity,
                 compact=self.compact,
                 validate=self.validate,
+                backend=kb,
             )
         return sched, dec.window_widths, bottleneck
 
@@ -244,6 +252,7 @@ class LocalGridRouter(Router):
                 compact=self.compact,
                 validate=self.validate,
             )
+            naive.set_backend(self._backend)
             naive_sched = naive.route(grid, perm)
             if naive_sched.depth < sched.depth:
                 sched = naive_sched

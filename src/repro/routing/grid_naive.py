@@ -35,11 +35,11 @@ import numpy as np
 from ..errors import RoutingError
 from ..graphs.base import Graph
 from ..graphs.grid import GridGraph
+from ..kernels import KernelBackend, get_backend
 from ..matching.decompose import Decomposition, naive_decomposition
 from ..matching.multigraph import ColumnMultigraph
 from ..perm.permutation import Permutation
 from .base import Router, register_router, stage
-from .path_oet import oet_rounds_batched
 from .schedule import Schedule
 
 __all__ = [
@@ -94,21 +94,6 @@ def sigmas_from_decomposition(
     return sig
 
 
-def _best_parity_rounds(
-    dest: np.ndarray, optimize_parity: bool
-) -> list[tuple[np.ndarray, np.ndarray]]:
-    """Batched OET rounds, trying both starting parities when requested.
-
-    Either parity yields the same post-phase token placement (OET fully
-    sorts), so the choice is purely a depth optimization.
-    """
-    rounds0 = oet_rounds_batched(dest, start_parity=0, validate=False)
-    if not optimize_parity:
-        return rounds0
-    rounds1 = oet_rounds_batched(dest, start_parity=1, validate=False)
-    return rounds1 if len(rounds1) < len(rounds0) else rounds0
-
-
 def grid_route_with_sigmas(
     grid: GridGraph,
     perm: Permutation,
@@ -117,6 +102,7 @@ def grid_route_with_sigmas(
     optimize_parity: bool = True,
     compact: bool = True,
     validate: bool = False,
+    backend: KernelBackend | str | None = None,
 ) -> Schedule:
     """The ``GridRoute`` subroutine: 3-phase routing given the ``sigma_j``.
 
@@ -137,12 +123,17 @@ def grid_route_with_sigmas(
     validate:
         Additionally re-simulate and check the realized permutation
         (silent O(size) cost; routers expose it for tests).
+    backend:
+        Kernel backend (instance, name, or ``None`` for the ambient
+        default) executing the OET and schedule-assembly primitives. The
+        backend name is recorded in the schedule's metadata.
 
     Raises
     ------
     RoutingError
         On malformed ``sigmas`` or (with ``validate``) a semantic failure.
     """
+    kb = get_backend(backend)
     m, n = grid.shape
     N = m * n
     if perm.size != N:
@@ -156,23 +147,25 @@ def grid_route_with_sigmas(
     dst = perm.targets
     dst_row = dst // n
     dst_col = dst % n
-    layers: list[list[tuple[int, int]]] = []
+    swap_layers: list[tuple[list[int], list[int]]] = []
 
     # ------------------------------------------------------------------
     # Phase 1: within columns, token at (i, j) -> row sigmas[i, j].
-    # Paths are the n columns (length m).
+    # Paths are the n columns (length m); position p on column c is
+    # vertex p*n + c, its downward neighbour p*n + c + n.
     # ------------------------------------------------------------------
     occ2d = np.arange(N).reshape(m, n)  # occ2d[i, j] = token at (i, j)
-    for pos, cc in _best_parity_rounds(sigmas, optimize_parity):
-        u = pos * n + cc
-        layers.append(list(zip(u.tolist(), (u + n).tolist())))
+    swap_layers += kb.oet_swap_layers(
+        sigmas, n, 1, n, optimize_parity=optimize_parity
+    )
     new = np.empty_like(occ2d)
     new[sigmas, np.broadcast_to(np.arange(n), (m, n))] = occ2d
     occ2d = new
 
     # ------------------------------------------------------------------
     # Phase 2: within rows, token at (r, j) -> its destination column.
-    # Paths are the m rows (length n); OET input is (n, m).
+    # Paths are the m rows (length n); OET input is (n, m); position p on
+    # row r is vertex r*n + p, its rightward neighbour r*n + p + 1.
     # ------------------------------------------------------------------
     dest_cols = dst_col[occ2d]  # (m, n): destination column per position
     if not (np.sort(dest_cols, axis=1) == np.arange(n)[None, :]).all():
@@ -180,9 +173,9 @@ def grid_route_with_sigmas(
             "phase-2 precondition violated: a row holds duplicate "
             "destination columns (invalid sigma decomposition)"
         )
-    for pos, rr in _best_parity_rounds(dest_cols.T, optimize_parity):
-        u = rr * n + pos
-        layers.append(list(zip(u.tolist(), (u + 1).tolist())))
+    swap_layers += kb.oet_swap_layers(
+        dest_cols.T, 1, n, 1, optimize_parity=optimize_parity
+    )
     new = np.empty_like(occ2d)
     new[np.broadcast_to(np.arange(m)[:, None], (m, n)), dest_cols] = occ2d
     occ2d = new
@@ -196,9 +189,9 @@ def grid_route_with_sigmas(
             "phase-3 precondition violated: a column holds duplicate "
             "destination rows"
         )
-    for pos, cc in _best_parity_rounds(dest_rows, optimize_parity):
-        u = pos * n + cc
-        layers.append(list(zip(u.tolist(), (u + n).tolist())))
+    swap_layers += kb.oet_swap_layers(
+        dest_rows, n, 1, n, optimize_parity=optimize_parity
+    )
     new = np.empty_like(occ2d)
     new[dest_rows, np.broadcast_to(np.arange(n), (m, n))] = occ2d
     occ2d = new
@@ -206,10 +199,8 @@ def grid_route_with_sigmas(
     if validate and not np.array_equal(dst[occ2d.ravel()], np.arange(N)):
         raise RoutingError("grid routing realized the wrong permutation")
 
-    sched = Schedule(N, layers)
-    if compact:
-        sched = sched.compact()
-    return sched
+    layers = kb.assemble_layers(N, swap_layers, compact=compact)
+    return Schedule._from_canonical(N, layers, {"backend": kb.name})
 
 
 def route_both_orientations(
@@ -242,7 +233,7 @@ def route_both_orientations(
     return s2, "transposed"
 
 
-@register_router("naive")
+@register_router("naive", families=("grid",), kernel_backends=True)
 class NaiveGridRouter(Router):
     """ACG 3-phase grid routing with arbitrary matching decomposition.
 
@@ -270,9 +261,10 @@ class NaiveGridRouter(Router):
         self.validate = validate
 
     def _route_oriented(self, grid: GridGraph, perm: Permutation) -> Schedule:
+        kb = self.backend
         mg = ColumnMultigraph(grid.shape, perm)
         with stage("decomposition"):
-            dec = naive_decomposition(mg)
+            dec = naive_decomposition(mg, backend=kb)
         with stage("swap_scheduling"):
             sig = sigmas_from_decomposition(
                 dec, np.arange(grid.shape[0]), grid.shape
@@ -284,6 +276,7 @@ class NaiveGridRouter(Router):
                 optimize_parity=self.optimize_parity,
                 compact=self.compact,
                 validate=self.validate,
+                backend=kb,
             )
 
     def route(self, graph: Graph, perm: Permutation) -> Schedule:

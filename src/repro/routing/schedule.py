@@ -25,7 +25,7 @@ Key operations
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -34,6 +34,27 @@ from ..graphs.base import Graph, canonical_edge
 from ..perm.permutation import Permutation
 
 __all__ = ["Schedule"]
+
+
+class FlatLayers:
+    """Canonical layers as flat arrays (internal, kernel-backend payload).
+
+    ``lo``/``hi`` hold the canonical ``(min, max)`` endpoints of every swap,
+    concatenated across layers and sorted by ``(layer, lo, hi)``;
+    ``counts[t]`` is the number of swaps in layer ``t``. Producers (the
+    numpy kernel backend, :meth:`Schedule.relabel`) guarantee the same
+    invariants the public :class:`Schedule` constructor enforces; the
+    nested-tuple view is materialized lazily on first structural access,
+    so schedules that are only compared by depth/size (e.g. the losing
+    orientation candidate in a best-of race) never pay for tuple-building.
+    """
+
+    __slots__ = ("lo", "hi", "counts")
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray, counts: np.ndarray) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.counts = counts
 
 
 class Schedule:
@@ -48,6 +69,10 @@ class Schedule:
         Swaps are canonicalized to ``(min, max)``. Layers are validated to
         be vertex-disjoint within themselves (edge membership in a graph
         is checked separately by :meth:`check_against`/:meth:`verify`).
+    metadata:
+        Optional provenance annotations (e.g. which kernel backend
+        computed the schedule). Excluded from equality and hashing;
+        preserved by the transformation methods.
 
     Raises
     ------
@@ -55,12 +80,13 @@ class Schedule:
         If a layer reuses a vertex or a swap is out of range / a self-loop.
     """
 
-    __slots__ = ("_n", "_layers")
+    __slots__ = ("_n", "_layers", "_flat", "_meta")
 
     def __init__(
         self,
         n_vertices: int,
         layers: Iterable[Iterable[tuple[int, int]]] = (),
+        metadata: Mapping[str, Any] | None = None,
     ) -> None:
         if n_vertices <= 0:
             raise ScheduleError(f"n_vertices must be positive, got {n_vertices}")
@@ -85,7 +111,9 @@ class Schedule:
                 seen.add(v)
                 canon.append(canonical_edge(u, v))
             built.append(tuple(sorted(canon)))
-        self._layers = tuple(built)
+        self._layers: tuple[tuple[tuple[int, int], ...], ...] | None = tuple(built)
+        self._flat: FlatLayers | None = None
+        self._meta: dict[str, Any] = dict(metadata) if metadata else {}
 
     # ------------------------------------------------------------------
     # constructors
@@ -94,6 +122,31 @@ class Schedule:
     def empty(cls, n_vertices: int) -> "Schedule":
         """A schedule with no layers (realizes the identity)."""
         return cls(n_vertices, ())
+
+    @classmethod
+    def _from_canonical(
+        cls,
+        n_vertices: int,
+        layers: tuple[tuple[tuple[int, int], ...], ...] | FlatLayers,
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "Schedule":
+        """Trusted constructor: ``layers`` must already be canonical.
+
+        Callers (kernel backends, :meth:`relabel`) guarantee the payload —
+        nested tuples or a :class:`FlatLayers` array bundle — is validated,
+        ``(min, max)``-canonical and sorted by ``(layer, lo, hi)``: the
+        invariants the public constructor would otherwise re-establish.
+        """
+        sched = object.__new__(cls)
+        sched._n = int(n_vertices)
+        if isinstance(layers, FlatLayers):
+            sched._layers = None
+            sched._flat = layers
+        else:
+            sched._layers = layers
+            sched._flat = None
+        sched._meta = dict(metadata) if metadata else {}
+        return sched
 
     @classmethod
     def from_serial_swaps(
@@ -110,52 +163,121 @@ class Schedule:
         """Vertex-set size."""
         return self._n
 
+    def _materialize(self) -> tuple[tuple[tuple[int, int], ...], ...]:
+        """Nested-tuple layers, built (once) from the flat arrays on demand."""
+        layers = self._layers
+        if layers is None:
+            fl = self._flat
+            assert fl is not None
+            lo = fl.lo.tolist()
+            hi = fl.hi.tolist()
+            out: list[tuple[tuple[int, int], ...]] = []
+            pos = 0
+            for c in fl.counts.tolist():
+                out.append(tuple(zip(lo[pos : pos + c], hi[pos : pos + c])))
+                pos += c
+            layers = self._layers = tuple(out)
+        return layers
+
     @property
     def layers(self) -> tuple[tuple[tuple[int, int], ...], ...]:
         """The layers, each a sorted tuple of canonical swaps."""
-        return self._layers
+        return self._materialize()
+
+    @property
+    def metadata(self) -> dict[str, Any]:
+        """Provenance annotations (e.g. ``{"backend": "numpy"}``).
+
+        Routers stamp the kernel backend that computed the schedule here
+        so operators can see which implementation served a request.
+        Excluded from :meth:`__eq__`/:meth:`__hash__` — two schedules
+        with identical layers are equal regardless of provenance.
+        """
+        return self._meta
+
+    def with_metadata(self, **entries: Any) -> "Schedule":
+        """Copy (sharing layers) with ``entries`` merged into the metadata."""
+        merged = dict(self._meta)
+        merged.update(entries)
+        sched = object.__new__(Schedule)
+        sched._n = self._n
+        sched._layers = self._layers
+        sched._flat = self._flat
+        sched._meta = merged
+        return sched
 
     @property
     def depth(self) -> int:
         """Number of non-empty layers (the paper's depth objective)."""
+        if self._layers is None:
+            assert self._flat is not None
+            return int(np.count_nonzero(self._flat.counts))
         return sum(1 for layer in self._layers if layer)
 
     @property
     def n_layers(self) -> int:
         """Total number of layers including empty ones."""
+        if self._layers is None:
+            assert self._flat is not None
+            return len(self._flat.counts)
         return len(self._layers)
 
     @property
     def size(self) -> int:
         """Total number of swaps (the serial token-swapping objective)."""
+        if self._layers is None:
+            assert self._flat is not None
+            return int(self._flat.lo.size)
         return sum(len(layer) for layer in self._layers)
 
     def serial_swaps(self) -> list[tuple[int, int]]:
         """All swaps flattened in layer order (within-layer order arbitrary
         but fixed; within-layer swaps commute since they are disjoint)."""
+        if self._layers is None:
+            assert self._flat is not None
+            return list(zip(self._flat.lo.tolist(), self._flat.hi.tolist()))
         return [s for layer in self._layers for s in layer]
 
     def __len__(self) -> int:
-        return len(self._layers)
+        return self.n_layers
 
     def __iter__(self) -> Iterator[tuple[tuple[int, int], ...]]:
-        return iter(self._layers)
+        return iter(self._materialize())
 
     def __getitem__(self, i: int) -> tuple[tuple[int, int], ...]:
-        return self._layers[i]
+        return self._materialize()[i]
 
     # ------------------------------------------------------------------
     # semantics
     # ------------------------------------------------------------------
+    def _sweep_occupancy(self, occ: np.ndarray) -> None:
+        """Apply every layer to ``occ`` in place (layers are matchings, so
+        each layer's swaps are disjoint and apply in one vectorized step
+        on the flat representation)."""
+        if self._layers is None:
+            assert self._flat is not None
+            fl = self._flat
+            pos = 0
+            for c in fl.counts.tolist():
+                if c:
+                    los = fl.lo[pos : pos + c]
+                    his = fl.hi[pos : pos + c]
+                    tmp = occ[los].copy()
+                    occ[los] = occ[his]
+                    occ[his] = tmp
+                pos += c
+            return
+        for layer in self._layers:
+            for u, v in layer:
+                occ[u], occ[v] = occ[v], occ[u]
+
     def simulate(self) -> Permutation:
         """The permutation realized by the schedule.
 
         Returns the map *start vertex of a token* → *its final vertex*.
         """
         occ = np.arange(self._n)  # occ[position] = token currently there
-        for layer in self._layers:
-            for u, v in layer:
-                occ[u], occ[v] = occ[v], occ[u]
+        self._sweep_occupancy(occ)
         realized = np.empty(self._n, dtype=np.int64)
         realized[occ] = np.arange(self._n)
         return Permutation(realized)
@@ -164,9 +286,7 @@ class Schedule:
         """In-place update of an occupancy array (position → token)."""
         if occ.shape != (self._n,):
             raise ScheduleError("occupancy array has wrong shape")
-        for layer in self._layers:
-            for u, v in layer:
-                occ[u], occ[v] = occ[v], occ[u]
+        self._sweep_occupancy(occ)
 
     def check_against(self, graph: Graph) -> None:
         """Raise unless every layer is a matching of ``graph``."""
@@ -174,7 +294,7 @@ class Schedule:
             raise ScheduleError(
                 f"schedule on {self._n} vertices vs graph on {graph.n_vertices}"
             )
-        for li, layer in enumerate(self._layers):
+        for li, layer in enumerate(self._materialize()):
             for u, v in layer:
                 if not graph.has_edge(u, v):
                     raise ScheduleError(
@@ -205,30 +325,66 @@ class Schedule:
     # ------------------------------------------------------------------
     def trimmed(self) -> "Schedule":
         """Copy with empty layers removed."""
-        return Schedule(self._n, (l for l in self._layers if l))
+        if self._layers is None:
+            assert self._flat is not None
+            fl = self._flat
+            kept = fl.counts[fl.counts > 0]
+            return Schedule._from_canonical(
+                self._n, FlatLayers(fl.lo, fl.hi, kept), self._meta
+            )
+        return Schedule._from_canonical(
+            self._n, tuple(l for l in self._layers if l), self._meta
+        )
 
     def compact(self) -> "Schedule":
         """ASAP re-timing (see module docstring). Depth never increases."""
+        if self._layers is None:
+            assert self._flat is not None
+            fl = self._flat
+            if fl.lo.size == 0:
+                return Schedule(self._n, (), metadata=self._meta)
+            avail = np.zeros(self._n, dtype=np.int64)
+            t = np.empty(fl.lo.size, dtype=np.int64)
+            pos = 0
+            for c in fl.counts.tolist():
+                if c:
+                    sl = slice(pos, pos + c)
+                    los, his = fl.lo[sl], fl.hi[sl]
+                    tt = np.maximum(avail[los], avail[his])
+                    t[sl] = tt
+                    avail[los] = tt + 1
+                    avail[his] = tt + 1
+                pos += c
+            order = np.lexsort((fl.hi, fl.lo, t))
+            counts = np.bincount(t, minlength=int(t.max()) + 1)
+            return Schedule._from_canonical(
+                self._n,
+                FlatLayers(fl.lo[order], fl.hi[order], counts),
+                self._meta,
+            )
         avail = np.zeros(self._n, dtype=np.int64)  # earliest free layer per vertex
         new_layers: list[list[tuple[int, int]]] = []
         for layer in self._layers:
             for u, v in layer:
-                t = int(max(avail[u], avail[v]))
-                while len(new_layers) <= t:
+                t2 = int(max(avail[u], avail[v]))
+                while len(new_layers) <= t2:
                     new_layers.append([])
-                new_layers[t].append((u, v))
-                avail[u] = avail[v] = t + 1
-        return Schedule(self._n, new_layers)
+                new_layers[t2].append((u, v))
+                avail[u] = avail[v] = t2 + 1
+        return Schedule(self._n, new_layers, metadata=self._meta)
 
     def inverse(self) -> "Schedule":
         """Layers reversed; realizes the inverse permutation."""
-        return Schedule(self._n, reversed(self._layers))
+        return Schedule(self._n, reversed(self._materialize()), metadata=self._meta)
 
     def concat(self, other: "Schedule") -> "Schedule":
-        """This schedule followed by ``other``."""
+        """This schedule followed by ``other`` (metadata is not carried:
+        the result has no single provenance)."""
         if other._n != self._n:
             raise ScheduleError("cannot concatenate schedules of different sizes")
-        return Schedule(self._n, self._layers + other._layers)
+        return Schedule._from_canonical(
+            self._n, self._materialize() + other._materialize()
+        )
 
     def __add__(self, other: "Schedule") -> "Schedule":
         return self.concat(other)
@@ -242,11 +398,49 @@ class Schedule:
         m = np.asarray(mapping, dtype=np.int64)
         if m.shape != (self._n,):
             raise ScheduleError("relabel mapping has wrong size")
-        if len(set(m.tolist())) != self._n:
+        if np.unique(m).size != self._n:
             raise ScheduleError("relabel mapping is not a bijection")
-        return Schedule(
-            self._n,
-            ([(int(m[u]), int(m[v])) for u, v in layer] for layer in self._layers),
+        if self._layers is None:
+            assert self._flat is not None
+            fl = self._flat
+            counts = fl.counts
+            sizes = counts.tolist()
+            a = m[fl.lo]
+            b = m[fl.hi]
+        else:
+            sizes = [len(layer) for layer in self._layers]
+            total = sum(sizes)
+            if total == 0:
+                return Schedule._from_canonical(self._n, self._layers, self._meta)
+            flat = np.fromiter(
+                (x for layer in self._layers for swap in layer for x in swap),
+                dtype=np.int64,
+                count=2 * total,
+            ).reshape(-1, 2)
+            counts = np.asarray(sizes, dtype=np.int64)
+            a = m[flat[:, 0]]
+            b = m[flat[:, 1]]
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        if lo.size == 0:
+            return Schedule._from_canonical(
+                self._n, FlatLayers(lo, hi, counts), self._meta
+            )
+        if int(lo.min()) < 0 or int(hi.max()) >= self._n:
+            raise ScheduleError("relabel mapping leaves the vertex range")
+        # A bijection preserves self-swap-freeness and per-layer vertex
+        # disjointness, so only canonical form must be re-established:
+        # sort within each layer by (lo, hi). Disjointness makes
+        # (layer, lo) unique, so when the packed (layer, lo, hi) key
+        # fits in int64 a single non-stable argsort replaces the
+        # 3-key lexsort.
+        lid = np.repeat(np.arange(len(sizes), dtype=np.int64), counts)
+        if len(sizes) * self._n * self._n < 2**62:
+            order = np.argsort((lid * self._n + lo) * self._n + hi)
+        else:  # pragma: no cover - astronomically large schedules
+            order = np.lexsort((hi, lo, lid))
+        return Schedule._from_canonical(
+            self._n, FlatLayers(lo[order], hi[order], counts), self._meta
         )
 
     # ------------------------------------------------------------------
@@ -255,10 +449,20 @@ class Schedule:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Schedule):
             return NotImplemented
-        return self._n == other._n and self._layers == other._layers
+        if self._n != other._n:
+            return False
+        if self._layers is None and other._layers is None:
+            a, b = self._flat, other._flat
+            assert a is not None and b is not None
+            return (
+                np.array_equal(a.counts, b.counts)
+                and np.array_equal(a.lo, b.lo)
+                and np.array_equal(a.hi, b.hi)
+            )
+        return self._materialize() == other._materialize()
 
     def __hash__(self) -> int:
-        return hash((self._n, self._layers))
+        return hash((self._n, self._materialize()))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

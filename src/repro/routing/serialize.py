@@ -28,8 +28,10 @@ _FORMAT_VERSION = 1
 def schedule_to_json(schedule: Schedule, indent: int | None = None) -> str:
     """Serialize a schedule to a JSON document.
 
-    The document records the format version, vertex count and layers;
-    round-trips exactly through :func:`schedule_from_json`.
+    The document records the format version, vertex count and layers
+    (plus the provenance metadata, when present — an optional key, so
+    version 1 readers remain compatible); round-trips exactly through
+    :func:`schedule_from_json`.
     """
     doc = {
         "format": "repro.schedule",
@@ -37,6 +39,8 @@ def schedule_to_json(schedule: Schedule, indent: int | None = None) -> str:
         "n_vertices": schedule.n_vertices,
         "layers": [[[u, v] for (u, v) in layer] for layer in schedule],
     }
+    if schedule.metadata:
+        doc["metadata"] = dict(schedule.metadata)
     return json.dumps(doc, indent=indent)
 
 
@@ -67,7 +71,10 @@ def schedule_from_json(text: str) -> Schedule:
         ]
     except (KeyError, TypeError, ValueError) as exc:
         raise ScheduleError(f"malformed schedule document: {exc}") from exc
-    return Schedule(n, layers)
+    meta = doc.get("metadata")
+    if meta is not None and not isinstance(meta, dict):
+        raise ScheduleError("malformed schedule document: metadata must be an object")
+    return Schedule(n, layers, metadata=meta)
 
 
 def render_grid_layer(grid: GridGraph, layer) -> str:

@@ -27,7 +27,7 @@ from .schedule import Schedule
 __all__ = ["TreeRouter"]
 
 
-@register_router("tree")
+@register_router("tree", families=("tree",))
 class TreeRouter(Router):
     """Token-swapping-based routing restricted to tree coupling graphs.
 

@@ -479,6 +479,7 @@ class AsyncRoutingService:
             req.perm.targets.tolist(),
             req.router,
             dict(req.options),
+            self.service.executor.kernel_backend,
         )
         t0 = time.perf_counter()
         try:
@@ -489,11 +490,15 @@ class AsyncRoutingService:
                     timeout,
                     salvage=self._route_salvager(req, key),
                 )
-                _digest, status, body, seconds, stages = raw
+                _digest, status, body, seconds, stages, backend = raw
                 csp.set("status", status)
+                if backend:
+                    csp.set("backend", backend)
                 if status == "ok":
                     record_stage_spans(stages)
-                    record_stage_telemetry(self.telemetry, req.router, stages)
+                    record_stage_telemetry(
+                        self.telemetry, req.router, backend, stages
+                    )
         except asyncio.TimeoutError:
             self.telemetry.incr("aio_timeouts")
             elapsed = time.perf_counter() - t0
@@ -509,6 +514,8 @@ class AsyncRoutingService:
             return _route_error(index, key, req.router, seconds, str(body))
         try:
             schedule = Schedule(req.graph.n_vertices, body)
+            if backend:
+                schedule = schedule.with_metadata(backend=backend)
             if self.service.executor.verify:
                 schedule.verify(req.graph, req.perm)
         except Exception as exc:  # noqa: BLE001 - isolate per request
@@ -523,6 +530,7 @@ class AsyncRoutingService:
             schedule=schedule,
             seconds=seconds,
             source="computed",
+            backend=backend,
         )
 
     @staticmethod
@@ -585,7 +593,7 @@ class AsyncRoutingService:
 
         def _salvage(future: Any) -> None:
             try:
-                _digest, status, body, seconds, _stages = future.result()
+                _digest, status, body, seconds, _stages, _backend = future.result()
                 if status != "ok":
                     return
                 schedule = Schedule(req.graph.n_vertices, body)
@@ -692,7 +700,7 @@ class AsyncRoutingService:
                     if status == "ok":
                         record_stage_spans(stages)
                         record_stage_telemetry(
-                            self.telemetry, req.router, stages
+                            self.telemetry, req.router, None, stages
                         )
             except asyncio.TimeoutError:
                 self.telemetry.incr("aio_timeouts")

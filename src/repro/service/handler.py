@@ -728,9 +728,10 @@ def render_prometheus(stats: Mapping[str, Any]) -> str:
         else:
             lines.append(f"{metric} {value}")
 
-    # Per-stage routing-phase summaries ("stage.<router>.<stage>"
+    # Per-stage routing-phase summaries ("stage.<router>.<backend>.<stage>"
     # histograms, fed by the StageProfiler) get their own metric family
-    # with router/stage labels; everything else stays under the op label.
+    # with router/backend/stage labels; everything else stays under the
+    # op label.
     latency = telemetry.get("latency") or {}
     stage_names = sorted(n for n in latency if str(n).startswith("stage."))
     lines.append("# HELP repro_latency_seconds Operation latency summaries.")
@@ -762,12 +763,22 @@ def render_prometheus(stats: Mapping[str, Any]) -> str:
         lines.append("# TYPE repro_stage_seconds summary")
         for name in stage_names:
             hist = latency[name]
-            # "stage.<router>.<stage>"; a stage name may itself contain
-            # dots, so split at most twice from the left.
-            parts = str(name).split(".", 2)
+            # "stage.<router>.<backend>.<stage>"; a stage name may itself
+            # contain dots, so split at most three times from the left.
+            # A three-part key ("stage.<router>.<stage>", the pre-backend
+            # format) renders with an empty backend label.
+            parts = str(name).split(".", 3)
             router = parts[1] if len(parts) > 1 else ""
-            stage = parts[2] if len(parts) > 2 else ""
-            label = f'router="{_prom_label(router)}",stage="{_prom_label(stage)}"'
+            if len(parts) > 3:
+                backend, stage = parts[2], parts[3]
+            else:
+                backend, stage = "", parts[2] if len(parts) > 2 else ""
+            if backend == "-":
+                backend = ""
+            label = (
+                f'backend="{_prom_label(backend)}",'
+                f'router="{_prom_label(router)}",stage="{_prom_label(stage)}"'
+            )
             for key, quantile in _QUANTILES:
                 if key in hist:
                     lines.append(

@@ -1,0 +1,311 @@
+"""Backend equivalence: python and numpy kernels must agree exactly.
+
+The contract from ``repro.kernels.base``: every backend produces
+*identical* outputs for identical inputs — identical matchings,
+identical tie-breaks, identical schedules. This suite pins the numpy
+backend to the pure-python reference in two tiers:
+
+* **router level** (hypothesis) — every router with a vectorized path
+  emits byte-identical schedules under both backends on randomized
+  instances;
+* **primitive level** — each :class:`KernelBackend` method compared
+  directly on randomized inputs, so a divergence is attributed to the
+  kernel that caused it rather than surfacing as a schedule diff three
+  layers up.
+
+A third tier covers the lazy ``FlatLayers`` schedule representation the
+numpy backend returns: every ``Schedule`` transform must give the same
+answer whether the layers live as arrays or as materialized tuples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CartesianProduct,
+    GridGraph,
+    Permutation,
+    available_backends,
+    make_router,
+)
+from repro.graphs import cycle_graph, path_graph
+from repro.kernels import get_backend
+from repro.routing.schedule import Schedule
+
+if "numpy" not in available_backends():  # pragma: no cover
+    pytest.skip("numpy backend not installed", allow_module_level=True)
+
+PY = get_backend("python")
+NP = get_backend("numpy")
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def grid_and_permutation(draw):
+    m = draw(st.integers(min_value=1, max_value=6))
+    n = draw(st.integers(min_value=1, max_value=6))
+    perm = draw(st.permutations(range(m * n)))
+    return GridGraph(m, n), Permutation(list(perm))
+
+
+@st.composite
+def product_and_permutation(draw):
+    factories = [path_graph, cycle_graph]
+    g = factories[draw(st.integers(0, 1))](draw(st.integers(3, 4)))
+    h = factories[draw(st.integers(0, 1))](draw(st.integers(3, 4)))
+    prod = CartesianProduct(g, h)
+    perm = draw(st.permutations(range(prod.n_vertices)))
+    return prod, Permutation(list(perm))
+
+
+def _assert_same_schedule(a: Schedule, b: Schedule) -> None:
+    assert a == b
+    assert a.layers == b.layers
+    assert a.depth == b.depth and a.size == b.size
+
+
+# ----------------------------------------------------------------------
+# tier 1: router-level equivalence
+# ----------------------------------------------------------------------
+class TestRouterEquivalence:
+    @pytest.mark.parametrize("router", ["local", "naive", "hybrid"])
+    @given(case=grid_and_permutation())
+    @settings(max_examples=30, deadline=None)
+    def test_grid_routers(self, router, case):
+        grid, perm = case
+        a = make_router(router, backend="python").route(grid, perm)
+        b = make_router(router, backend="numpy").route(grid, perm)
+        a.verify(grid, perm)
+        _assert_same_schedule(a, b)
+
+    @given(case=product_and_permutation())
+    @settings(max_examples=15, deadline=None)
+    def test_cartesian_router(self, case):
+        prod, perm = case
+        a = make_router("cartesian", backend="python").route(prod, perm)
+        b = make_router("cartesian", backend="numpy").route(prod, perm)
+        a.verify(prod, perm)
+        _assert_same_schedule(a, b)
+
+    @given(case=grid_and_permutation())
+    @settings(max_examples=15, deadline=None)
+    def test_ats_router(self, case):
+        grid, perm = case
+        a = make_router("ats", backend="python").route(grid, perm)
+        b = make_router("ats", backend="numpy").route(grid, perm)
+        a.verify(grid, perm)
+        _assert_same_schedule(a, b)
+
+    def test_larger_grid_spot_check(self):
+        grid = GridGraph(12, 12)
+        for seed in range(3):
+            perm = Permutation(
+                np.random.default_rng(seed).permutation(grid.n_vertices)
+            )
+            a = make_router("local", backend="python").route(grid, perm)
+            b = make_router("local", backend="numpy").route(grid, perm)
+            _assert_same_schedule(a, b)
+
+
+# ----------------------------------------------------------------------
+# tier 2: primitive-level equivalence
+# ----------------------------------------------------------------------
+class TestPrimitiveEquivalence:
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_hopcroft_karp(self, data):
+        n_left = data.draw(st.integers(1, 7))
+        n_right = data.draw(st.integers(1, 7))
+        adj = [
+            data.draw(
+                st.lists(
+                    st.integers(0, n_right - 1), max_size=n_right, unique=True
+                )
+            )
+            for _ in range(n_left)
+        ]
+        assert PY.hopcroft_karp(n_left, n_right, adj) == NP.hopcroft_karp(
+            n_left, n_right, adj
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_bottleneck_feasible(self, data):
+        n = data.draw(st.integers(1, 6))
+        w = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.integers(0, 9), min_size=n, max_size=n),
+                    min_size=n,
+                    max_size=n,
+                )
+            ),
+            dtype=float,
+        )
+        thr = float(data.draw(st.integers(0, 9)))
+        assert PY.bottleneck_feasible(w, thr) == NP.bottleneck_feasible(w, thr)
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_delta_weights(self, data):
+        n_rows = data.draw(st.integers(1, 6))
+        # Real call sites pass one uniform-length row vector per matching
+        # (2n source/destination rows each); the numpy kernel stacks them.
+        row_len = data.draw(st.integers(1, 8))
+        rows_used = [
+            np.array(
+                data.draw(
+                    st.lists(
+                        st.integers(0, n_rows - 1),
+                        min_size=row_len,
+                        max_size=row_len,
+                    )
+                )
+            )
+            for _ in range(data.draw(st.integers(1, 4)))
+        ]
+        np.testing.assert_array_equal(
+            np.asarray(PY.delta_weights(rows_used, n_rows), dtype=float),
+            np.asarray(NP.delta_weights(rows_used, n_rows), dtype=float),
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_oet_swap_layers(self, data):
+        length = data.draw(st.integers(1, 6))
+        paths = data.draw(st.integers(1, 4))
+        cols = [
+            data.draw(st.permutations(range(length))) for _ in range(paths)
+        ]
+        dest = np.array(cols, dtype=np.int64).T.copy()
+        parity = data.draw(st.integers(0, 1))
+        optimize = data.draw(st.booleans())
+        a = PY.oet_swap_layers(
+            dest.copy(), paths, 1, paths,
+            optimize_parity=optimize, start_parity=parity,
+        )
+        b = NP.oet_swap_layers(
+            dest.copy(), paths, 1, paths,
+            optimize_parity=optimize, start_parity=parity,
+        )
+        norm = lambda layers: [  # noqa: E731
+            (list(np.asarray(u)), list(np.asarray(v))) for u, v in layers
+        ]
+        assert norm(a) == norm(b)
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_total_displacement(self, data):
+        n = data.draw(st.integers(1, 6))
+        dist = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.integers(0, 9), min_size=n, max_size=n),
+                    min_size=n,
+                    max_size=n,
+                )
+            ),
+            dtype=np.int64,
+        )
+        dest = list(data.draw(st.permutations(range(n))))
+        assert PY.total_displacement(dist, dest) == NP.total_displacement(
+            dist, dest
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_compact_serial_swaps(self, data):
+        n = data.draw(st.integers(2, 9))
+        swaps = [
+            tuple(
+                data.draw(
+                    st.lists(
+                        st.integers(0, n - 1),
+                        min_size=2, max_size=2, unique=True,
+                    )
+                )
+            )
+            for _ in range(data.draw(st.integers(0, 10)))
+        ]
+        assert PY.compact_serial_swaps(n, swaps) == NP.compact_serial_swaps(
+            n, swaps
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_assemble_layers(self, data):
+        n = data.draw(st.integers(2, 9))
+        layers = []
+        for _ in range(data.draw(st.integers(0, 5))):
+            verts = data.draw(
+                st.lists(
+                    st.integers(0, n - 1),
+                    min_size=0, max_size=n - (n % 2), unique=True,
+                )
+            )
+            verts = verts[: 2 * (len(verts) // 2)]
+            us = np.array(verts[0::2], dtype=np.int64)
+            vs = np.array(verts[1::2], dtype=np.int64)
+            layers.append((us, vs))
+        compact = data.draw(st.booleans())
+        a = Schedule._from_canonical(n, PY.assemble_layers(n, layers, compact))
+        b = Schedule._from_canonical(n, NP.assemble_layers(n, layers, compact))
+        _assert_same_schedule(a, b)
+
+
+# ----------------------------------------------------------------------
+# tier 3: FlatLayers vs tuple Schedule transforms
+# ----------------------------------------------------------------------
+def _flat_and_tuple(seed: int) -> tuple[Schedule, Schedule]:
+    """The same routed schedule as (numpy-flat, python-tuple) instances."""
+    grid = GridGraph(5, 5)
+    perm = Permutation(np.random.default_rng(seed).permutation(25))
+    flat = make_router("local", backend="numpy").route(grid, perm)
+    tup = make_router("local", backend="python").route(grid, perm)
+    return flat, tup
+
+
+class TestFlatLayersTransforms:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_transforms_agree(self, seed):
+        flat, tup = _flat_and_tuple(seed)
+        _assert_same_schedule(flat, tup)
+        _assert_same_schedule(flat.trimmed(), tup.trimmed())
+        _assert_same_schedule(flat.compact(), tup.compact())
+        _assert_same_schedule(flat.inverse(), tup.inverse())
+        relab = list(reversed(range(25)))
+        _assert_same_schedule(flat.relabel(relab), tup.relabel(relab))
+        assert flat.serial_swaps() == tup.serial_swaps()
+        assert flat.simulate() == tup.simulate()
+        assert hash(flat) == hash(tup)
+        assert len(flat) == len(tup)
+        assert list(flat) == list(tup)
+        if len(flat):
+            assert flat[0] == tup[0] and flat[-1] == tup[-1]
+
+    def test_concat_mixed_representations(self):
+        flat, tup = _flat_and_tuple(9)
+        assert (flat + tup).layers == tup.layers + tup.layers
+        assert (tup + flat) == (flat + tup)
+
+    def test_occupancy_sweep(self):
+        flat, tup = _flat_and_tuple(2)
+        a = np.arange(25, dtype=np.int64)
+        b = np.arange(25, dtype=np.int64)
+        flat.apply_to_occupancy(a)
+        tup.apply_to_occupancy(b)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_flat_schedule(self):
+        grid = GridGraph(3, 3)
+        ident = Permutation.identity(9)
+        flat = make_router("local", backend="numpy").route(grid, ident)
+        assert flat.size == 0
+        assert flat.compact().layers == ()
+        assert flat.trimmed().depth == 0
