@@ -102,10 +102,14 @@ def bench_cold_coverage(size: int = 6) -> dict:
         names = {s["name"] for s in got["traces"][0]["spans"]}
         required = {
             "handler.route",
+            "pipeline.authenticate",
+            "pipeline.admit",
+            "pipeline.execute",
+            "pipeline.enqueue",
+            "pipeline.encode",
             "cache.get",
             "cache.local_get",
             "cache.remote_get",
-            "queue.wait",
             "compute",
         }
         stage_names = sorted(n for n in names if n.startswith("stage."))

@@ -28,7 +28,12 @@ Commands
     cluster cache ring (:mod:`repro.service.cluster`);
     ``--topology-file PATH`` instead watches a JSON membership file
     (reloaded on mtime change or SIGHUP); ``repro batch --cluster
-    ADDR`` taps the same ring from a one-shot batch.
+    ADDR`` taps the same ring from a one-shot batch. ``--tenants
+    FILE`` enforces multi-tenant API-key authentication with
+    weighted-fair queueing, ``--max-queue-depth N`` sheds load with
+    429 once that many requests are queued, and ``repro batch
+    --api-key KEY`` sends the matching credential (see
+    docs/OPERATIONS.md, "Tenancy and overload").
 ``trace``
     Fetch finished request traces from one or more daemons and render
     each as a span tree with durations (``--id`` for one trace,
@@ -195,6 +200,14 @@ def build_parser() -> argparse.ArgumentParser:
         "/v1/route_batch; same ignored-flags caveat as --daemon",
     )
     p_batch.add_argument(
+        "--api-key",
+        metavar="KEY",
+        help="tenant API key sent with every request when the server "
+        "enforces tenancy (--daemon: an 'api_key' field on each request "
+        "line; --http: an Authorization: Bearer header); ignored when "
+        "routing locally",
+    )
+    p_batch.add_argument(
         "--cluster",
         metavar="ADDR",
         action="append",
@@ -271,6 +284,30 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="maximum in-flight requests",
+    )
+    p_serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="load-shedding bound: refuse work with 429/rate_limited "
+        "(and a Retry-After header on HTTP) once this many requests "
+        "are queued ahead of execution (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--tenants",
+        metavar="FILE",
+        help="JSON tenant configuration (API keys, weights, token-bucket "
+        "rates, per-tenant quotas); enables authentication and "
+        "weighted-fair queueing across tenants (see docs/OPERATIONS.md)",
+    )
+    p_serve.add_argument(
+        "--max-body",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="per-request body-size limit for the HTTP transport "
+        "(413 + Connection: close above it; requires --http)",
     )
     p_serve.add_argument(
         "--timeout",
@@ -587,14 +624,12 @@ def _cmd_batch_daemon(args: argparse.Namespace) -> int:
             raise ReproError(f"request line {lineno}: expected a JSON object")
         docs.append(doc)
     out = _open_out(args.out)
+    extra: dict = {"include_schedule": bool(args.include_schedule)}
+    if args.api_key:
+        extra["api_key"] = args.api_key
     with DaemonClient(args.daemon) as client:
         t0 = time.perf_counter()
-        responses = client.route_batch(
-            [
-                {**doc, "include_schedule": bool(args.include_schedule)}
-                for doc in docs
-            ]
-        )
+        responses = client.route_batch([{**doc, **extra} for doc in docs])
         elapsed = time.perf_counter() - t0
         stats = client.stats() if args.stats else None
     try:
@@ -626,10 +661,12 @@ def _cmd_batch_http(args: argparse.Namespace) -> int:
         docs.append(doc)
     out = _open_out(args.out)
     base = args.http.rstrip("/")
+    headers = {"Authorization": f"Bearer {args.api_key}"} if args.api_key else None
     t0 = time.perf_counter()
     status, body = http_request(
         base + "/v1/route_batch",
         {"requests": docs, "include_schedule": bool(args.include_schedule)},
+        headers=headers,
     )
     elapsed = time.perf_counter() - t0
     if status != 200 or not isinstance(body, dict) or not body.get("ok"):
@@ -789,6 +826,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "--topology-file and --peer are mutually exclusive (the file "
             "is the authoritative member list)"
         )
+    if args.max_queue_depth is not None and args.max_queue_depth <= 0:
+        raise ReproError(
+            f"--max-queue-depth must be positive, got {args.max_queue_depth}"
+        )
+    if args.max_body is not None:
+        if not args.http:
+            raise ReproError(
+                "--max-body applies to the HTTP transport; use it with --http"
+            )
+        if args.max_body <= 0:
+            raise ReproError(f"--max-body must be positive, got {args.max_body}")
 
     configure_logging(args.log_level, json_output=args.log_json)
     log = get_logger("repro.service.cli")
@@ -819,8 +867,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         watcher = TopologyFileWatcher(topology, args.topology_file)
         watcher.reload()  # a malformed file fails the start loudly
 
+    tenants = None
+    if args.tenants:
+        from .service import load_tenants_file
+
+        tenants = load_tenants_file(args.tenants)  # malformed fails loudly
+        log.info(
+            "tenancy enforced",
+            extra={
+                "tenants": len(tenants.tenants()),
+                "config": args.tenants,
+            },
+        )
+
     svc = AsyncRoutingService(
         max_concurrency=args.max_concurrency,
+        tenants=tenants,
+        max_queue_depth=args.max_queue_depth,
         default_timeout=args.timeout,
         cache_size=args.cache_size,
         cache_dir=args.cache_dir,
@@ -848,7 +911,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             from .service import HttpRoutingServer
 
             host, port = http_addr
-            server = HttpRoutingServer(svc, host=host, port=port, on_reload=on_reload)
+            http_kwargs: dict = {}
+            if args.max_body is not None:
+                http_kwargs["max_body_bytes"] = args.max_body
+            server = HttpRoutingServer(
+                svc, host=host, port=port, on_reload=on_reload, **http_kwargs
+            )
             log.info(
                 "repro daemon listening",
                 extra={"address": f"http://{host}:{port}", "transport": "http"},

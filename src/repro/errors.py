@@ -23,6 +23,8 @@ __all__ = [
     "DaemonDisconnectedError",
     "ClusterShardError",
     "StaleEpochError",
+    "AuthenticationError",
+    "RateLimitedError",
 ]
 
 
@@ -106,6 +108,43 @@ class ClusterShardError(ReproError):
     trips the node's circuit breaker and degrades to local compute —
     it never reaches the routing hot path.
     """
+
+
+class AuthenticationError(ReproError):
+    """A request could not be attributed to any configured tenant.
+
+    Raised by :meth:`~repro.service.tenancy.TenantRegistry.authenticate`
+    when tenancy is enforced and the request carries no API key (and no
+    anonymous tenant is configured) or an unknown one. The request
+    pipeline maps it to the stable ``unauthorized`` error code (HTTP
+    401); it never takes a connection down.
+    """
+
+
+class RateLimitedError(ReproError):
+    """A request was refused by admission control; retry later.
+
+    Raised by the request pipeline's admit stage when a tenant's token
+    bucket is empty, its queue quota is full, or the global queue depth
+    bound would be crossed (load shedding). Maps to the stable
+    ``rate_limited`` error code (HTTP 429 with a ``Retry-After``
+    header). :attr:`retry_after` is the suggested wait in seconds;
+    :attr:`reason` distinguishes a token-bucket refusal
+    (``"throttled"``) from a queue-bound one (``"shed"``) for the
+    per-tenant outcome counters.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after: float = 1.0,
+        reason: str = "throttled",
+    ) -> None:
+        super().__init__(message)
+        #: Suggested client back-off in seconds before retrying.
+        self.retry_after = float(retry_after)
+        #: Which admission check refused: ``"throttled"`` or ``"shed"``.
+        self.reason = str(reason)
 
 
 class StaleEpochError(ReproError):

@@ -13,11 +13,16 @@ onto one warm pool.
 
 Three service-y concerns are handled here rather than left to callers:
 
-* **Bounded concurrency** — an ``asyncio.Semaphore`` caps in-flight
-  requests (``max_concurrency``); excess submissions queue in the event
-  loop. The queue depth and in-flight gauges are exported through the
-  shared :class:`~repro.service.telemetry.Telemetry` as
-  ``aio_queue_depth`` / ``aio_inflight``.
+* **Bounded, fair concurrency** — a
+  :class:`~repro.service.tenancy.FairScheduler` caps in-flight requests
+  (``max_concurrency``) and arbitrates the queue by weighted-fair
+  queueing over the calling tenant (taken from the ambient
+  :func:`~repro.service.tenancy.current_tenant`, which the request
+  pipeline binds; library callers run as the default tenant and see
+  plain FIFO). The queue depth and in-flight gauges are exported
+  through the shared :class:`~repro.service.telemetry.Telemetry` as
+  ``aio_queue_depth`` / ``aio_inflight``, plus per-tenant
+  ``tenant_queue_depth`` / ``tenant_inflight`` gauge series.
 * **Per-request timeouts** — each request may carry a ``timeout`` (or
   inherit ``default_timeout``); an expired request yields an *error
   result* (``source == "error"``, ``TimeoutError`` in ``error``),
@@ -60,6 +65,12 @@ from .service import (
     TranspileOutcome,
     TranspileRequest,
     _transpile_in_worker,
+)
+from .tenancy import (
+    FairScheduler,
+    TenantRegistry,
+    current_tenant,
+    estimate_cost,
 )
 from .tracing import record_stage_spans, span
 
@@ -145,10 +156,18 @@ class AsyncRoutingService:
         :meth:`aclose`); a borrowed service is left open.
     max_concurrency:
         Maximum simultaneously in-flight requests; further submissions
-        wait on the semaphore.
+        queue in the weighted-fair scheduler.
     default_timeout:
         Per-request timeout in seconds applied when a call does not
         pass its own; ``None`` waits indefinitely.
+    tenants:
+        The :class:`~repro.service.tenancy.TenantRegistry` governing
+        authentication and admission. ``None`` builds an open registry
+        (everything admitted as the default tenant).
+    max_queue_depth:
+        Global queued-request bound the request pipeline sheds against
+        (``None`` = unbounded). The scheduler itself never refuses
+        admitted work; this is advisory state for the admit stage.
 
     Examples
     --------
@@ -169,6 +188,8 @@ class AsyncRoutingService:
         *,
         max_concurrency: int = 64,
         default_timeout: float | None = None,
+        tenants: TenantRegistry | None = None,
+        max_queue_depth: int | None = None,
         **service_kwargs: Any,
     ) -> None:
         if max_concurrency <= 0:
@@ -183,12 +204,17 @@ class AsyncRoutingService:
         self._owns_service = service is None
         self.max_concurrency = max_concurrency
         self.default_timeout = default_timeout
-        # The semaphore binds to the loop it first awaits on; recreate it
+        self.tenants = tenants if tenants is not None else TenantRegistry()
+        # The scheduler binds to the loop it first awaits on and resets
         # when the service outlives a loop (e.g. successive asyncio.run
-        # calls in tests). Only safe while idle, which is the only state
-        # a dead loop can leave us in.
-        self._sem: asyncio.Semaphore | None = None
-        self._sem_loop: asyncio.AbstractEventLoop | None = None
+        # calls in tests) — only safe while idle, which is the only
+        # state a dead loop can leave us in (same rule the semaphore it
+        # replaced followed).
+        self.scheduler = FairScheduler(
+            max_concurrency,
+            max_queue_depth=max_queue_depth,
+            telemetry=self.service.telemetry,
+        )
         # Single-flight map: digest -> future of the in-progress result.
         # Entries live only while their computation runs, so the map is
         # empty whenever the loop changes (no loop-rebinding needed).
@@ -226,30 +252,20 @@ class AsyncRoutingService:
     # ------------------------------------------------------------------
     # concurrency plumbing
     # ------------------------------------------------------------------
-    def _semaphore(self) -> asyncio.Semaphore:
-        loop = asyncio.get_running_loop()
-        if self._sem is None or self._sem_loop is not loop:
-            self._sem = asyncio.Semaphore(self.max_concurrency)
-            self._sem_loop = loop
-        return self._sem
-
     @contextlib.asynccontextmanager
-    async def _slot(self) -> AsyncIterator[None]:
-        """Acquire one concurrency slot, maintaining the telemetry gauges."""
-        tel = self.telemetry
-        sem = self._semaphore()
-        tel.incr("aio_queue_depth")
-        try:
-            with span("queue.wait"):
-                await sem.acquire()
-        finally:
-            tel.incr("aio_queue_depth", -1)
-        tel.incr("aio_inflight")
-        try:
+    async def _slot(self, cost: float = 1.0) -> AsyncIterator[None]:
+        """Acquire one weighted-fair slot for the ambient tenant.
+
+        The tenant comes from the contextvar the request pipeline binds
+        (:func:`~repro.service.tenancy.current_tenant`); library
+        callers that never went through the pipeline run as the
+        registry's default tenant. The scheduler maintains the
+        ``aio_queue_depth`` / ``aio_inflight`` gauges and emits the
+        ``pipeline.enqueue`` span around the wait.
+        """
+        tenant = current_tenant() or self.tenants.default_tenant
+        async with self.scheduler.slot(tenant, cost):
             yield
-        finally:
-            tel.incr("aio_inflight", -1)
-            sem.release()
 
     async def _await_job(
         self,
@@ -393,7 +409,7 @@ class AsyncRoutingService:
     ) -> RouteResult:
         if timeout is None:
             timeout = self.default_timeout
-        async with self._slot():
+        async with self._slot(estimate_cost(req.graph.n_vertices)):
             if key is None:
                 key = req.key()
             with span("cache.get") as csp:
@@ -661,7 +677,7 @@ class AsyncRoutingService:
     ) -> TranspileOutcome:
         if timeout is None:
             timeout = self.default_timeout
-        async with self._slot():
+        async with self._slot(estimate_cost(req.graph.n_vertices)):
             with span("cache.get") as csp:
                 cached = self.service.transpile_cache.get(digest)
                 csp.set("hit", cached is not None)
@@ -745,10 +761,20 @@ class AsyncRoutingService:
     # stats
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, Any]:
-        """The wrapped service's stats plus the async-front-end config."""
+        """The wrapped service's stats plus the async-front-end config.
+
+        Includes a ``tenancy`` section — registry mode, per-tenant
+        outcome counters, and the fair scheduler's occupancy — so
+        ``/stats`` shows who is being admitted, throttled and shed.
+        """
         doc = self.service.stats()
         doc["aio"] = {
             "max_concurrency": self.max_concurrency,
             "default_timeout": self.default_timeout,
+            "max_queue_depth": self.scheduler.max_queue_depth,
+        }
+        doc["tenancy"] = {
+            **self.tenants.stats(),
+            "scheduler": self.scheduler.stats(),
         }
         return doc

@@ -39,7 +39,16 @@ within a connection, requests are answered in order (which is what
 makes the pipelined :class:`DaemonClient` simple).
 
 ``serve_pipe`` speaks the same protocol over stdin/stdout for
-socket-less environments (containers, subprocess supervision, tests).
+socket-less environments (containers, subprocess supervision, tests);
+it installs the same signal handlers as the socket transport, so
+SIGTERM lets an in-flight request finish and be answered before the
+process exits.
+
+This module is *pure framing*: it reads lines and writes lines. Op
+dispatch, tenancy, admission control and error mapping all live in the
+shared :class:`~repro.service.pipeline.RequestPipeline`, which the
+HTTP front end (:mod:`repro.service.http`) drives too — one request
+lifecycle, two framings.
 """
 
 from __future__ import annotations
@@ -57,8 +66,9 @@ from typing import Any, Callable, IO, Mapping, Sequence
 
 from ..errors import DaemonDisconnectedError, ReproError
 from .aio import AsyncRoutingService
-from .handler import RequestHandler, request_from_doc
+from .handler import request_from_doc
 from .logging import get_logger
+from .pipeline import RequestPipeline
 
 _log = get_logger("repro.service.daemon")
 
@@ -219,7 +229,7 @@ class RoutingDaemon:
         on_reload: Callable[[], None] | None = None,
     ) -> None:
         self.service = service
-        self.handler = RequestHandler(service)
+        self.pipeline = RequestPipeline(service)
         self.on_reload = on_reload
         self._stop: asyncio.Event | None = None
         self._active_connections = 0
@@ -232,11 +242,11 @@ class RoutingDaemon:
         """One request line -> one response document (never raises).
 
         Delegates to the shared transport-agnostic
-        :class:`~repro.service.handler.RequestHandler`, which the HTTP
-        front end (:mod:`repro.service.http`) drives too — one dispatch
-        surface, two framings.
+        :class:`~repro.service.pipeline.RequestPipeline`, which the
+        HTTP front end (:mod:`repro.service.http`) drives too — one
+        request lifecycle, two framings.
         """
-        return await self.handler.dispatch_line(line)
+        return await self.pipeline.process_line(line)
 
     # ------------------------------------------------------------------
     # transports
@@ -406,14 +416,32 @@ class RoutingDaemon:
 
         EOF on the input stream is treated as a shutdown request, so
         supervising processes can stop the daemon by closing its stdin.
+        SIGTERM/SIGINT go through the same shutdown hook as
+        :meth:`serve_unix` (and SIGHUP through the same ``on_reload``
+        hook): a signal arriving while a request is being dispatched
+        lets that request finish and its response line flush before the
+        loop exits and the service closes — supervisors never lose an
+        answered-but-unwritten response.
         """
         in_stream = in_stream if in_stream is not None else sys.stdin
         out_stream = out_stream if out_stream is not None else sys.stdout
         stop = self._ensure_loop_state()
         loop = asyncio.get_running_loop()
+        installed = install_signal_handlers(loop, stop.set, self.on_reload)
+        stop_task = asyncio.ensure_future(stop.wait())
         try:
             while not stop.is_set():
-                line = await loop.run_in_executor(None, in_stream.readline)
+                line_task = loop.run_in_executor(None, in_stream.readline)
+                await asyncio.wait(
+                    {line_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if not line_task.done():
+                    # Stop fired while parked on the read: nothing is
+                    # in flight. The blocking readline cannot be
+                    # cancelled; the executor thread is abandoned to
+                    # die with the process.
+                    break
+                line = line_task.result()
                 if not line:
                     break
                 if not line.strip():
@@ -424,6 +452,10 @@ class RoutingDaemon:
                 if resp.get("op") == "shutdown" and resp.get("ok"):
                     break
         finally:
+            stop_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await stop_task
+            remove_signal_handlers(loop, installed)
             await self.service.aclose()
 
     async def _drain(self) -> None:

@@ -4,10 +4,15 @@ The NDJSON daemon (:mod:`repro.service.daemon`) and the HTTP facade
 (:mod:`repro.service.http`) accept the same JSON request documents and
 must answer with the same response documents — the only thing that
 differs is the framing (one line per request vs. an HTTP message). The
-:class:`RequestHandler` owns everything between the two framings:
-document validation, op dispatch onto an
+:class:`RequestHandler` owns the per-op *implementations* — document
+validation, the op methods driving an
 :class:`~repro.service.aio.AsyncRoutingService`, error isolation, and
-the stable machine-readable error codes both transports expose.
+the stable machine-readable error codes both transports expose. The
+request *lifecycle* around those ops — decode, authenticate, admit,
+enqueue, execute, encode — lives in exactly one place, the
+:class:`~repro.service.pipeline.RequestPipeline`;
+:meth:`RequestHandler.dispatch` delegates there, so existing callers
+keep working while both transports share one path.
 
 Error codes (the ``"code"`` field on ``"ok": false`` responses):
 
@@ -22,6 +27,11 @@ Error codes (the ``"code"`` field on ``"ok": false`` responses):
 ``transpile_error``  Transpilation failed for this instance.
 ``stale_epoch``      A ``topology_update`` lost the epoch
                      compare-and-set race (re-read and retry).
+``unauthorized``     Tenancy is enforced and the request carried no
+                     (or an unknown) API key (HTTP 401).
+``rate_limited``     Admission control refused the request — token
+                     bucket, queue quota, or load shedding (HTTP 429
+                     with ``Retry-After``).
 ``internal``         An unexpected server-side failure (isolated per
                      request; the connection survives).
 ==================== ==================================================
@@ -66,7 +76,7 @@ from .service import (
     route_result_to_dict,
     transpile_outcome_to_dict,
 )
-from .tracing import TraceBuffer, start_trace
+from .tracing import TraceBuffer
 
 #: Ops that open a trace per request. Introspection ops (``ping``,
 #: ``stats``, ``metrics``, ``trace_get`` itself, topology reads) are
@@ -92,6 +102,8 @@ ERROR_CODES: dict[str, str] = {
     "route_error": "routing failed for this instance",
     "transpile_error": "transpilation failed for this instance",
     "stale_epoch": "topology update lost the epoch compare-and-set race",
+    "unauthorized": "no (or an unknown) API key while tenancy is enforced",
+    "rate_limited": "refused by admission control; retry later",
     "internal": "unexpected server-side failure",
 }
 
@@ -216,6 +228,7 @@ class RequestHandler:
 
     def __init__(self, service: AsyncRoutingService) -> None:
         self.service = service
+        self._pipeline: Any = None
 
     @property
     def telemetry(self):
@@ -250,91 +263,44 @@ class RequestHandler:
         return info
 
     # ------------------------------------------------------------------
-    # op dispatch (the NDJSON surface)
+    # op dispatch (delegates to the request pipeline)
     # ------------------------------------------------------------------
+    def _get_pipeline(self):
+        """The lazily built :class:`~repro.service.pipeline.RequestPipeline`.
+
+        Imported lazily because the pipeline module imports this one
+        (it reuses :func:`error_doc`, :data:`TRACED_OPS` and the op
+        methods); building it on first dispatch keeps the import graph
+        acyclic without a third module.
+        """
+        pipeline = self._pipeline
+        if pipeline is None:
+            from .pipeline import RequestPipeline
+
+            pipeline = self._pipeline = RequestPipeline(self.service, handler=self)
+        return pipeline
+
     async def dispatch_line(self, line: str | bytes) -> dict[str, Any]:
-        """One raw request line -> one response document (never raises)."""
-        try:
-            doc = json.loads(line)
-            if not isinstance(doc, dict):
-                raise ValueError("expected a JSON object")
-        except (ValueError, UnicodeDecodeError) as exc:
-            return error_doc("bad_json", f"bad request: {exc}")
-        return await self.dispatch(doc)
+        """One raw request line -> one response document (never raises).
+
+        Delegates to
+        :meth:`~repro.service.pipeline.RequestPipeline.process_line`.
+        """
+        return await self._get_pipeline().process_line(line)
 
     async def dispatch(self, doc: dict[str, Any]) -> dict[str, Any]:
         """Dispatch one request document by ``op`` (default ``route``).
 
-        Work ops (:data:`TRACED_OPS`) run under a root span named
-        ``handler.<op>``; a ``trace`` field carrying a W3C
+        Delegates to
+        :meth:`~repro.service.pipeline.RequestPipeline.process` — the
+        full decode → authenticate → admit → enqueue → execute → encode
+        lifecycle. Work ops (:data:`TRACED_OPS`) run under a root span
+        named ``handler.<op>``; a ``trace`` field carrying a W3C
         ``traceparent`` joins the request to the caller's trace (the
         cross-daemon hop), and the response echoes the ``trace_id`` so
         clients can fetch the finished trace via ``trace_get``.
         """
-        op = doc.get("op", "route")
-        buffer = self.traces if op in TRACED_OPS else None
-        traceparent = doc.get("trace")
-        with start_trace(
-            f"handler.{op}",
-            buffer,
-            traceparent=traceparent if isinstance(traceparent, str) else None,
-            node_id=self.node_id(),
-            op=str(op),
-        ) as root:
-            try:
-                if op == "ping":
-                    resp: dict[str, Any] = {
-                        "ok": True,
-                        "op": "ping",
-                        **self.health_info(),
-                    }
-                elif op == "stats":
-                    resp = {"ok": True, "op": "stats", "stats": self.service.stats()}
-                elif op == "metrics":
-                    resp = {
-                        "ok": True,
-                        "op": "metrics",
-                        "metrics": self.prometheus_metrics(),
-                    }
-                elif op == "shutdown":
-                    resp = {"ok": True, "op": "shutdown"}
-                elif op == "route":
-                    resp = await self.route_doc(doc)
-                elif op == "transpile":
-                    resp = await self.transpile_doc(doc)
-                elif op == "cache_get":
-                    resp = await self.cache_get_doc(doc)
-                elif op == "cache_put":
-                    resp = await self.cache_put_doc(doc)
-                elif op == "cache_stats":
-                    resp = {
-                        "ok": True,
-                        "op": "cache_stats",
-                        "stats": self.local_cache_stats(),
-                    }
-                elif op == "topology_get":
-                    resp = self.topology_get_doc()
-                elif op == "topology_update":
-                    resp = self.topology_update_doc(doc)
-                elif op == "trace_get":
-                    resp = self.trace_get_doc(doc)
-                else:
-                    resp = error_doc("unknown_op", f"unknown op {op!r}")
-            except ReproError as exc:
-                resp = error_doc("bad_request", str(exc), op=str(op))
-            except asyncio.CancelledError:
-                raise
-            except Exception as exc:  # noqa: BLE001 - one bad request, one error doc
-                resp = error_doc(
-                    "internal", f"{type(exc).__name__}: {exc}", op=str(op)
-                )
-            if buffer is not None:
-                if not resp.get("ok"):
-                    root.status = "error"
-                resp.setdefault("trace_id", root.trace_id)
-        if "id" in doc:
-            resp["id"] = doc["id"]
-        return resp
+        return await self._get_pipeline().process(doc)
 
     def trace_get_doc(self, doc: Mapping[str, Any]) -> dict[str, Any]:
         """Serve one ``trace_get``: finished traces from the local ring.
@@ -710,6 +676,25 @@ def render_prometheus(stats: Mapping[str, Any]) -> str:
         lines.append(
             f'repro_counter_total{{name="{_prom_label(str(name))}"}} {counters[name]}'
         )
+
+    # Labeled counters ("labeled_counters" in the snapshot — e.g. the
+    # per-tenant tenant_requests series) each get their own metric
+    # family: repro_<name>_total{<labels>}.
+    labeled = telemetry.get("labeled_counters") or {}
+    for name in sorted(labeled):
+        metric = f"repro_{name}_total"
+        lines.append(f"# TYPE {metric} counter")
+        series_list = labeled[name]
+        if not isinstance(series_list, list):
+            continue
+        for series in series_list:
+            if not isinstance(series, Mapping):
+                continue
+            labels = series.get("labels") or {}
+            label_str = ",".join(
+                f'{k}="{_prom_label(str(v))}"' for k, v in sorted(labels.items())
+            )
+            lines.append(f'{metric}{{{label_str}}} {series.get("value", 0)}')
 
     gauges = telemetry.get("gauges") or {}
     for name in sorted(gauges):

@@ -1,10 +1,17 @@
 """HTTP/1.1 JSON facade over the routing service (stdlib asyncio only).
 
 The NDJSON daemon caps the service at one machine: UNIX sockets have no
-remote clients. :class:`HttpRoutingServer` exposes the same
-:class:`~repro.service.handler.RequestHandler` documents over HTTP so
-any host (or load balancer) can reach a warm routing pool, mirroring
-how production compiler stacks package routing passes as services.
+remote clients. :class:`HttpRoutingServer` exposes the same request
+documents over HTTP so any host (or load balancer) can reach a warm
+routing pool, mirroring how production compiler stacks package routing
+passes as services.
+
+This module is *pure framing*: it parses HTTP/1.1 messages and writes
+responses. The endpoint table, op dispatch, tenancy, admission control
+and error mapping all live in the shared
+:class:`~repro.service.pipeline.RequestPipeline`
+(:meth:`~repro.service.pipeline.RequestPipeline.process_http`), which
+the NDJSON daemon drives too — one request lifecycle, two framings.
 
 Endpoints
 ---------
@@ -50,13 +57,18 @@ Endpoints
 
 Requests may carry a W3C ``traceparent`` header; work endpoints join
 the caller's distributed trace (the header becomes the ``trace`` field
-of the dispatched op document) and answer with the ``trace_id``.
+of the dispatched op document) and answer with the ``trace_id``. An
+``Authorization: Bearer <key>`` or ``X-API-Key`` header identifies the
+calling tenant when tenancy is enforced (401 without one, 429 with a
+``Retry-After`` header when admission control refuses).
 
 Protocol behaviour: requests need ``Content-Length`` (chunked bodies
 are refused with 411), bodies above ``max_body_bytes`` are refused with
-413, connections are keep-alive by default (``Connection: close`` and
-HTTP/1.0 semantics honoured), and SIGTERM/SIGINT trigger a graceful
-drain — stop accepting, answer everything in flight (bounded by
+413 and ``Connection: close`` (the body was never read, so the
+connection cannot be reused), connections are keep-alive by default
+(``Connection: close`` and HTTP/1.0 semantics honoured), and
+SIGTERM/SIGINT trigger a graceful drain — stop accepting, answer
+everything in flight (bounded by
 :data:`~repro.service.daemon.DRAIN_GRACE_SECONDS`), then close the
 service. Protocol-level failures use the stable error codes of
 :mod:`repro.service.handler` plus ``bad_http``, ``length_required``,
@@ -70,7 +82,6 @@ import contextlib
 import json
 import time
 import urllib.error
-import urllib.parse
 import urllib.request
 from typing import Any, Callable, Mapping
 
@@ -82,7 +93,7 @@ from .daemon import (
     poll_with_backoff,
     remove_signal_handlers,
 )
-from .handler import RequestHandler, error_doc
+from .pipeline import RequestPipeline, framing_error
 
 __all__ = [
     "HttpRoutingServer",
@@ -102,17 +113,18 @@ MAX_HEADER_BYTES = 32 * 1024
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    401: "Unauthorized",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
     411: "Length Required",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
 
 _JSON = "application/json"
-_PROM = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class _HttpError(Exception):
@@ -125,27 +137,8 @@ class _HttpError(Exception):
         self.message = message
 
 
-def _status_for(resp: Mapping[str, Any]) -> int:
-    """HTTP status for a handler response document.
-
-    Validation failures are client errors; per-request routing/timeout
-    failures are *results* (the request was processed) and stay 200,
-    matching the batch error-isolation contract.
-    """
-    if resp.get("ok"):
-        return 200
-    code = resp.get("code")
-    if code in ("bad_json", "bad_request", "unknown_op"):
-        return 400
-    if code == "stale_epoch":
-        return 409
-    if code == "internal":
-        return 500
-    return 200
-
-
 class HttpRoutingServer:
-    """Serve a :class:`RequestHandler` over HTTP/1.1 on a TCP port.
+    """Serve the request pipeline over HTTP/1.1 on a TCP port.
 
     Parameters
     ----------
@@ -176,7 +169,7 @@ class HttpRoutingServer:
         if max_body_bytes <= 0:
             raise ValueError(f"max_body_bytes must be positive, got {max_body_bytes}")
         self.service = service
-        self.handler = RequestHandler(service)
+        self.pipeline = RequestPipeline(service)
         self.host = host
         self.port = port
         self.max_body_bytes = max_body_bytes
@@ -246,7 +239,7 @@ class HttpRoutingServer:
         assert self._stop is not None
         self._active_connections += 1
         self._writers.add(writer)
-        self.handler.telemetry.incr("http_connections")
+        self.pipeline.telemetry.incr("http_connections")
         try:
             while not self._stop.is_set():
                 try:
@@ -256,20 +249,40 @@ class HttpRoutingServer:
                     await self._write_response(
                         writer,
                         exc.status,
-                        error_doc(exc.code, exc.message),
+                        framing_error(exc.code, exc.message),
                         keep_alive=False,
                     )
                     break
                 if request is None:
                     break  # EOF between requests, or stop while idle
                 method, path, query, headers, body, keep_alive = request
-                status, payload, content_type = await self._respond(
-                    method, path, body, query=query, headers=headers
+                resp = await self.pipeline.process_http(
+                    method,
+                    path,
+                    query,
+                    headers,
+                    body,
+                    draining=self._stop.is_set(),
                 )
+                payload = resp.payload
+                if (
+                    isinstance(payload, dict)
+                    and payload.get("op") == "shutdown"
+                    and payload.get("ok")
+                ):
+                    # A granted shutdown: the pipeline has no access to
+                    # the serve loop, so the transport flips the stop
+                    # event (the framing analogue of SIGTERM).
+                    self._stop.set()
                 if self._stop.is_set():
                     keep_alive = False  # draining: answer, then close
                 await self._write_response(
-                    writer, status, payload, content_type, keep_alive
+                    writer,
+                    resp.status,
+                    payload,
+                    resp.content_type,
+                    keep_alive,
+                    extra_headers=resp.headers,
                 )
                 if not keep_alive:
                     break
@@ -379,190 +392,6 @@ class HttpRoutingServer:
         return method, path, query, headers, body, keep_alive
 
     # ------------------------------------------------------------------
-    # routing table
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _with_trace(doc: dict[str, Any], headers: Mapping[str, str]) -> dict[str, Any]:
-        """Copy an inbound ``traceparent`` header into the op document.
-
-        The handler reads trace context uniformly from ``doc["trace"]``
-        on both transports; an explicit ``trace`` field in the body
-        wins over the header.
-        """
-        traceparent = headers.get("traceparent")
-        if traceparent and "trace" not in doc:
-            return {**doc, "trace": traceparent}
-        return doc
-
-    async def _respond(
-        self,
-        method: str,
-        path: str,
-        body: bytes,
-        query: str = "",
-        headers: Mapping[str, str] | None = None,
-    ) -> tuple[int, Any, str]:
-        """Dispatch one parsed request to ``(status, payload, content_type)``."""
-        assert self._stop is not None
-        headers = headers or {}
-        self.handler.telemetry.incr("http_requests")
-        if path == "/healthz":
-            if method != "GET":
-                return self._method_not_allowed(method, path)
-            status_word = "draining" if self._stop.is_set() else "serving"
-            return (
-                200,
-                {"ok": True, "status": status_word, **self.handler.health_info()},
-                _JSON,
-            )
-        if path == "/v1/traces":
-            if method != "GET":
-                return self._method_not_allowed(method, path)
-            doc, err = self._trace_query(query)
-            if err is not None:
-                return 400, err, _JSON
-            resp = await self.handler.dispatch(doc)
-            return _status_for(resp), resp, _JSON
-        if path == "/stats":
-            if method != "GET":
-                return self._method_not_allowed(method, path)
-            return 200, {"ok": True, "stats": self.handler.stats()}, _JSON
-        if path == "/metrics":
-            if method != "GET":
-                return self._method_not_allowed(method, path)
-            return 200, self.handler.prometheus_metrics(), _PROM
-        if path == "/v1/shutdown":
-            if method != "POST":
-                return self._method_not_allowed(method, path)
-            self._stop.set()
-            return 200, {"ok": True, "op": "shutdown"}, _JSON
-        if path == "/v1/route":
-            if method != "POST":
-                return self._method_not_allowed(method, path)
-            doc, err = self._parse_body(body)
-            if err is not None:
-                return 400, err, _JSON
-            resp = await self.handler.dispatch(
-                self._with_trace({**doc, "op": "route"}, headers)
-            )
-            return _status_for(resp), resp, _JSON
-        if path in ("/v1/cache_get", "/v1/cache_put", "/v1/topology_update"):
-            if method != "POST":
-                return self._method_not_allowed(method, path)
-            doc, err = self._parse_body(body)
-            if err is not None:
-                return 400, err, _JSON
-            resp = await self.handler.dispatch(
-                self._with_trace({**doc, "op": path.rsplit("/", 1)[1]}, headers)
-            )
-            return _status_for(resp), resp, _JSON
-        if path in ("/v1/cache_stats", "/v1/topology_get"):
-            if method not in ("GET", "POST"):
-                return self._method_not_allowed(method, path)
-            resp = await self.handler.dispatch({"op": path.rsplit("/", 1)[1]})
-            return _status_for(resp), resp, _JSON
-        if path == "/v1/topology":
-            if method == "GET":
-                resp = await self.handler.dispatch({"op": "topology_get"})
-                return _status_for(resp), resp, _JSON
-            if method == "POST":
-                doc, err = self._parse_body(body)
-                if err is not None:
-                    return 400, err, _JSON
-                resp = await self.handler.dispatch({**doc, "op": "topology_update"})
-                return _status_for(resp), resp, _JSON
-            return self._method_not_allowed(method, path)
-        if path == "/v1/route_batch":
-            if method != "POST":
-                return self._method_not_allowed(method, path)
-            return await self._batch(body, transpile=False)
-        if path == "/v1/transpile_batch":
-            if method != "POST":
-                return self._method_not_allowed(method, path)
-            return await self._batch(body, transpile=True)
-        return 404, error_doc("not_found", f"no endpoint at {path}"), _JSON
-
-    def _method_not_allowed(self, method: str, path: str) -> tuple[int, Any, str]:
-        return (
-            405,
-            error_doc("method_not_allowed", f"{method} not supported on {path}"),
-            _JSON,
-        )
-
-    @staticmethod
-    def _trace_query(
-        query: str,
-    ) -> tuple[dict[str, Any], None] | tuple[None, dict[str, Any]]:
-        """``GET /v1/traces`` query params as a ``trace_get`` op document."""
-        try:
-            params = urllib.parse.parse_qs(query, strict_parsing=False)
-        except ValueError as exc:  # pragma: no cover - parse_qs is lenient
-            return None, error_doc("bad_request", f"bad query string: {exc}")
-        doc: dict[str, Any] = {"op": "trace_get"}
-        if "id" in params:
-            doc["trace_id"] = params["id"][-1]
-        if "limit" in params:
-            try:
-                doc["limit"] = int(params["limit"][-1])
-            except ValueError:
-                return None, error_doc("bad_request", "'limit' must be an integer")
-        if "min_seconds" in params:
-            try:
-                doc["min_seconds"] = float(params["min_seconds"][-1])
-            except ValueError:
-                return None, error_doc(
-                    "bad_request", "'min_seconds' must be a number"
-                )
-        return doc, None
-
-    def _parse_body(
-        self, body: bytes
-    ) -> tuple[dict[str, Any], None] | tuple[None, dict[str, Any]]:
-        """The request body as a JSON object, or a ``bad_json`` error doc."""
-        try:
-            doc = json.loads(body)
-            if not isinstance(doc, dict):
-                raise ValueError("expected a JSON object")
-        except (ValueError, UnicodeDecodeError) as exc:
-            return None, error_doc("bad_json", f"bad request body: {exc}")
-        return doc, None
-
-    async def _batch(self, body: bytes, transpile: bool) -> tuple[int, Any, str]:
-        doc, err = self._parse_body(body)
-        if err is not None:
-            return 400, err, _JSON
-        docs = doc.get("requests")
-        if not isinstance(docs, list):
-            return (
-                400,
-                error_doc("bad_request", "'requests' must be a JSON array"),
-                _JSON,
-            )
-        try:
-            timeout = (
-                float(doc["timeout"]) if doc.get("timeout") is not None else None
-            )
-        except (TypeError, ValueError):
-            return (
-                400,
-                error_doc("bad_request", "'timeout' must be a number"),
-                _JSON,
-            )
-        if transpile:
-            results = await self.handler.transpile_batch_docs(
-                docs,
-                include_qasm=bool(doc.get("include_qasm")),
-                timeout=timeout,
-            )
-        else:
-            results = await self.handler.route_batch_docs(
-                docs,
-                include_schedule=bool(doc.get("include_schedule")),
-                timeout=timeout,
-            )
-        return 200, {"ok": True, "count": len(results), "results": results}, _JSON
-
-    # ------------------------------------------------------------------
     # response writing
     # ------------------------------------------------------------------
     async def _write_response(
@@ -572,6 +401,7 @@ class HttpRoutingServer:
         payload: Any,
         content_type: str = _JSON,
         keep_alive: bool = True,
+        extra_headers: tuple[tuple[str, str], ...] = (),
     ) -> None:
         if isinstance(payload, (dict, list)):
             body = (json.dumps(payload) + "\n").encode("utf-8")
@@ -580,14 +410,16 @@ class HttpRoutingServer:
         else:
             body = bytes(payload)
         reason = _REASONS.get(status, "Unknown")
+        extras = "".join(f"{name}: {value}\r\n" for name, value in extra_headers)
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extras}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
-        self.handler.telemetry.incr(f"http_status_{status // 100}xx")
+        self.pipeline.telemetry.incr(f"http_status_{status // 100}xx")
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
 

@@ -107,11 +107,29 @@ class Telemetry:
         self._histograms: dict[str, LatencyHistogram] = {}
         # gauge name -> {sorted (label, value) items -> current value}
         self._gauges: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
+        # counter name -> {sorted (label, value) items -> count}
+        self._labeled: dict[str, dict[tuple[tuple[str, str], ...], int]] = {}
 
-    def incr(self, name: str, amount: int = 1) -> None:
-        """Add ``amount`` to counter ``name`` (created at zero)."""
+    def incr(
+        self,
+        name: str,
+        amount: int = 1,
+        labels: dict[str, str] | None = None,
+    ) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero).
+
+        With ``labels``, each distinct label set is an independent
+        series under the same name (rendered as
+        ``repro_<name>_total{...}`` by the Prometheus exporter) —
+        used by the request pipeline for per-tenant outcome counts.
+        """
         with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + amount
+            if labels is None:
+                self._counters[name] = self._counters.get(name, 0) + amount
+            else:
+                key = tuple(sorted(labels.items()))
+                series = self._labeled.setdefault(name, {})
+                series[key] = series.get(key, 0) + amount
 
     def set_gauge(
         self, name: str, value: float, labels: dict[str, str] | None = None
@@ -153,7 +171,10 @@ class Telemetry:
         Unlabeled gauges render as plain numbers; labeled gauges as a
         list of ``{"labels": {...}, "value": ...}`` series under the
         gauge name (a shape :func:`~repro.service.handler.render_prometheus`
-        can re-label without parsing).
+        can re-label without parsing). Labeled counters appear under
+        ``"labeled_counters"`` in the same series shape, and only when
+        at least one exists, so existing consumers of the three
+        original keys are unaffected.
         """
         with self._lock:
             gauges: dict[str, Any] = {}
@@ -165,7 +186,7 @@ class Telemetry:
                         {"labels": dict(key), "value": value}
                         for key, value in sorted(series.items())
                     ]
-            return {
+            doc: dict[str, Any] = {
                 "counters": dict(self._counters),
                 "gauges": gauges,
                 "latency": {
@@ -173,6 +194,15 @@ class Telemetry:
                     for name, hist in self._histograms.items()
                 },
             }
+            if self._labeled:
+                doc["labeled_counters"] = {
+                    name: [
+                        {"labels": dict(key), "value": value}
+                        for key, value in sorted(series.items())
+                    ]
+                    for name, series in self._labeled.items()
+                }
+            return doc
 
 
 class _Timer:

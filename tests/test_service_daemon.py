@@ -11,7 +11,10 @@ from __future__ import annotations
 import asyncio
 import io
 import json
+import os
+import signal
 import threading
+import time
 
 import pytest
 
@@ -462,6 +465,103 @@ class TestPipeDaemon:
         assert responses[0]["version"]
 
 
+class _ParkedInput:
+    """A pipe stand-in: hands out ``lines``, then parks on readline.
+
+    After the scripted lines drain, ``readline`` blocks until
+    :attr:`gate` is set (with a bounded timeout so a regression fails
+    the test instead of wedging it) and then reports EOF.
+    ``reads_after_drain`` records whether the serve loop came back for
+    more input — a drained SIGTERM exit never should.
+    """
+
+    def __init__(self, lines):
+        self._lines = [json.dumps(doc) + "\n" for doc in lines]
+        self.gate = threading.Event()
+        self.reads_after_drain = 0
+
+    def readline(self):
+        if self._lines:
+            return self._lines.pop(0)
+        self.reads_after_drain += 1
+        self.gate.wait(5.0)
+        return ""
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGHUP"), reason="requires unix signals"
+)
+class TestPipeSignals:
+    """Satellite: --pipe mode shares the socket/HTTP shutdown hook."""
+
+    def test_sigterm_drains_inflight_request(self):
+        """A SIGTERM mid-request still answers it before exiting."""
+        svc = AsyncRoutingService(cache_size=16, max_workers=1)
+        ex = svc.service.executor
+        real_submit = ex.submit_job
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated_submit(fn, payload):
+            def wrapped(p):
+                started.set()
+                release.wait(JOIN_TIMEOUT)
+                return fn(p)
+
+            return real_submit(wrapped, payload)
+
+        ex.submit_job = gated_submit
+        inp = _ParkedInput(
+            [{"rows": 4, "cols": 4, "workload": "random", "seed": 7}]
+        )
+        out = io.StringIO()
+
+        def killer() -> None:
+            assert started.wait(JOIN_TIMEOUT)
+            # The signal lands while the request is on the worker...
+            os.kill(os.getpid(), signal.SIGTERM)
+            time.sleep(0.05)
+            # ...and only then does the worker finish.
+            release.set()
+
+        t = threading.Thread(target=killer, daemon=True)
+        t.start()
+        # serve_pipe runs on the main thread: that is where asyncio can
+        # install signal handlers, exactly as `repro serve --pipe` does.
+        asyncio.run(RoutingDaemon(svc).serve_pipe(inp, out))
+        t.join(timeout=JOIN_TIMEOUT)
+        assert not t.is_alive()
+        responses = [json.loads(x) for x in out.getvalue().splitlines()]
+        assert len(responses) == 1
+        assert responses[0]["ok"] is True  # drained, not dropped
+        # The stop event — not EOF — ended the loop: the daemon never
+        # went back to the pipe for more input after the signal.
+        assert inp.reads_after_drain == 0
+
+    def test_sigterm_while_parked_on_readline_exits(self):
+        """A SIGTERM with no request in flight exits promptly."""
+        svc = AsyncRoutingService(cache_size=16, max_workers=1)
+        inp = _ParkedInput([{"op": "ping"}])
+        out = io.StringIO()
+
+        def killer() -> None:
+            deadline = time.monotonic() + JOIN_TIMEOUT
+            while not out.getvalue().strip():  # the ping was answered
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            os.kill(os.getpid(), signal.SIGTERM)
+            time.sleep(0.1)
+            inp.gate.set()  # unblock the abandoned background read
+
+        t = threading.Thread(target=killer, daemon=True)
+        t.start()
+        asyncio.run(RoutingDaemon(svc).serve_pipe(inp, out))
+        t.join(timeout=JOIN_TIMEOUT)
+        assert not t.is_alive()
+        responses = [json.loads(x) for x in out.getvalue().splitlines()]
+        assert len(responses) == 1 and responses[0]["op"] == "ping"
+
+
 class TestServeCli:
     def test_serve_and_batch_daemon_roundtrip(self, tmp_path, capsys):
         sock = str(tmp_path / "cli.sock")
@@ -528,6 +628,52 @@ class TestServeCli:
                 for line in capsys.readouterr().out.splitlines()
             ]
             assert [line["ok"] for line in out_lines] == [True, False]
+        finally:
+            with DaemonClient(sock, timeout=JOIN_TIMEOUT) as client:
+                client.shutdown()
+            thread.join(timeout=JOIN_TIMEOUT)
+
+    def test_batch_api_key_against_tenant_enforcing_daemon(
+        self, tmp_path, capsys
+    ):
+        sock = str(tmp_path / "tenants.sock")
+        tenants = tmp_path / "tenants.json"
+        tenants.write_text(
+            json.dumps({"tenants": [{"name": "acme", "key": "ak_acme"}]}),
+            encoding="utf-8",
+        )
+        thread = threading.Thread(
+            target=lambda: main([
+                "serve", "--socket", sock, "--workers", "1",
+                "--tenants", str(tenants),
+            ]),
+            daemon=True,
+        )
+        thread.start()
+        wait_for_socket(sock, timeout=JOIN_TIMEOUT)
+        try:
+            reqs = tmp_path / "requests.jsonl"
+            reqs.write_text(
+                json.dumps({"rows": 3, "cols": 3, "workload": "random",
+                            "seed": 0}) + "\n",
+                encoding="utf-8",
+            )
+            # Keyless: every request answers unauthorized (exit 3, the
+            # per-request-failure code — the transport itself is fine).
+            rc = main(["batch", str(reqs), "--daemon", sock])
+            assert rc == 3
+            out_lines = [
+                json.loads(line)
+                for line in capsys.readouterr().out.splitlines()
+            ]
+            assert [line["code"] for line in out_lines] == ["unauthorized"]
+            # --api-key stamps the credential into each request doc.
+            out = tmp_path / "results.jsonl"
+            rc = main(["batch", str(reqs), "--daemon", sock,
+                       "--api-key", "ak_acme", "--out", str(out)])
+            assert rc == 0
+            lines = [json.loads(x) for x in out.read_text().splitlines()]
+            assert len(lines) == 1 and lines[0]["ok"]
         finally:
             with DaemonClient(sock, timeout=JOIN_TIMEOUT) as client:
                 client.shutdown()

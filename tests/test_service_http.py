@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
+import signal
 import socket
 import threading
 import time
@@ -310,11 +312,14 @@ class TestProtocol:
                     b"Content-Length: 10485760\r\n\r\n"
                 )
                 fh.flush()
-                status, _headers, body = _read_response(fh)
+                status, headers, body = _read_response(fh)
             assert status == 413
             doc = json.loads(body)
             assert doc["code"] == "payload_too_large"
             assert "2048" in doc["error"]
+            # The body was never read, so the connection cannot be
+            # reused: the refusal must hang up.
+            assert headers["connection"] == "close"
             # The server survives and still answers new connections.
             status, _ = http_request(base + "/healthz")
             assert status == 200
@@ -516,3 +521,212 @@ class TestHttpCli:
         assert "--http" in capsys.readouterr().err
         assert main(["serve", "--http", "127.0.0.1:99999"]) == 2
         assert "--http" in capsys.readouterr().err
+
+
+class TestTenancyCli:
+    """`repro serve --tenants/--max-body` + `repro batch --api-key` e2e."""
+
+    def test_serve_flag_validation(self, tmp_path, capsys):
+        # --max-body is an HTTP framing knob; refuse it on the NDJSON
+        # transports rather than silently ignoring it.
+        sock = str(tmp_path / "d.sock")
+        assert main(["serve", "--socket", sock, "--max-body", "1024"]) == 2
+        assert "--max-body" in capsys.readouterr().err
+        assert main(["serve", "--http", "127.0.0.1:0", "--max-body", "0"]) == 2
+        assert "--max-body" in capsys.readouterr().err
+        assert main(
+            ["serve", "--http", "127.0.0.1:0", "--max-queue-depth", "0"]
+        ) == 2
+        assert "--max-queue-depth" in capsys.readouterr().err
+        # A malformed tenants file fails the start loudly.
+        bad = tmp_path / "tenants.json"
+        bad.write_text('{"tenants": [{"key": "no-name"}]}', encoding="utf-8")
+        assert main(
+            ["serve", "--http", "127.0.0.1:0", "--tenants", str(bad)]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_with_tenants_max_body_and_batch_api_key(
+        self, tmp_path, capsys
+    ):
+        port = _free_port()
+        base = f"http://127.0.0.1:{port}"
+        tenants = tmp_path / "tenants.json"
+        tenants.write_text(json.dumps({
+            "tenants": [
+                {"name": "acme", "key": "ak_acme", "weight": 2.0},
+                {"name": "limited", "key": "ak_lim", "rate": 0.01,
+                 "burst": 1.0},
+            ],
+        }), encoding="utf-8")
+        thread = threading.Thread(
+            target=lambda: main([
+                "serve", "--http", f"127.0.0.1:{port}", "--workers", "1",
+                "--tenants", str(tenants), "--max-queue-depth", "64",
+                "--max-body", "4096",
+            ]),
+            daemon=True,
+        )
+        thread.start()
+        wait_for_http(base, timeout=JOIN_TIMEOUT)
+        try:
+            doc = {"rows": 4, "cols": 4, "workload": "random", "seed": 0}
+            # Work ops demand a key once tenancy is enforced...
+            status, body = http_request(base + "/v1/route", doc)
+            assert status == 401 and body["code"] == "unauthorized"
+            # ...presented as a Bearer token or the x-api-key header.
+            status, body = http_request(
+                base + "/v1/route", doc,
+                headers={"Authorization": "Bearer ak_acme"},
+            )
+            assert status == 200 and body["ok"]
+            status, body = http_request(
+                base + "/v1/route", dict(doc, seed=1),
+                headers={"X-API-Key": "ak_acme"},
+            )
+            assert status == 200 and body["ok"]
+
+            # The limited tenant's bucket drains after one 4x4 request.
+            status, body = http_request(
+                base + "/v1/route", dict(doc, seed=2),
+                headers={"Authorization": "Bearer ak_lim"},
+            )
+            assert status == 200 and body["ok"]
+            status, body = http_request(
+                base + "/v1/route", dict(doc, seed=3),
+                headers={"Authorization": "Bearer ak_lim"},
+            )
+            assert status == 429 and body["code"] == "rate_limited"
+            assert body["retry_after"] > 0
+
+            # `repro batch --api-key` carries the credential end to end;
+            # a keyless batch against the same server is refused whole.
+            reqs = tmp_path / "requests.jsonl"
+            reqs.write_text(
+                json.dumps(
+                    {"rows": 3, "cols": 3, "workload": "random", "seed": 0}
+                ) + "\n",
+                encoding="utf-8",
+            )
+            rc = main(["batch", str(reqs), "--http", base])
+            assert rc == 2
+            assert "401" in capsys.readouterr().err
+            out = tmp_path / "results.jsonl"
+            rc = main(["batch", str(reqs), "--http", base,
+                       "--api-key", "ak_acme", "--out", str(out)])
+            assert rc == 0
+            lines = [json.loads(x) for x in out.read_text().splitlines()]
+            assert len(lines) == 1 and lines[0]["ok"]
+
+            # --max-body is wired through to the HTTP framing layer.
+            with socket.create_connection(("127.0.0.1", port), JOIN_TIMEOUT) as s:
+                s.settimeout(JOIN_TIMEOUT)
+                fh = s.makefile("rwb")
+                fh.write(
+                    b"POST /v1/route HTTP/1.1\r\nHost: x\r\n"
+                    b"Content-Length: 1048576\r\n\r\n"
+                )
+                fh.flush()
+                status, headers, body_bytes = _read_response(fh)
+            assert status == 413
+            assert headers["connection"] == "close"
+            assert "4096" in json.loads(body_bytes)["error"]
+
+            # Tenancy flows into /stats and the Prometheus rendering.
+            status, body = http_request(base + "/stats")
+            assert status == 200
+            tenancy = body["stats"]["tenancy"]
+            assert tenancy["enforced"] is True
+            assert tenancy["tenants"]["acme"]["admitted"] == 3
+            assert tenancy["tenants"]["limited"]["throttled"] == 1
+            assert body["stats"]["aio"]["max_queue_depth"] == 64
+            status, text = http_request(base + "/metrics")
+            assert status == 200
+            assert (
+                'repro_tenant_requests_total'
+                '{outcome="admitted",tenant="acme"} 3' in text
+            )
+            assert (
+                'repro_tenant_requests_total'
+                '{outcome="throttled",tenant="limited"} 1' in text
+            )
+        finally:
+            http_request(base + "/v1/shutdown", {})
+            thread.join(timeout=JOIN_TIMEOUT)
+        assert not thread.is_alive()
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGHUP"), reason="requires SIGHUP (unix only)"
+)
+class TestHttpSighupReload:
+    def test_sighup_rereads_topology_file_and_stale_update_is_409(
+        self, tmp_path
+    ):
+        """Satellite: SIGHUP topology reload on the HTTP transport.
+
+        The serve loop runs on the *main* thread (signal handlers only
+        install there); a worker thread drives the HTTP surface, pokes
+        the process with SIGHUP after rewriting the membership file,
+        and finally checks that an admin update racing the reload with
+        a stale ``expected_epoch`` is refused with 409/stale_epoch.
+        """
+        port = _free_port()
+        base = f"http://127.0.0.1:{port}"
+        node = f"http://127.0.0.1:{port}"
+        peer = "http://127.0.0.1:59999"
+        topo = tmp_path / "topology.json"
+        topo.write_text(json.dumps({"members": [node]}), encoding="utf-8")
+        failures: list[BaseException] = []
+
+        def driver() -> None:
+            try:
+                wait_for_http(base, timeout=JOIN_TIMEOUT)
+                status, body = http_request(base + "/v1/topology")
+                assert status == 200 and body["ok"]
+                epoch0 = body["topology"]["epoch"]
+                assert body["topology"]["members"] == [node]
+
+                # Rewrite the file, then force an immediate re-read.
+                topo.write_text(
+                    json.dumps({"members": [node, peer]}), encoding="utf-8"
+                )
+                os.kill(os.getpid(), signal.SIGHUP)
+                deadline = time.monotonic() + JOIN_TIMEOUT
+                while True:
+                    status, body = http_request(base + "/v1/topology")
+                    if peer in body["topology"]["members"]:
+                        break
+                    if time.monotonic() > deadline:
+                        raise AssertionError(
+                            f"SIGHUP reload never applied: {body}"
+                        )
+                    time.sleep(0.02)
+                assert body["topology"]["epoch"] > epoch0
+
+                # An admin join pinned to the pre-reload epoch lost the
+                # race; the stable stale_epoch code maps to 409.
+                status, body = http_request(base + "/v1/topology", {
+                    "action": "join",
+                    "node": "http://127.0.0.1:59998",
+                    "expected_epoch": epoch0,
+                })
+                assert status == 409 and body["code"] == "stale_epoch"
+            except BaseException as exc:  # surface in the main thread
+                failures.append(exc)
+            finally:
+                try:
+                    http_request(base + "/v1/shutdown", {})
+                except ReproError:
+                    pass
+
+        t = threading.Thread(target=driver, daemon=True)
+        t.start()
+        rc = main([
+            "serve", "--http", f"127.0.0.1:{port}", "--workers", "1",
+            "--topology-file", str(topo),
+        ])
+        t.join(timeout=JOIN_TIMEOUT)
+        assert not t.is_alive()
+        assert not failures, failures
+        assert rc == 0

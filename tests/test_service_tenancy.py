@@ -1,0 +1,392 @@
+"""Unit tests for the tenancy layer (repro.service.tenancy).
+
+Covers the cost model, tenant/policy validation, the token bucket, the
+registry's three authentication modes, the tenants-file parser, and the
+start-time fair queueing scheduler (proportional shares, quota
+skipping, cancellation hygiene, gauge bookkeeping).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import AuthenticationError, ReproError
+from repro.service import Telemetry
+from repro.service.tenancy import (
+    FairScheduler,
+    Tenant,
+    TenantRegistry,
+    TokenBucket,
+    bind_tenant,
+    current_tenant,
+    estimate_cost,
+    estimate_doc_cost,
+    load_tenants_file,
+    parse_tenants_doc,
+)
+
+JOIN_TIMEOUT = 60.0
+
+
+class TestCostModel:
+    def test_reference_grid_costs_one(self):
+        assert estimate_cost(16) == pytest.approx(1.0)
+
+    def test_scales_superlinearly_and_monotonic(self):
+        assert estimate_cost(64) == pytest.approx(8.0)  # (64/16)**1.5
+        costs = [estimate_cost(n) for n in (1, 4, 16, 64, 256)]
+        assert costs == sorted(costs)
+        assert estimate_cost(0) == estimate_cost(1)  # floor, never zero
+
+    def test_doc_cost_reads_rows_cols(self):
+        assert estimate_doc_cost({"rows": 4, "cols": 4}) == pytest.approx(1.0)
+        assert estimate_doc_cost({"rows": 8, "cols": 8}) == pytest.approx(8.0)
+
+    @pytest.mark.parametrize(
+        "doc",
+        [{}, {"rows": 4}, {"rows": "x", "cols": 4}, {"rows": -1, "cols": 4},
+         {"rows": None, "cols": None}],
+    )
+    def test_doc_cost_malformed_falls_back(self, doc):
+        assert estimate_doc_cost(doc) == 1.0
+
+
+class TestTenantValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"name": "a", "weight": 0},
+            {"name": "a", "weight": -1.0},
+            {"name": "a", "rate": 0},
+            {"name": "a", "burst": -5},
+            {"name": "a", "max_inflight": 0},
+            {"name": "a", "max_queued": -1},
+        ],
+    )
+    def test_bad_policy_raises(self, kwargs):
+        with pytest.raises(ReproError):
+            Tenant(**kwargs)
+
+    def test_defaults_are_unlimited(self):
+        t = Tenant("acme")
+        assert t.weight == 1.0
+        assert t.rate is None and t.max_inflight is None and t.max_queued is None
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal_with_retry_hint(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.acquire(2.0) is None  # full burst admitted
+        hint = bucket.acquire(1.0)
+        assert hint is not None and hint > 0
+
+    def test_refusal_debits_nothing(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.acquire(1.0) is None
+        before = bucket.peek()
+        assert bucket.acquire(1.0) is not None
+        assert bucket.peek() >= before  # refill only, never a debit
+
+    def test_over_burst_request_hint_is_finite(self):
+        # A request larger than the burst can never fully fit; the hint
+        # is the wait until the bucket is full, not infinity.
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        bucket.acquire(2.0)
+        hint = bucket.acquire(100.0)
+        assert hint is not None and hint <= 2.0 + 0.1
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            TokenBucket(rate=0)
+        with pytest.raises(ReproError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestContextBinding:
+    def test_bind_and_restore(self):
+        assert current_tenant() is None
+        with bind_tenant(Tenant("acme")) as t:
+            assert current_tenant() is t
+            with bind_tenant(Tenant("inner")):
+                assert current_tenant().name == "inner"
+            assert current_tenant() is t
+        assert current_tenant() is None
+
+
+class TestTenantRegistry:
+    def test_open_mode_admits_everything_as_default(self):
+        reg = TenantRegistry()
+        assert not reg.enforced
+        assert reg.authenticate(None).name == "default"
+        assert reg.authenticate("anything").name == "default"
+
+    def test_enforced_mode_requires_known_key(self):
+        reg = TenantRegistry([Tenant("acme", key="ak_1")])
+        assert reg.enforced
+        assert reg.authenticate("ak_1").name == "acme"
+        with pytest.raises(AuthenticationError, match="unknown API key"):
+            reg.authenticate("nope")
+        with pytest.raises(AuthenticationError, match="API key is required"):
+            reg.authenticate(None)
+
+    def test_anonymous_tenant_admits_keyless(self):
+        anon = Tenant("anonymous", rate=5.0)
+        reg = TenantRegistry([Tenant("acme", key="ak_1")], anonymous=anon)
+        assert reg.authenticate(None) is anon
+        with pytest.raises(AuthenticationError):
+            reg.authenticate("nope")  # unknown keys still refused
+
+    def test_auth_hook_wins_and_falls_through(self):
+        hooked = Tenant("hooked")
+
+        def hook(key):
+            return hooked if key == "jwt" else None
+
+        reg = TenantRegistry([Tenant("acme", key="ak_1")], auth_hook=hook)
+        assert reg.authenticate("jwt") is hooked
+        assert reg.authenticate("ak_1").name == "acme"  # fell through
+
+    def test_config_errors(self):
+        with pytest.raises(ReproError, match="no API key"):
+            TenantRegistry([Tenant("keyless")])
+        with pytest.raises(ReproError, match="duplicate API key"):
+            TenantRegistry([Tenant("a", key="k"), Tenant("b", key="k")])
+        with pytest.raises(ReproError, match="duplicate tenant name"):
+            TenantRegistry([Tenant("a", key="k1"), Tenant("a", key="k2")])
+
+    def test_throttle_and_stats(self):
+        reg = TenantRegistry([Tenant("acme", key="k", rate=1.0, burst=1.0)])
+        acme = reg.authenticate("k")
+        assert reg.throttle(acme, 1.0) is None
+        assert reg.throttle(acme, 1.0) is not None  # bucket drained
+        assert reg.throttle(Tenant("free", key="x"), 99.0) is None  # no rate
+        reg.note("acme", "admitted")
+        reg.note("acme", "throttled")
+        doc = reg.stats()
+        assert doc["enforced"] is True and doc["anonymous"] is None
+        acme_doc = doc["tenants"]["acme"]
+        assert acme_doc["admitted"] == 1 and acme_doc["throttled"] == 1
+        assert acme_doc["weight"] == 1.0 and "tokens" in acme_doc
+
+
+class TestParseTenantsDoc:
+    def test_full_shape(self):
+        reg = parse_tenants_doc(
+            {
+                "tenants": [
+                    {
+                        "name": "acme",
+                        "key": "ak_1",
+                        "weight": 4,
+                        "rate": 50,
+                        "burst": 100,
+                        "max_inflight": 32,
+                        "max_queued": 128,
+                    }
+                ],
+                "anonymous": {"rate": 5},
+            }
+        )
+        acme = reg.authenticate("ak_1")
+        assert acme.weight == 4.0 and acme.rate == 50.0 and acme.burst == 100.0
+        assert acme.max_inflight == 32 and acme.max_queued == 128
+        assert reg.authenticate(None).name == "anonymous"
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            [],
+            {"tenants": {}},
+            {"tenants": ["nope"]},
+            {"tenants": [{"name": "a"}]},  # missing key
+            {"tenants": [{"name": "a", "key": "k", "typo": 1}]},
+            {"tenants": [{"name": "a", "key": "k", "weight": "heavy"}]},
+            {"anonymous": "yes"},
+        ],
+    )
+    def test_malformed_raises(self, doc):
+        with pytest.raises(ReproError):
+            parse_tenants_doc(doc)
+
+    def test_load_tenants_file(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(
+            json.dumps({"tenants": [{"name": "acme", "key": "ak_1"}]})
+        )
+        reg = load_tenants_file(str(path))
+        assert reg.authenticate("ak_1").name == "acme"
+        with pytest.raises(ReproError, match="cannot read"):
+            load_tenants_file(str(tmp_path / "missing.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_tenants_file(str(bad))
+
+
+async def _enqueue_in_order(sched, grants, *waiters):
+    """Start acquire tasks in a fixed order; return the tasks."""
+    tasks = []
+    for tenant, cost in waiters:
+
+        async def one(t=tenant, c=cost):
+            await sched.acquire(t, c)
+            grants.append(t.name)
+
+        tasks.append(asyncio.create_task(one()))
+        await asyncio.sleep(0)  # deterministic enqueue order
+    return tasks
+
+
+class TestFairScheduler:
+    def test_grants_up_to_max_concurrency(self):
+        async def run():
+            sched = FairScheduler(2)
+            t = Tenant("a")
+            await sched.acquire(t)
+            await sched.acquire(t)
+            assert sched.inflight == 2 and sched.queued == 0
+            sched.release(t)
+            sched.release(t)
+            assert sched.inflight == 0
+
+        asyncio.run(run())
+
+    def test_weighted_share_converges_to_weights(self):
+        """With weights 1:2 and equal cost, grants interleave 1:2 (SFQ)."""
+
+        async def run():
+            sched = FairScheduler(1)
+            a, b = Tenant("a", weight=1.0), Tenant("b", weight=2.0)
+            holder = Tenant("holder")
+            await sched.acquire(holder)  # occupy the only slot
+            grants: list[str] = []
+            waiters = [(a, 1.0)] * 3 + [(b, 1.0)] * 6
+            tasks = await _enqueue_in_order(sched, grants, *waiters)
+            sched.release(holder)
+            # Drain: release after each grant until everyone ran.
+            while len(grants) < 9:
+                await asyncio.sleep(0)
+                # release the most recent grantee
+                name = grants[len(grants) - 1]
+                sched.release(a if name == "a" else b)
+            await asyncio.gather(*tasks)
+            return grants
+
+        grants = asyncio.run(run())
+        # SFQ start-tag order for weights 1 vs 2, unit cost:
+        assert grants == ["b", "a", "b", "b", "a", "b", "b", "a", "b"]
+
+    def test_cost_counts_against_share(self):
+        """A tenant sending double-cost requests gets half the grants."""
+
+        async def run():
+            sched = FairScheduler(1)
+            heavy = Tenant("heavy")  # cost 2.0 per request
+            light = Tenant("light")  # cost 1.0 per request
+            holder = Tenant("holder")
+            await sched.acquire(holder)
+            grants: list[str] = []
+            waiters = [(heavy, 2.0)] * 3 + [(light, 1.0)] * 6
+            tasks = await _enqueue_in_order(sched, grants, *waiters)
+            sched.release(holder)
+            while len(grants) < 9:
+                await asyncio.sleep(0)
+                name = grants[len(grants) - 1]
+                sched.release(heavy if name == "heavy" else light)
+            await asyncio.gather(*tasks)
+            return grants
+
+        grants = asyncio.run(run())
+        # Equal *cost* share: one heavy grant per two light grants.
+        assert grants.count("heavy") == 3 and grants.count("light") == 6
+        first_six = grants[:6]
+        assert first_six.count("heavy") == 2  # not starved, not dominant
+
+    def test_max_inflight_quota_is_skipped_not_blocked(self):
+        async def run():
+            sched = FairScheduler(2)
+            capped = Tenant("capped", max_inflight=1)
+            other = Tenant("other")
+            await sched.acquire(capped)
+            grants: list[str] = []
+            tasks = await _enqueue_in_order(
+                sched, grants, (capped, 1.0), (other, 1.0)
+            )
+            await asyncio.sleep(0)
+            # The free slot skips the capped tenant's head and goes to
+            # the other tenant.
+            assert grants == ["other"]
+            assert sched.queued_for("capped") == 1
+            sched.release(capped)
+            await asyncio.sleep(0)
+            assert grants == ["other", "capped"]
+            sched.release(capped)
+            sched.release(other)
+            await asyncio.gather(*tasks)
+
+        asyncio.run(run())
+
+    def test_cancelled_waiter_is_discarded(self):
+        async def run():
+            sched = FairScheduler(1)
+            t = Tenant("a")
+            await sched.acquire(t)
+            task = asyncio.create_task(sched.acquire(t))
+            await asyncio.sleep(0)
+            assert sched.queued == 1
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            assert sched.queued == 0
+            sched.release(t)
+            # The queue is clean: a new waiter is granted immediately.
+            await sched.acquire(t)
+            sched.release(t)
+
+        asyncio.run(run())
+
+    def test_gauges_return_to_zero(self):
+        tel = Telemetry()
+
+        async def run():
+            sched = FairScheduler(1, telemetry=tel)
+            t = Tenant("acme")
+            async with sched.slot(t, cost=1.0):
+                snap = tel.snapshot()
+                assert snap["counters"]["aio_inflight"] == 1
+
+        asyncio.run(run())
+        snap = tel.snapshot()
+        assert snap["counters"]["aio_inflight"] == 0
+        assert snap["counters"]["aio_queue_depth"] == 0
+        gauges = {
+            (name, tuple(sorted(labels.items()))): value
+            for name, labels, value in tel.gauge_series()
+        }
+        assert gauges[("tenant_inflight", (("tenant", "acme"),))] == 0
+        assert gauges[("tenant_queue_depth", (("tenant", "acme"),))] == 0
+        assert snap["latency"]["pipeline.enqueue"]["count"] == 1
+
+    def test_stats_shape_and_queue_bound_is_advisory(self):
+        async def run():
+            sched = FairScheduler(4, max_queue_depth=8)
+            t = Tenant("a")
+            await sched.acquire(t)
+            doc = sched.stats()
+            assert doc["max_concurrency"] == 4
+            assert doc["max_queue_depth"] == 8
+            assert doc["inflight"] == 1 and doc["queued"] == 0
+            assert doc["tenants"]["a"]["granted"] == 1
+            sched.release(t)
+
+        asyncio.run(run())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FairScheduler(0)
+        with pytest.raises(ValueError):
+            FairScheduler(1, max_queue_depth=-1)

@@ -387,8 +387,18 @@ class TestHandlerTracing:
         got = asyncio.run(run())
         assert got["ok"] and got["count"] == 1
         names = {s["name"] for s in got["traces"][0]["spans"]}
-        # handler -> cache -> queue -> compute, plus routing phases.
-        assert {"handler.route", "cache.get", "queue.wait", "compute"} <= names
+        # pipeline stages -> cache -> queue -> compute, plus routing phases.
+        assert {
+            "handler.route",
+            "pipeline.decode",
+            "pipeline.authenticate",
+            "pipeline.admit",
+            "pipeline.execute",
+            "pipeline.enqueue",
+            "pipeline.encode",
+            "cache.get",
+            "compute",
+        } <= names
         assert any(n.startswith("stage.") for n in names)
 
     def test_introspection_ops_not_traced(self):
