@@ -359,6 +359,31 @@ def build_parser() -> argparse.ArgumentParser:
         "probed again (the per-node circuit-breaker cooldown)",
     )
     p_serve.add_argument(
+        "--gossip-interval",
+        type=float,
+        default=0.0,
+        help="seconds between SWIM gossip probe rounds (0 disables "
+        "gossip, the default); with gossip on, a crashed ring member "
+        "is detected and removed automatically — no admin CLI (see "
+        "docs/OPERATIONS.md)",
+    )
+    p_serve.add_argument(
+        "--suspicion-timeout",
+        type=float,
+        default=5.0,
+        help="seconds a gossip-suspected member may refute before it "
+        "is declared dead and dropped from the ring (with "
+        "--gossip-interval)",
+    )
+    p_serve.add_argument(
+        "--sweep-interval",
+        type=float,
+        default=0.0,
+        help="seconds between background anti-entropy sweeps repairing "
+        "under-replicated cache keys (0 disables, the default; pushes "
+        "are paced by the handoff rate limiter)",
+    )
+    p_serve.add_argument(
         "--log-level",
         default="info",
         choices=("debug", "info", "warning", "error"),
@@ -456,6 +481,82 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         metavar="ADDR",
         help="any current ring member to read the topology from",
+    )
+
+    p_auto = sub.add_parser(
+        "autoscale",
+        help="supervise a ring: scale up/down from live /metrics signals",
+    )
+    p_auto.add_argument(
+        "--contact",
+        action="append",
+        required=True,
+        metavar="ADDR",
+        help="repeatable: ring member address to read the topology from "
+        "(the first one that answers wins)",
+    )
+    p_auto.add_argument(
+        "--pool",
+        action="append",
+        metavar="ADDR",
+        help="repeatable: spare daemon address the autoscaler may add to "
+        "the ring (and the only kind it will ever remove); the daemon "
+        "must already be running",
+    )
+    p_auto.add_argument(
+        "--min-nodes", type=int, default=1, help="never shrink below this size"
+    )
+    p_auto.add_argument(
+        "--max-nodes", type=int, default=8, help="never grow above this size"
+    )
+    p_auto.add_argument(
+        "--queue-high",
+        type=float,
+        default=8.0,
+        help="scale up when the summed fair-queue depth exceeds this",
+    )
+    p_auto.add_argument(
+        "--queue-low",
+        type=float,
+        default=1.0,
+        help="scale down when the summed queue depth is at or below this",
+    )
+    p_auto.add_argument(
+        "--p99-high",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="scale up when any member's pipeline.execute p99 exceeds this",
+    )
+    p_auto.add_argument(
+        "--hit-rate-low",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="scale up when the mean schedule-cache hit rate drops below "
+        "this (0..1)",
+    )
+    p_auto.add_argument(
+        "--cooldown",
+        type=float,
+        default=30.0,
+        help="seconds between membership actions (anti-flapping)",
+    )
+    p_auto.add_argument(
+        "--interval",
+        type=float,
+        default=5.0,
+        help="seconds between evaluation steps",
+    )
+    p_auto.add_argument(
+        "--once",
+        action="store_true",
+        help="run exactly one observe/decide/act step and exit",
+    )
+    p_auto.add_argument(
+        "--json",
+        action="store_true",
+        help="with --once: print the observation and decision as JSON",
     )
 
     p_sweep = sub.add_parser("sweep", help="mini Figure 4/5 sweep")
@@ -826,6 +927,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "--topology-file and --peer are mutually exclusive (the file "
             "is the authoritative member list)"
         )
+    if args.gossip_interval < 0:
+        raise ReproError(
+            f"--gossip-interval must be >= 0, got {args.gossip_interval}"
+        )
+    if args.suspicion_timeout <= 0:
+        raise ReproError(
+            f"--suspicion-timeout must be positive, got {args.suspicion_timeout}"
+        )
+    if args.sweep_interval < 0:
+        raise ReproError(
+            f"--sweep-interval must be >= 0, got {args.sweep_interval}"
+        )
     if args.max_queue_depth is not None and args.max_queue_depth <= 0:
         raise ReproError(
             f"--max-queue-depth must be positive, got {args.max_queue_depth}"
@@ -903,6 +1016,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.warm:
         warmed = svc.service.warm_cache()
         log.info("warmed cache", extra={"schedules": warmed})
+
+    gossip_runner = None
+    gossip_node = None
+    gossip_transport = None
+    if args.gossip_interval > 0:
+        from .service import (
+            GossipConfig,
+            GossipNode,
+            GossipRunner,
+            PeerGossipTransport,
+        )
+
+        cluster_topology = svc.service.cluster_topology
+        if node_id is None or cluster_topology is None:
+            raise ReproError(
+                "--gossip-interval needs a dialable ring identity: start "
+                "with --socket/--http (or an explicit --node-id)"
+            )
+        gossip_transport = PeerGossipTransport()
+        gossip_node = GossipNode(
+            node_id,
+            cluster_topology,
+            gossip_transport,
+            GossipConfig(
+                interval=args.gossip_interval,
+                suspicion_timeout=args.suspicion_timeout,
+            ),
+            telemetry=svc.service.telemetry,
+        )
+        svc.service.gossip = gossip_node
+        gossip_runner = GossipRunner(gossip_node)
+        gossip_runner.start()
+        log.info(
+            "gossip failure detector running",
+            extra={
+                "interval": args.gossip_interval,
+                "suspicion_timeout": args.suspicion_timeout,
+            },
+        )
+    if args.sweep_interval > 0:
+        from .service import ClusterScheduleCache
+
+        if not isinstance(svc.service.cache, ClusterScheduleCache):
+            raise ReproError(
+                "--sweep-interval needs cluster mode (start with --peer, "
+                "--topology-file, or a dialable node id)"
+            )
+        svc.service.cache.start_sweeper(args.sweep_interval)
+        log.info(
+            "anti-entropy sweeper running",
+            extra={"interval": args.sweep_interval},
+        )
+
     on_reload = watcher.reload_now if watcher is not None else None
     if watcher is not None:
         watcher.start()
@@ -936,6 +1102,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             log.info("repro daemon stopped", extra={"transport": "ndjson"})
         return 0
     finally:
+        if gossip_runner is not None:
+            gossip_runner.stop()
+        if gossip_node is not None:
+            gossip_node.close()
+        if gossip_transport is not None:
+            gossip_transport.close()
         if watcher is not None:
             watcher.stop()
 
@@ -1144,6 +1316,42 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_autoscale(args: argparse.Namespace) -> int:
+    """The ``autoscale`` supervisor: metrics-driven ring resizing."""
+    from .service import AutoscalePolicy, Autoscaler, configure_logging
+
+    configure_logging("info")
+    policy = AutoscalePolicy(
+        min_nodes=args.min_nodes,
+        max_nodes=args.max_nodes,
+        queue_high=args.queue_high,
+        queue_low=args.queue_low,
+        p99_high=args.p99_high,
+        hit_rate_low=args.hit_rate_low,
+        cooldown=args.cooldown,
+    )
+    scaler = Autoscaler(args.contact, pool=args.pool or (), policy=policy)
+    if args.once:
+        obs, decision = scaler.step()
+        if args.json:
+            print(
+                json.dumps(
+                    {"observation": obs.as_dict(), "decision": decision.as_dict()},
+                    indent=2,
+                )
+            )
+        else:
+            print(
+                f"epoch {obs.epoch}, {len(obs.members)} member(s), "
+                f"queued {obs.queued:.0f} -> {decision.action}"
+                + (f" {decision.node}" if decision.node else "")
+                + f" ({decision.reason})"
+            )
+        return 0
+    scaler.run(args.interval)
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     routers = {name: make_router(name) for name in ("local", "naive", "ats")}
     sweep = run_sweep(
@@ -1180,6 +1388,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "trace": _cmd_trace,
     "topology": _cmd_topology,
+    "autoscale": _cmd_autoscale,
     "sweep": _cmd_sweep,
     "info": _cmd_info,
 }

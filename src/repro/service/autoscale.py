@@ -1,0 +1,454 @@
+"""Metrics-driven ring autoscaling: ``/metrics`` in, ``topology`` out.
+
+The gossip layer (:mod:`repro.service.gossip`) makes the ring heal
+itself when members die; this module makes it *resize* itself when load
+changes. An :class:`Autoscaler` is the supervisor the ``repro
+autoscale`` command runs: each step it
+
+1. **observes** — reads the topology from the first reachable contact
+   node, then every member's ``stats`` document, and condenses them
+   into one :class:`ClusterObservation` (total queued requests across
+   the fair-queue gauges, the worst per-member ``pipeline.execute``
+   p99, the mean schedule-cache hit rate);
+2. **decides** — compares the observation against an
+   :class:`AutoscalePolicy`: sustained pressure (deep queues, slow
+   p99s, or a cold cache) scales up by one node drawn from the spare
+   ``pool``, an idle ring scales back down by returning a pool node,
+   and a ``cooldown`` between actions keeps one burst from flapping
+   the ring; and
+3. **acts** — pushes the membership change with exactly the admin
+   CLI's ordering and compare-and-set discipline (newcomer first
+   without CAS, then every member under ``expected_epoch``; on
+   scale-down the stayers first, the leaver last and best-effort), so
+   a racing administrator or a second autoscaler loses the CAS instead
+   of splitting the ring.
+
+Scale-down only ever removes nodes the autoscaler itself may manage
+(the ``pool``) — the seed members an operator placed are never
+touched. ``benchmarks/bench_autoscale.py`` drives a live 3-node ring
+to 5 under load through this exact code path and gates zero request
+errors with converged epochs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ReproError
+from .cluster import RemoteShardClient
+from .logging import get_logger
+
+__all__ = [
+    "AutoscaleDecision",
+    "AutoscalePolicy",
+    "Autoscaler",
+    "ClusterObservation",
+]
+
+#: Seconds between autoscaler evaluation steps (``repro autoscale
+#: --interval``).
+DEFAULT_AUTOSCALE_INTERVAL = 5.0
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Thresholds and bounds for one autoscaler.
+
+    ``queue_high`` / ``p99_high`` / ``hit_rate_low`` are the pressure
+    signals — any one of them firing requests a scale-up (``None``
+    disables that signal). The ring scales down only when the total
+    queue is at or under ``queue_low`` **and** no pressure signal
+    fires. ``cooldown`` seconds must pass after any action before the
+    next one, so a single burst cannot flap the ring; ``min_nodes`` /
+    ``max_nodes`` bound the ring size regardless of signals.
+    """
+
+    min_nodes: int = 1
+    max_nodes: int = 8
+    queue_high: float = 8.0
+    queue_low: float = 1.0
+    p99_high: float | None = None
+    hit_rate_low: float | None = None
+    cooldown: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.min_nodes < 1:
+            raise ValueError(f"min_nodes must be >= 1, got {self.min_nodes}")
+        if self.max_nodes < self.min_nodes:
+            raise ValueError(
+                f"max_nodes ({self.max_nodes}) must be >= min_nodes "
+                f"({self.min_nodes})"
+            )
+        if self.queue_low > self.queue_high:
+            raise ValueError(
+                f"queue_low ({self.queue_low}) must be <= queue_high "
+                f"({self.queue_high})"
+            )
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {self.cooldown}")
+
+
+@dataclass(frozen=True)
+class ClusterObservation:
+    """One condensed reading of the ring (see :meth:`Autoscaler.observe`).
+
+    ``queued`` sums every member's fair-queue depth gauges; ``p99`` is
+    the worst per-member ``pipeline.execute`` p99 (``None`` before any
+    request completed); ``hit_rate`` is the mean schedule-cache hit
+    rate over the members that answered; ``reachable`` lists them.
+    """
+
+    epoch: int
+    members: tuple[str, ...]
+    reachable: tuple[str, ...]
+    queued: float
+    p99: float | None
+    hit_rate: float | None
+
+    def as_dict(self) -> dict[str, Any]:
+        """The observation as a JSON-ready document (for logs/benchmarks)."""
+        return {
+            "epoch": self.epoch,
+            "members": list(self.members),
+            "reachable": list(self.reachable),
+            "queued": self.queued,
+            "p99": self.p99,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """What one evaluation step concluded (``scale_up`` / ``scale_down`` /
+    ``hold``), why, and which node it applies to."""
+
+    action: str
+    reason: str
+    node: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        """The decision as a JSON-ready document (for logs/benchmarks)."""
+        return {"action": self.action, "reason": self.reason, "node": self.node}
+
+
+def _sum_gauge(gauges: Any, name: str) -> float:
+    """Total of one gauge across its labeled series (0.0 when absent)."""
+    if not isinstance(gauges, Mapping):
+        return 0.0
+    value = gauges.get(name)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    if isinstance(value, list):
+        total = 0.0
+        for series in value:
+            if isinstance(series, Mapping):
+                v = series.get("value")
+                if isinstance(v, (int, float)) and not isinstance(v, bool):
+                    total += float(v)
+        return total
+    return 0.0
+
+
+@dataclass
+class _StatsReading:
+    queued: float = 0.0
+    p99: float | None = None
+    hit_rate: float | None = None
+
+
+class Autoscaler:
+    """The observe → decide → act supervisor for one ring.
+
+    Parameters
+    ----------
+    contacts:
+        Daemon addresses asked for the current topology, in order; the
+        first one that answers wins. Usually the seed members.
+    pool:
+        Spare daemon addresses the autoscaler may add to the ring —
+        and the only ones it will ever remove. They must already be
+        running (the autoscaler joins capacity, it does not provision
+        machines).
+    policy:
+        Thresholds and bounds; ``None`` uses the defaults.
+    client_factory:
+        ``address -> RemoteShardClient``-shaped client builder
+        (injectable for tests); defaults to
+        :class:`~repro.service.cluster.RemoteShardClient`.
+    clock:
+        Monotonic-seconds source for the cooldown timer.
+    """
+
+    def __init__(
+        self,
+        contacts: Sequence[str],
+        pool: Sequence[str] = (),
+        policy: AutoscalePolicy | None = None,
+        *,
+        client_factory: Callable[[str], Any] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not contacts:
+            raise ValueError("at least one contact address is required")
+        self.contacts = list(contacts)
+        self.pool = list(dict.fromkeys(pool))  # de-duplicated, order kept
+        self.policy = policy or AutoscalePolicy()
+        self._factory = client_factory or RemoteShardClient
+        self._clock = clock
+        self._last_action: float | None = None
+        self._log = get_logger("repro.service.autoscale")
+        #: History of (observation, decision) dicts, newest last —
+        #: what ``bench_autoscale`` asserts against.
+        self.history: list[dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # observe
+    # ------------------------------------------------------------------
+    def _call(self, address: str, method: str, *args: Any) -> Any:
+        """One client call with guaranteed close; raises ReproError."""
+        client = self._factory(address)
+        try:
+            return getattr(client, method)(*args)
+        finally:
+            try:
+                client.close()
+            except Exception:  # noqa: BLE001 - teardown is best-effort
+                pass
+
+    def _read_stats(self, address: str) -> _StatsReading | None:
+        try:
+            stats = self._call(address, "service_stats")
+        except ReproError:
+            return None
+        if not isinstance(stats, Mapping):
+            return None
+        reading = _StatsReading()
+        telemetry = stats.get("telemetry")
+        if isinstance(telemetry, Mapping):
+            reading.queued = _sum_gauge(telemetry.get("gauges"), "tenant_queue_depth")
+            latency = telemetry.get("latency")
+            if isinstance(latency, Mapping):
+                execute = latency.get("pipeline.execute")
+                if isinstance(execute, Mapping):
+                    p99 = execute.get("p99_seconds")
+                    if isinstance(p99, (int, float)) and not isinstance(p99, bool):
+                        reading.p99 = float(p99)
+        cache = stats.get("schedule_cache")
+        if isinstance(cache, Mapping):
+            rate = cache.get("hit_rate")
+            if isinstance(rate, (int, float)) and not isinstance(rate, bool):
+                reading.hit_rate = float(rate)
+        return reading
+
+    def observe(self) -> ClusterObservation:
+        """Read the ring: topology from a contact, stats from every member.
+
+        Raises
+        ------
+        ReproError
+            When no contact answers ``topology_get`` at all — without a
+            topology there is nothing to scale.
+        """
+        topo: Mapping[str, Any] | None = None
+        errors: list[str] = []
+        for address in self.contacts:
+            try:
+                topo = self._call(address, "topology_get")
+                break
+            except ReproError as exc:
+                errors.append(f"{address}: {exc}")
+        if topo is None:
+            raise ReproError(
+                "no contact node answered topology_get: " + "; ".join(errors)
+            )
+        epoch = int(topo.get("epoch", 0))
+        members = tuple(sorted(str(m) for m in topo.get("members", [])))
+        queued = 0.0
+        p99: float | None = None
+        rates: list[float] = []
+        reachable: list[str] = []
+        for member in members:
+            reading = self._read_stats(member)
+            if reading is None:
+                continue
+            reachable.append(member)
+            queued += reading.queued
+            if reading.p99 is not None and (p99 is None or reading.p99 > p99):
+                p99 = reading.p99
+            if reading.hit_rate is not None:
+                rates.append(reading.hit_rate)
+        return ClusterObservation(
+            epoch=epoch,
+            members=members,
+            reachable=tuple(reachable),
+            queued=queued,
+            p99=p99,
+            hit_rate=sum(rates) / len(rates) if rates else None,
+        )
+
+    # ------------------------------------------------------------------
+    # decide
+    # ------------------------------------------------------------------
+    def _pressure(self, obs: ClusterObservation) -> str | None:
+        """The first firing pressure signal, as a reason string."""
+        policy = self.policy
+        if obs.queued > policy.queue_high:
+            return f"queued {obs.queued:.0f} > queue_high {policy.queue_high:.0f}"
+        if (
+            policy.p99_high is not None
+            and obs.p99 is not None
+            and obs.p99 > policy.p99_high
+        ):
+            return f"p99 {obs.p99:.4f}s > p99_high {policy.p99_high:.4f}s"
+        if (
+            policy.hit_rate_low is not None
+            and obs.hit_rate is not None
+            and obs.hit_rate < policy.hit_rate_low
+        ):
+            return (
+                f"hit_rate {obs.hit_rate:.2f} < hit_rate_low "
+                f"{policy.hit_rate_low:.2f}"
+            )
+        return None
+
+    def decide(self, obs: ClusterObservation) -> AutoscaleDecision:
+        """Map one observation to an action under the policy."""
+        policy = self.policy
+        if self._last_action is not None:
+            elapsed = self._clock() - self._last_action
+            if elapsed < policy.cooldown:
+                return AutoscaleDecision(
+                    "hold",
+                    f"cooldown ({policy.cooldown - elapsed:.1f}s remaining)",
+                )
+        size = len(obs.members)
+        pressure = self._pressure(obs)
+        if pressure is not None:
+            if size >= policy.max_nodes:
+                return AutoscaleDecision(
+                    "hold", f"{pressure}, but already at max_nodes {policy.max_nodes}"
+                )
+            spares = [n for n in self.pool if n not in obs.members]
+            if not spares:
+                return AutoscaleDecision("hold", f"{pressure}, but the pool is empty")
+            return AutoscaleDecision("scale_up", pressure, node=spares[0])
+        if obs.queued <= policy.queue_low and size > policy.min_nodes:
+            # Only pool nodes may be returned; remove the most recently
+            # added one (last in pool order) so the ring shrinks in
+            # reverse join order.
+            removable = [n for n in self.pool if n in obs.members]
+            if removable:
+                return AutoscaleDecision(
+                    "scale_down",
+                    f"queued {obs.queued:.0f} <= queue_low {policy.queue_low:.0f}",
+                    node=removable[-1],
+                )
+        return AutoscaleDecision("hold", "within thresholds")
+
+    # ------------------------------------------------------------------
+    # act
+    # ------------------------------------------------------------------
+    def act(self, decision: AutoscaleDecision, obs: ClusterObservation) -> bool:
+        """Push the decided membership change; True when fully applied.
+
+        Mirrors the ``repro topology`` admin flow: on a join the
+        newcomer is updated first (no CAS — abort if it is
+        unreachable, so no live member ever routes keys to a dead
+        address), then every existing member under an
+        ``expected_epoch`` compare-and-set; on a leave the staying
+        members first (CAS), the leaver last and best-effort. A lost
+        CAS race means someone else changed the ring — the next
+        observation sees their change, so it is logged, not raised.
+        The cooldown timer starts on any attempt, win or lose.
+        """
+        if decision.action == "hold" or decision.node is None:
+            return False
+        self._last_action = self._clock()
+        node = decision.node
+        if decision.action == "scale_up":
+            new_members = sorted(set(obs.members) | {node})
+            push_order = [(node, False)] + [(m, True) for m in obs.members]
+        else:
+            new_members = sorted(set(obs.members) - {node})
+            if not new_members:
+                return False
+            push_order = [(m, True) for m in new_members] + [(node, False)]
+        doc = {"members": new_members, "epoch": obs.epoch + 1}
+        applied = True
+        for address, cas in push_order:
+            update = {**doc, "expected_epoch": obs.epoch} if cas else doc
+            try:
+                self._call(address, "topology_update", update)
+            except ReproError as exc:
+                if decision.action == "scale_up" and address == node:
+                    self._log.warning(
+                        "autoscale aborted: joining node %s unreachable (%s)",
+                        node,
+                        exc,
+                    )
+                    return False
+                if decision.action == "scale_down" and address == node:
+                    continue  # the leaver may already be gone
+                self._log.warning(
+                    "autoscale update lost on %s (%s); deferring to next cycle",
+                    address,
+                    exc,
+                )
+                applied = False
+        return applied
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def step(self) -> tuple[ClusterObservation, AutoscaleDecision]:
+        """One observe → decide → act cycle; returns both halves."""
+        obs = self.observe()
+        decision = self.decide(obs)
+        if decision.action != "hold":
+            self.act(decision, obs)
+        self.history.append(
+            {"observation": obs.as_dict(), "decision": decision.as_dict()}
+        )
+        return obs, decision
+
+    def run(
+        self,
+        interval: float = DEFAULT_AUTOSCALE_INTERVAL,
+        *,
+        iterations: int | None = None,
+        stop: threading.Event | None = None,
+    ) -> None:
+        """Step every ``interval`` seconds until stopped.
+
+        ``iterations`` bounds the number of steps (``None`` = forever);
+        ``stop`` ends the loop early (and is what makes the sleep
+        interruptible). An unreachable cluster logs and retries — the
+        supervisor outliving a full outage is the point of having one.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        stop = stop or threading.Event()
+        done = 0
+        while iterations is None or done < iterations:
+            try:
+                obs, decision = self.step()
+            except ReproError as exc:
+                self._log.warning("autoscale step failed: %s", exc)
+            else:
+                if decision.action != "hold":
+                    self._log.info(
+                        "autoscale %s %s (%s) at epoch %s",
+                        decision.action,
+                        decision.node,
+                        decision.reason,
+                        obs.epoch,
+                    )
+            done += 1
+            if iterations is not None and done >= iterations:
+                break
+            if stop.wait(interval):
+                break

@@ -123,6 +123,16 @@ class LRUCache:
         with self._lock:
             return iter(list(self._data))
 
+    def discard(self, digest: str) -> bool:
+        """Remove one entry if present; returns whether it was held.
+
+        A deliberate removal (key-space handoff re-homed the entry), so
+        it does **not** count as an ``evictions`` — that counter means
+        "capacity pressure pushed something out".
+        """
+        with self._lock:
+            return self._data.pop(digest, None) is not None
+
     def clear(self) -> None:
         """Drop every in-memory entry (stats are kept)."""
         with self._lock:
@@ -237,6 +247,21 @@ class ScheduleCache(LRUCache):
         """Store in memory and (if configured) on disk."""
         super().put(digest, schedule, cost=cost)
         self._disk_store(digest, schedule)
+
+    def discard(self, digest: str) -> bool:
+        """Remove one entry from both tiers; True if either tier held it.
+
+        The disk copy goes too — a re-homed key left on disk would be
+        resurrected (and re-served as if owned) by the next ``get``.
+        """
+        dropped = super().discard(digest)
+        if self.disk_dir is not None:
+            try:
+                self._disk_path(digest).unlink()
+                dropped = True
+            except OSError:
+                pass
+        return dropped
 
     def as_dict(self) -> dict[str, Any]:
         """The LRU rollup plus the disk-tier location."""

@@ -75,6 +75,7 @@ from ..errors import (
 from ..routing.schedule import Schedule
 from ..routing.serialize import schedule_from_json, schedule_to_json
 from .cache import CacheStats, ScheduleCache
+from .logging import get_logger
 from .sharding import ShardedScheduleCache
 from .tracing import current_traceparent, span
 
@@ -948,6 +949,36 @@ class RemoteShardClient:
         resp = self._checked({**dict(doc), "op": "topology_update"})
         return dict(resp.get("topology") or {})
 
+    def gossip(self, doc: Mapping[str, Any]) -> dict[str, Any]:
+        """Deliver one gossip document; returns the peer's ack + view.
+
+        ``doc`` is a :meth:`~repro.service.gossip.GossipNode.wire_doc`
+        payload (``kind`` / ``from`` / ``epoch`` / ``members`` /
+        ``states``). The response carries the peer's post-merge view
+        back — the anti-entropy half of every probe.
+
+        Raises
+        ------
+        ClusterShardError
+            On transport failure or a refused response (including a
+            daemon running without ``--gossip-interval``).
+        """
+        return self._checked({**dict(doc), "op": "gossip"})
+
+    def service_stats(self) -> dict[str, Any]:
+        """The daemon's full ``stats`` document (caches + telemetry).
+
+        Unlike :meth:`cache_stats` this is the whole service snapshot —
+        queue-depth gauges, latency histograms, hit rates — which is
+        what the autoscaler reads its signals from.
+
+        Raises
+        ------
+        ClusterShardError
+            On transport failure or a refused response.
+        """
+        return dict(self._checked({"op": "stats"}).get("stats") or {})
+
     def trace_get(
         self,
         trace_id: str | None = None,
@@ -1039,8 +1070,15 @@ class ClusterStats:
     ``handoff_*`` counters track key-space handoff: ``handoff_rounds``
     background streams started by a topology change,
     ``handoff_keys_sent`` entries pushed to newly joined owners,
-    ``handoff_errors`` failed pushes, and ``handoff_aborts`` streams
-    cut short by the next epoch bump (or close).
+    ``handoff_errors`` failed pushes, ``handoff_aborts`` streams
+    cut short by the next epoch bump (or close), and
+    ``handoff_evicted`` entries dropped from the local tier after
+    every new owner confirmed its copy (the key re-homed cleanly, so
+    the old owner stops serving a stale-able duplicate). The
+    ``sweep_*`` counters track the background anti-entropy sweep:
+    ``sweep_rounds`` completed passes over the local key space,
+    ``sweep_repairs`` entries pushed to owners that were missing them,
+    and ``sweep_errors`` failed probes or pushes.
     """
 
     remote_hits: int = 0
@@ -1054,6 +1092,10 @@ class ClusterStats:
     handoff_keys_sent: int = 0
     handoff_errors: int = 0
     handoff_aborts: int = 0
+    handoff_evicted: int = 0
+    sweep_rounds: int = 0
+    sweep_repairs: int = 0
+    sweep_errors: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         """The counters as a JSON-ready dict."""
@@ -1069,6 +1111,10 @@ class ClusterStats:
             "handoff_keys_sent": self.handoff_keys_sent,
             "handoff_errors": self.handoff_errors,
             "handoff_aborts": self.handoff_aborts,
+            "handoff_evicted": self.handoff_evicted,
+            "sweep_rounds": self.sweep_rounds,
+            "sweep_repairs": self.sweep_repairs,
+            "sweep_errors": self.sweep_errors,
         }
 
 
@@ -1170,7 +1216,11 @@ class ClusterScheduleCache:
     handoff:
         Whether to stream owned keys to newly joined members.
     handoff_rate:
-        Upper bound on handoff ``cache_put`` pushes per second.
+        Upper bound on handoff ``cache_put`` pushes per second (also
+        paces the anti-entropy sweep).
+    clock:
+        Monotonic-seconds source for the circuit breakers (injectable
+        so breaker-cooldown tests can use a virtual clock).
 
     Raises
     ------
@@ -1193,6 +1243,7 @@ class ClusterScheduleCache:
         shard_timeout: float = DEFAULT_SHARD_TIMEOUT,
         handoff: bool = True,
         handoff_rate: float = DEFAULT_HANDOFF_RATE,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if replication <= 0:
             raise ValueError(f"replication must be positive, got {replication}")
@@ -1219,10 +1270,13 @@ class ClusterScheduleCache:
                 members.add(node_id)
             topology = ClusterTopology(sorted(members), vnodes=vnodes)
         self.topology = topology
+        self._clock = clock
         self._lock = threading.Lock()
         self._nodes: dict[str, _NodeState] = {}
         self._closed = False
         self._handoff_thread: threading.Thread | None = None
+        self._sweep_stop = threading.Event()
+        self._sweep_thread: threading.Thread | None = None
         self.cluster_stats = ClusterStats()
         topology.subscribe(self._on_topology_change)
 
@@ -1264,7 +1318,7 @@ class ClusterScheduleCache:
         """The node's client, or ``None`` while its breaker is open."""
         state = self._state(node)
         with self._lock:
-            if time.monotonic() < state.down_until:
+            if self._clock() < state.down_until:
                 return None
             return state.client
 
@@ -1280,13 +1334,13 @@ class ClusterScheduleCache:
         with self._lock:
             state.errors += 1
             state.consecutive_failures += 1
-            state.down_until = time.monotonic() + self.retry_interval
+            state.down_until = self._clock() + self.retry_interval
             state.last_error = f"{type(exc).__name__}: {exc}"
             self.cluster_stats.remote_errors += 1
 
     def dead_nodes(self) -> list[str]:
         """Peers currently skipped by the circuit breaker."""
-        now = time.monotonic()
+        now = self._clock()
         with self._lock:
             return sorted(nid for nid, s in self._nodes.items() if now < s.down_until)
 
@@ -1329,6 +1383,10 @@ class ClusterScheduleCache:
             self.cluster_stats.handoff_rounds += 1
         thread.start()
 
+    def _pace(self) -> None:
+        """Sleep one ``handoff_rate`` slot (shared by handoff and sweep)."""
+        time.sleep(1.0 / self.handoff_rate)
+
     def _handoff_worker(
         self, old: TopologyView, new: TopologyView, newcomers: frozenset[str]
     ) -> None:
@@ -1342,9 +1400,18 @@ class ClusterScheduleCache:
         pushes per second. The stream aborts as soon as the topology
         epoch moves past the one it was started for, or the cache is
         closed.
+
+        A key that re-homed completely — every newcomer copy was
+        confirmed stored and this node is no longer in the key's new
+        replica set — is then evicted from the local tier
+        (``handoff_evicted``): the ring will route future lookups to
+        the new owners, and keeping an unowned duplicate here only
+        squeezes genuinely-owned keys out of the LRU. Any failed or
+        skipped push keeps the local copy, so an entry always survives
+        somewhere.
         """
-        interval = 1.0 / self.handoff_rate
         errors = 0
+        evicted = 0
         aborted = False
         for digest in list(self.local.keys()):
             if self._closed or self.topology.epoch != new.epoch:
@@ -1353,15 +1420,14 @@ class ClusterScheduleCache:
             old_owners = old.ring.replicas(digest, self.replication)
             if not old_owners or old_owners[0] != self.node_id:
                 continue
-            targets = [
-                n for n in new.ring.replicas(digest, self.replication)
-                if n in newcomers
-            ]
+            new_owners = new.ring.replicas(digest, self.replication)
+            targets = [n for n in new_owners if n in newcomers]
             if not targets:
                 continue
             schedule = self.local.get(digest)
             if schedule is None:
                 continue  # evicted since the key listing
+            digest_ok = True
             for node in targets:
                 if self._closed or self.topology.epoch != new.epoch:
                     aborted = True
@@ -1369,6 +1435,7 @@ class ClusterScheduleCache:
                 client = self._live_client(node)
                 if client is None:
                     errors += 1
+                    digest_ok = False
                     continue
                 with span("cache.handoff_put", node=node) as hsp:
                     try:
@@ -1377,15 +1444,20 @@ class ClusterScheduleCache:
                         hsp.status = "error"
                         self._mark_failed(node, exc)
                         errors += 1
+                        digest_ok = False
                         continue
                 self._mark_ok(node)
                 with self._lock:
                     self.cluster_stats.handoff_keys_sent += 1
-                time.sleep(interval)
+                self._pace()
             if aborted:
                 break
+            if digest_ok and self.node_id not in new_owners:
+                if self.local.discard(digest):
+                    evicted += 1
         with self._lock:
             self.cluster_stats.handoff_errors += errors
+            self.cluster_stats.handoff_evicted += evicted
             if aborted:
                 self.cluster_stats.handoff_aborts += 1
 
@@ -1408,6 +1480,135 @@ class ClusterScheduleCache:
             return True
         thread.join(timeout)
         return not thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # anti-entropy sweep
+    # ------------------------------------------------------------------
+    def anti_entropy_sweep(self) -> dict[str, Any]:
+        """One repair pass over the local key space; returns a summary.
+
+        For every local-tier digest this node co-owns under the current
+        ring, each *other* owner is probed with ``cache_get``; owners
+        that miss receive this node's copy via ``cache_put``
+        (``sweep_repairs``). Keys whose every owner already holds a
+        copy get **no** put — the sweep is idempotent on a healthy
+        ring. Entries are content-addressed by their request digest, so
+        any local copy is a valid repair source; the self-in-owners
+        rule (rather than primary-only) lets a replica repair a primary
+        that lost its copy, which is exactly the under-replication a
+        crashed-and-rejoined node leaves behind.
+
+        Pushes are paced by ``handoff_rate``. The pass aborts early —
+        without counting a ``sweep_rounds`` round — when the topology
+        epoch moves, the cache is closed, or :meth:`stop_sweeper` is
+        called. Never raises for a dead or misbehaving peer.
+        """
+        view = self.topology.view()
+        scanned = 0
+        repairs = 0
+        errors = 0
+        aborted = False
+        if self.node_id is not None and self.node_id in view.members:
+            for digest in list(self.local.keys()):
+                if (
+                    self._closed
+                    or self._sweep_stop.is_set()
+                    or self.topology.epoch != view.epoch
+                ):
+                    aborted = True
+                    break
+                owners = view.ring.replicas(digest, self.replication)
+                if self.node_id not in owners:
+                    continue
+                scanned += 1
+                schedule: Schedule | None = None
+                missing_local = False
+                for node in owners:
+                    if node == self.node_id:
+                        continue
+                    client = self._live_client(node)
+                    if client is None:
+                        errors += 1
+                        continue
+                    with span("cache.sweep_probe", node=node) as psp:
+                        try:
+                            held = client.cache_get(digest)
+                        except ReproError as exc:
+                            psp.status = "error"
+                            self._mark_failed(node, exc)
+                            errors += 1
+                            continue
+                        psp.set("hit", held is not None)
+                    self._mark_ok(node)
+                    if held is not None:
+                        continue
+                    if schedule is None:
+                        schedule = self.local.get(digest)
+                        if schedule is None:
+                            missing_local = True  # evicted since the listing
+                            break
+                    with span("cache.sweep_put", node=node) as ssp:
+                        try:
+                            client.cache_put(digest, schedule)
+                        except ReproError as exc:
+                            ssp.status = "error"
+                            self._mark_failed(node, exc)
+                            errors += 1
+                            continue
+                    self._mark_ok(node)
+                    repairs += 1
+                    self._pace()
+                if missing_local:
+                    continue
+        with self._lock:
+            self.cluster_stats.sweep_repairs += repairs
+            self.cluster_stats.sweep_errors += errors
+            if not aborted:
+                self.cluster_stats.sweep_rounds += 1
+        return {
+            "scanned": scanned,
+            "repaired": repairs,
+            "errors": errors,
+            "aborted": aborted,
+        }
+
+    def start_sweeper(self, period: float) -> None:
+        """Run :meth:`anti_entropy_sweep` every ``period`` seconds.
+
+        Idempotent while a sweeper is running; the thread is a daemon
+        and is stopped by :meth:`stop_sweeper` or :meth:`close`. This
+        is what ``repro serve --sweep-interval`` starts.
+        """
+        if period <= 0:
+            raise ValueError(f"sweep period must be positive, got {period}")
+        with self._lock:
+            if self._sweep_thread is not None and self._sweep_thread.is_alive():
+                return
+            self._sweep_stop.clear()
+            thread = self._sweep_thread = threading.Thread(
+                target=self._sweep_loop,
+                args=(float(period),),
+                name="repro-sweeper",
+                daemon=True,
+            )
+        thread.start()
+
+    def _sweep_loop(self, period: float) -> None:
+        log = get_logger("repro.service.cluster")
+        while not self._sweep_stop.wait(period):
+            try:
+                self.anti_entropy_sweep()
+            except Exception:  # noqa: BLE001 - one bad pass must not stop repair
+                log.exception("anti-entropy sweep failed")
+
+    def stop_sweeper(self, timeout: float = 5.0) -> None:
+        """Stop the background sweeper thread (idempotent)."""
+        self._sweep_stop.set()
+        with self._lock:
+            thread = self._sweep_thread
+            self._sweep_thread = None
+        if thread is not None:
+            thread.join(timeout)
 
     # ------------------------------------------------------------------
     # the ScheduleCache surface
@@ -1530,6 +1731,14 @@ class ClusterScheduleCache:
         """Local-tier digests only."""
         return self.local.keys()
 
+    def discard(self, digest: str) -> bool:
+        """Drop ``digest`` from the local tier only; True when present.
+
+        Remote owners keep their copies — this is the handoff-eviction
+        primitive, not a cluster-wide delete.
+        """
+        return self.local.discard(digest)
+
     def clear(self) -> None:
         """Drop the local tier; remote shards are their daemons' business."""
         self.local.clear()
@@ -1547,13 +1756,15 @@ class ClusterScheduleCache:
     def close(self) -> None:
         """Close every peer client (idempotent; peers keep running).
 
-        Also stops observing the topology and aborts any in-flight
-        key-space handoff stream.
+        Also stops observing the topology, stops the background
+        anti-entropy sweeper, and aborts any in-flight key-space
+        handoff stream.
         """
         with self._lock:
             self._closed = True
             states = list(self._nodes.values())
         self.topology.unsubscribe(self._on_topology_change)
+        self.stop_sweeper()
         self.wait_for_handoff(timeout=1.0)  # the worker sees _closed fast
         for state in states:
             try:
@@ -1599,7 +1810,7 @@ class ClusterScheduleCache:
         all-zero counters and ``up: true`` — a fresh joiner is assumed
         healthy until a probe says otherwise.
         """
-        now = time.monotonic()
+        now = self._clock()
         with self._lock:
             stats = {nid: s.as_dict(now) for nid, s in self._nodes.items()}
         fresh = _NodeState(client=None).as_dict(now)

@@ -527,6 +527,29 @@ class RequestHandler:
             "topology": view.as_dict(),
         }
 
+    def gossip_doc(self, doc: Mapping[str, Any]) -> dict[str, Any]:
+        """Serve one ``gossip``: a SWIM probe (or indirect-probe request).
+
+        Hands the document to this daemon's
+        :class:`~repro.service.gossip.GossipNode`, which merges the
+        sender's view and answers with its own (``ack`` plus the usual
+        epoch/members/states piggyback). A ``ping_req`` makes this
+        daemon probe the named target on the sender's behalf, so the
+        call can block for up to one gossip transport timeout — the
+        pipeline runs this op on a worker thread for that reason.
+
+        Raises :class:`ReproError` (``bad_request``) when gossip is not
+        enabled on this daemon or the document is malformed.
+        """
+        node = getattr(self.service.service, "gossip", None)
+        if node is None:
+            raise ReproError(
+                "gossip is disabled on this daemon (start it with "
+                "--gossip-interval)"
+            )
+        self.telemetry.incr("gossip_messages")
+        return {"ok": True, "op": "gossip", **node.handle(doc)}
+
     # ------------------------------------------------------------------
     # batch ops (the HTTP surface)
     # ------------------------------------------------------------------
@@ -650,6 +673,10 @@ _CLUSTER_COUNTER_FIELDS = (
     "handoff_keys_sent",
     "handoff_errors",
     "handoff_aborts",
+    "handoff_evicted",
+    "sweep_rounds",
+    "sweep_repairs",
+    "sweep_errors",
 )
 
 #: Summary quantiles exported per latency histogram: stats-doc key ->

@@ -412,6 +412,11 @@ class RequestPipeline:
             return handler.topology_get_doc()
         if op == "topology_update":
             return handler.topology_update_doc(doc)
+        if op == "gossip":
+            # A ping_req proxies a synchronous probe to a third node, so
+            # this op can block for a gossip transport timeout — keep it
+            # off the event loop.
+            return await asyncio.to_thread(handler.gossip_doc, doc)
         if op == "trace_get":
             return handler.trace_get_doc(doc)
         return error_doc("unknown_op", f"unknown op {op!r}")
@@ -519,6 +524,7 @@ class RequestPipeline:
             "/v1/cache_get",
             "/v1/cache_put",
             "/v1/topology_update",
+            "/v1/gossip",
         ):
             if method != "POST":
                 return self._method_not_allowed(method, path)

@@ -382,6 +382,10 @@ class RoutingService:
                 handoff_rate=cluster_handoff_rate,
             )
             self.cluster_topology = cache.topology
+        #: The SWIM failure detector attached to this service (``None``
+        #: unless ``repro serve --gossip-interval`` wired one). Owned by
+        #: the CLI lifecycle; the handler's ``gossip`` op reads it.
+        self.gossip: Any = None
         self.cache = cache
         self.transpile_cache = LRUCache(maxsize=max(cache_size // 4, 16))
         self.executor = BatchExecutor(

@@ -185,6 +185,10 @@ class ShardedScheduleCache:
         for shard in self._shards:
             yield from shard.keys()
 
+    def discard(self, digest: str) -> bool:
+        """Remove one entry from its owning shard; True when present."""
+        return self._shard(digest).discard(digest)
+
     def clear(self) -> None:
         """Drop every in-memory entry in every shard."""
         for shard in self._shards:
