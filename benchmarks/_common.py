@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 
 
 def make_parser(description: str) -> argparse.ArgumentParser:
@@ -27,6 +28,29 @@ def make_parser(description: str) -> argparse.ArgumentParser:
         help="write the collected numbers as JSON to this path",
     )
     return parser
+
+
+def poisson_arrivals(rate_hz: float, n: int, seed: int = 0) -> list[float]:
+    """Arrival offsets (seconds from start) of an open-loop Poisson stream.
+
+    Exponential inter-arrival gaps at ``rate_hz``, deterministic per
+    ``seed`` so a benchmark's arrival schedule is reproducible run to
+    run. *Open loop* means the schedule is fixed before the run begins:
+    a slow server does not slow the arrival process down, so queueing
+    collapse shows up as latency growth — the failure mode that
+    closed-loop (request-after-response) load generation structurally
+    cannot observe, because its arrival rate degrades in lockstep with
+    the server.
+    """
+    if rate_hz <= 0:
+        raise ValueError(f"rate_hz must be positive, got {rate_hz}")
+    rng = random.Random(seed)
+    t = 0.0
+    arrivals = []
+    for _ in range(n):
+        t += rng.expovariate(rate_hz)
+        arrivals.append(t)
+    return arrivals
 
 
 def report(title: str, stats: dict) -> None:

@@ -37,7 +37,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 sys.path.insert(0, os.path.dirname(__file__))
 
-from _common import make_parser, report, write_json
+from _common import make_parser, poisson_arrivals, report, write_json
 from repro.service import (
     AsyncRoutingService,
     RequestPipeline,
@@ -228,6 +228,69 @@ def bench_warm_overhead(n: int = 600, rounds: int = 3) -> dict:
 
 
 # ----------------------------------------------------------------------
+# open-loop arrivals: fixed-rate Poisson stream, server can't push back
+# ----------------------------------------------------------------------
+def bench_open_loop(
+    n: int = 200, rate_hz: float = 400.0, n_unique: int = 8
+) -> dict:
+    """A warm steady stream arriving at fixed Poisson times.
+
+    Unlike the closed-loop phases above, arrivals do not wait for
+    responses: the schedule comes from
+    :func:`_common.poisson_arrivals` and each request fires at its
+    appointed offset regardless of how far behind the server is. Sojourn
+    time (arrival to response) therefore includes queueing delay, and a
+    service that cannot sustain ``rate_hz`` shows unbounded latency
+    growth instead of the silently throttled arrival rate a closed loop
+    would report.
+    """
+    arrivals = poisson_arrivals(rate_hz, n, seed=7)
+
+    async def _run() -> list:
+        async with AsyncRoutingService(
+            cache_size=256, max_workers=1, max_concurrency=4,
+            tenants=_registry(), max_queue_depth=64,
+        ) as svc:
+            pipeline = RequestPipeline(svc)
+            for i in range(n_unique):
+                resp = await pipeline.process(
+                    _steady_doc(i, n_unique), api_key=STEADY_KEY
+                )
+                assert resp["ok"], resp
+
+            t0 = time.perf_counter()
+
+            async def fire(i: int, at: float):
+                delay = at - (time.perf_counter() - t0)
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                resp = await pipeline.process(
+                    _steady_doc(i, n_unique), api_key=STEADY_KEY
+                )
+                # Sojourn = queueing + service, measured from the
+                # *scheduled* arrival so generator lag counts against
+                # the server, as it would for a real late client.
+                return (time.perf_counter() - t0) - at, resp
+
+            return await asyncio.gather(
+                *[fire(i, at) for i, at in enumerate(arrivals)]
+            )
+
+    results = asyncio.run(_run())
+    codes = {r.get("code") for _, r in results if not r.get("ok")}
+    assert not codes, f"open-loop steady stream saw errors: {codes}"
+    sojourn = sorted(dt for dt, _ in results)
+    return {
+        "n_requests": n,
+        "rate_hz": rate_hz,
+        "offered_duration_s": arrivals[-1],
+        "sojourn_p50_ms": _percentile(sojourn, 0.5) * 1e3,
+        "sojourn_p99_ms": _percentile(sojourn, 0.99) * 1e3,
+        "sojourn_max_ms": sojourn[-1] * 1e3,
+    }
+
+
+# ----------------------------------------------------------------------
 # pytest entry points (smoke-sized, structural assertions only)
 # ----------------------------------------------------------------------
 def test_overload_sheds_only_with_429():
@@ -240,11 +303,24 @@ def test_warm_overhead_is_reported():
     assert stats["throughput_ratio"] > 0
 
 
+def test_open_loop_stream_completes_cleanly():
+    stats = bench_open_loop(n=40, rate_hz=200.0)
+    assert stats["n_requests"] == 40
+    assert stats["sojourn_p99_ms"] >= stats["sojourn_p50_ms"] >= 0
+
+
 # ----------------------------------------------------------------------
 # standalone report
 # ----------------------------------------------------------------------
 def main(argv: list[str] | None = None) -> int:
-    args = make_parser(__doc__.splitlines()[0]).parse_args(argv)
+    parser = make_parser(__doc__.splitlines()[0])
+    parser.add_argument(
+        "--open-loop",
+        action="store_true",
+        help="also drive a fixed-rate Poisson arrival stream (open loop: "
+        "arrivals never wait for responses, so queueing delay is visible)",
+    )
+    args = parser.parse_args(argv)
 
     n_steady, n_warm, rounds = (16, 120, 2) if args.ci else (80, 600, 3)
     doc: dict = {"ci": args.ci}
@@ -256,6 +332,12 @@ def main(argv: list[str] | None = None) -> int:
     warm = bench_warm_overhead(n=n_warm, rounds=rounds)
     report("warm-path throughput (tenancy off vs on)", warm)
     doc["warm_overhead"] = warm
+
+    if args.open_loop:
+        n_open, rate = (60, 200.0) if args.ci else (400, 400.0)
+        ol = bench_open_loop(n=n_open, rate_hz=rate)
+        report(f"open-loop Poisson arrivals @ {rate:.0f}/s", ol)
+        doc["open_loop"] = ol
 
     write_json(doc, args.out)
 

@@ -8,9 +8,13 @@ interface so the same routers can run on interchangeable implementations:
 * ``python`` — the reference kernels, pure Python (plus the pre-existing
   reference modules they delegate to). Always available; this is the
   semantic ground truth the equivalence test suite pins the others to.
-* ``numpy`` — vectorized kernels (batched BFS layering, array reductions,
-  fancy-indexed schedule assembly). Selected by default when numpy is
-  importable.
+* ``numpy`` — vectorized kernels (batched BFS layering, frontier-batched
+  Hopcroft–Karp augmentation that advances every augmenting path one
+  level per array pass, array reductions, fancy-indexed schedule
+  assembly). Selected by default when numpy is importable. The batched
+  augmentation engages adaptively (dense, many-root phases) and can be
+  disabled wholesale with ``REPRO_HK_BATCH=0``, which restores the
+  sequential per-root DFS exactly.
 
 **Equivalence contract.** Every backend must produce *identical* outputs
 for identical inputs — not merely valid ones. Routers interleave kernel

@@ -14,6 +14,13 @@ plain adjacency lists. For the instance sizes the routers produce
 (``V = n`` columns, ``E <= m*n`` token edges collapsed to at most ``n^2``
 support edges) this is far from being a bottleneck, matching the
 "algorithmic optimization first" guidance.
+
+Distance labels are plain ints with ``n_left + 1`` as the
+unreached/dead sentinel: a finite BFS level never exceeds
+``n_left - 1``, so every comparison behaves exactly as it did with the
+old ``float('inf')`` labels while staying on the fast int path (and the
+vectorized backend shares the same convention, keeping the two
+implementations diff-friendly).
 """
 
 from __future__ import annotations
@@ -24,8 +31,6 @@ from typing import Sequence
 from ..profiling import stage
 
 __all__ = ["hopcroft_karp", "is_perfect_matching_possible"]
-
-_INF = float("inf")
 
 
 def hopcroft_karp(
@@ -55,26 +60,33 @@ def hopcroft_karp(
     """
     match_l = [-1] * n_left
     match_r = [-1] * n_right
-    dist = [0.0] * n_left
+    unreached = n_left + 1
+    dist = [0] * n_left
 
     def bfs() -> bool:
         queue: deque[int] = deque()
+        push = queue.append
         for u in range(n_left):
             if match_l[u] == -1:
-                dist[u] = 0.0
-                queue.append(u)
+                dist[u] = 0
+                push(u)
             else:
-                dist[u] = _INF
+                dist[u] = unreached
         found = False
+        # Hoist the hot lookups out of the inner loop: `mr`/`d` skip the
+        # repeated closure-cell loads, `du1` the per-edge re-add.
+        mr = match_r
+        d = dist
         while queue:
             u = queue.popleft()
+            du1 = d[u] + 1
             for v in adj[u]:
-                w = match_r[v]
+                w = mr[v]
                 if w == -1:
                     found = True
-                elif dist[w] == _INF:
-                    dist[w] = dist[u] + 1
-                    queue.append(w)
+                elif d[w] == unreached:
+                    d[w] = du1
+                    push(w)
         return found
 
     def dfs(root: int) -> bool:
@@ -88,7 +100,7 @@ def hopcroft_karp(
         while stack:
             u, idx = stack[-1]
             if idx >= len(adj[u]):
-                dist[u] = _INF
+                dist[u] = unreached
                 stack.pop()
                 if path:
                     path.pop()  # drop the edge that led into the failed frame

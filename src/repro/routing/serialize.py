@@ -5,6 +5,12 @@ stack, or diffed between router versions. The visualizer renders a grid
 schedule layer by layer as ASCII frames — invaluable when debugging a
 router (every example in the paper's figures is effectively one of these
 frames).
+
+This is the *interchange* format: text, self-describing, stable. The
+serving hot path (disk cache tier, pool-boundary crossings, cluster
+``cache_get``/``cache_put``) uses the binary :mod:`repro.routing.codec`
+frames instead, which decode zero-copy into the flat schedule
+representation; both formats round-trip the same schedules exactly.
 """
 
 from __future__ import annotations

@@ -49,9 +49,10 @@ import functools
 import time
 from typing import Any, AsyncIterator, Mapping, Sequence
 
-from ..errors import ServiceClosedError
+from ..errors import ScheduleError, ServiceClosedError
 from ..graphs.base import Graph
 from ..perm.permutation import Permutation
+from ..routing.codec import decode_schedule
 from ..routing.schedule import Schedule
 from .executor import (
     RouteRequest,
@@ -75,6 +76,23 @@ from .tenancy import (
 from .tracing import record_stage_spans, span
 
 __all__ = ["AsyncRoutingService"]
+
+
+def _decoded_worker_schedule(body: Any, n_vertices: int) -> Schedule:
+    """Decode a pool worker's binary schedule frame, checking the size.
+
+    Workers return :func:`~repro.routing.codec.encode_schedule` frames
+    (metadata, including the kernel backend, rides inside the frame);
+    the vertex-count check keeps a mis-keyed frame from being cached
+    under the wrong request.
+    """
+    schedule = decode_schedule(body)
+    if schedule.n_vertices != n_vertices:
+        raise ScheduleError(
+            f"schedule on {schedule.n_vertices} vertices for a "
+            f"{n_vertices}-vertex graph"
+        )
+    return schedule
 
 
 def _route_error(
@@ -529,9 +547,7 @@ class AsyncRoutingService:
         if status != "ok":
             return _route_error(index, key, req.router, seconds, str(body))
         try:
-            schedule = Schedule(req.graph.n_vertices, body)
-            if backend:
-                schedule = schedule.with_metadata(backend=backend)
+            schedule = _decoded_worker_schedule(body, req.graph.n_vertices)
             if self.service.executor.verify:
                 schedule.verify(req.graph, req.perm)
         except Exception as exc:  # noqa: BLE001 - isolate per request
@@ -612,7 +628,7 @@ class AsyncRoutingService:
                 _digest, status, body, seconds, _stages, _backend = future.result()
                 if status != "ok":
                     return
-                schedule = Schedule(req.graph.n_vertices, body)
+                schedule = _decoded_worker_schedule(body, req.graph.n_vertices)
                 if self.service.executor.verify:
                     schedule.verify(req.graph, req.perm)
                 self.service.cache.put(key.digest, schedule, cost=seconds)

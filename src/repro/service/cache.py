@@ -7,9 +7,13 @@ Two tiers:
   transpile outcomes (which hold circuit objects).
 * :class:`ScheduleCache` — an :class:`LRUCache` of
   :class:`~repro.routing.schedule.Schedule` values with an optional
-  persistent on-disk tier. Disk entries are the JSON documents of
-  :mod:`repro.routing.serialize`, one file per digest, so a warm cache
-  survives process restarts and can be shipped between machines.
+  persistent on-disk tier. Disk entries are binary
+  :mod:`repro.routing.codec` frames (``<digest>.rsc``), one file per
+  digest, so a warm cache survives process restarts and can be shipped
+  between machines. Caches written before the binary format
+  (``<digest>.json`` holding a :mod:`repro.routing.serialize` document)
+  are still read — a binary miss falls back to the JSON file, and the
+  next ``put`` of that digest rewrites it in the new format.
 
 Concurrency notes: all state is guarded by one ``RLock`` per cache.
 Disk writes go through a temp-file + ``os.replace`` so a crashed writer
@@ -27,8 +31,9 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from ..errors import ScheduleError
+from ..routing.codec import decode_schedule, encode_schedule
 from ..routing.schedule import Schedule
-from ..routing.serialize import schedule_from_json, schedule_to_json
+from ..routing.serialize import schedule_from_json
 
 __all__ = ["CacheStats", "LRUCache", "ScheduleCache"]
 
@@ -162,11 +167,15 @@ class ScheduleCache(LRUCache):
         In-memory entry bound (see :class:`LRUCache`).
     disk_dir:
         Directory for the persistent tier (created on demand). ``None``
-        disables persistence. Each entry is ``<digest>.json`` holding
-        the :func:`~repro.routing.serialize.schedule_to_json` document.
+        disables persistence. Each entry is ``<digest>.rsc`` holding a
+        binary :func:`~repro.routing.codec.encode_schedule` frame;
+        legacy ``<digest>.json`` documents from pre-binary caches are
+        read as a fallback.
     """
 
-    def __init__(self, maxsize: int = 4096, disk_dir: str | os.PathLike | None = None) -> None:
+    def __init__(
+        self, maxsize: int = 4096, disk_dir: str | os.PathLike | None = None
+    ) -> None:
         super().__init__(maxsize)
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
 
@@ -174,6 +183,11 @@ class ScheduleCache(LRUCache):
     # disk tier
     # ------------------------------------------------------------------
     def _disk_path(self, digest: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / f"{digest}.rsc"
+
+    def _disk_path_json(self, digest: str) -> Path:
+        """The pre-binary-format location (read-fallback only)."""
         assert self.disk_dir is not None
         return self.disk_dir / f"{digest}.json"
 
@@ -184,24 +198,40 @@ class ScheduleCache(LRUCache):
         try:
             data = path.read_bytes()
         except OSError:
+            return self._disk_load_json(digest)
+        try:
+            return decode_schedule(data)
+        except ScheduleError:
+            self._drop_corrupt(path)
+            return None
+
+    def _disk_load_json(self, digest: str) -> Schedule | None:
+        """Read-fallback for entries written before the binary format."""
+        path = self._disk_path_json(digest)
+        try:
+            data = path.read_bytes()
+        except OSError:
             return None
         try:
             return schedule_from_json(data.decode("utf-8"))
         except (UnicodeDecodeError, ScheduleError):
-            # Corrupt entry: drop it so it is recomputed, not re-served.
-            # Concurrent readers can race to this unlink; a file that is
-            # already gone was evicted (and counted) by the winner, so
-            # the loser tolerates the miss instead of crashing and does
-            # not double-count the eviction.
-            try:
-                path.unlink()
-            except FileNotFoundError:
-                return None
-            except OSError:
-                pass
-            with self._lock:
-                self.stats.disk_errors += 1
+            self._drop_corrupt(path)
             return None
+
+    def _drop_corrupt(self, path: Path) -> None:
+        # Corrupt entry: drop it so it is recomputed, not re-served.
+        # Concurrent readers can race to this unlink; a file that is
+        # already gone was evicted (and counted) by the winner, so
+        # the loser tolerates the miss instead of crashing and does
+        # not double-count the eviction.
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return
+        except OSError:
+            pass
+        with self._lock:
+            self.stats.disk_errors += 1
 
     def _disk_store(self, digest: str, schedule: Schedule) -> None:
         if self.disk_dir is None:
@@ -212,7 +242,7 @@ class ScheduleCache(LRUCache):
             # pid+tid so concurrent writers (threads or processes) of the
             # same digest never share a temp file.
             tmp = path.with_suffix(f".tmp{os.getpid()}.{threading.get_ident()}")
-            tmp.write_text(schedule_to_json(schedule), encoding="utf-8")
+            tmp.write_bytes(encode_schedule(schedule))
             os.replace(tmp, path)
             with self._lock:
                 self.stats.disk_writes += 1
@@ -256,11 +286,12 @@ class ScheduleCache(LRUCache):
         """
         dropped = super().discard(digest)
         if self.disk_dir is not None:
-            try:
-                self._disk_path(digest).unlink()
-                dropped = True
-            except OSError:
-                pass
+            for path in (self._disk_path(digest), self._disk_path_json(digest)):
+                try:
+                    path.unlink()
+                    dropped = True
+                except OSError:
+                    pass
         return dropped
 
     def as_dict(self) -> dict[str, Any]:

@@ -30,7 +30,11 @@ Four pieces provide that agreement:
   :class:`~repro.service.handler.RequestHandler` exposes on **both**
   transports: the NDJSON daemon framing (address = UNIX-socket path)
   and the HTTP facade (address = ``http://host:port``). Schedules ship
-  as the :mod:`repro.routing.serialize` JSON documents.
+  as base64-wrapped binary :mod:`repro.routing.codec` frames when the
+  peer advertises the capability (learned from the ``codec`` field its
+  responses echo), falling back to the :mod:`repro.routing.serialize`
+  JSON documents for pre-codec daemons — so mixed-version rings keep
+  interoperating during a rolling upgrade.
 * :class:`ClusterScheduleCache` — the ``ScheduleCache`` drop-in that
   the service layer actually holds. ``get`` probes the local tier
   first, then the key's remote owners in ring order; ``put`` writes
@@ -57,6 +61,8 @@ see a cache miss.
 
 from __future__ import annotations
 
+import base64
+import binascii
 import bisect
 import hashlib
 import json
@@ -72,6 +78,7 @@ from ..errors import (
     ReproError,
     StaleEpochError,
 )
+from ..routing.codec import decode_schedule, encode_schedule, negotiated_version
 from ..routing.schedule import Schedule
 from ..routing.serialize import schedule_from_json, schedule_to_json
 from .cache import CacheStats, ScheduleCache
@@ -772,6 +779,12 @@ class RemoteShardClient:
         self._lock = threading.Lock()
         self._is_http = address.startswith(("http://", "https://"))
         self._daemon: Any = None
+        # The peer's schedule-codec capability: ``None`` until the first
+        # cache response teaches us (every response echoes ``codec``),
+        # ``0`` for a pre-codec daemon (JSON documents only), ``>= 1``
+        # for binary frames. Unknown peers are sent JSON — correct
+        # against any version — and upgrade after one round trip.
+        self._peer_codec: int | None = None
         if not self._is_http:
             from .daemon import DaemonClient  # local import: avoids a cycle
 
@@ -859,8 +872,21 @@ class RemoteShardClient:
         except ReproError:
             return False
 
+    def _learn_codec(self, resp: Mapping[str, Any]) -> None:
+        """Record the peer's codec capability from a response echo."""
+        codec = resp.get("codec")
+        if isinstance(codec, int) and codec >= 0:
+            self._peer_codec = min(codec, negotiated_version())
+        elif self._peer_codec is None:
+            self._peer_codec = 0  # pre-codec daemons never echo the field
+
     def cache_get(self, digest: str) -> Schedule | None:
         """Fetch ``digest`` from the shard's **local** cache tier.
+
+        The request advertises our codec version; a codec-aware peer
+        answers with a binary ``schedule_b64`` frame, a pre-codec peer
+        ignores the advert and answers the JSON document — both decode
+        here.
 
         Returns
         -------
@@ -873,12 +899,18 @@ class RemoteShardClient:
         ClusterShardError
             On transport failure or a refused/malformed response.
         """
-        resp = self._checked({"op": "cache_get", "digest": digest})
+        resp = self._checked(
+            {"op": "cache_get", "digest": digest, "codec": negotiated_version()}
+        )
+        self._learn_codec(resp)
         if not resp.get("found"):
             return None
+        frame_b64 = resp.get("schedule_b64")
         try:
+            if frame_b64 is not None:
+                return decode_schedule(base64.b64decode(frame_b64, validate=True))
             return schedule_from_json(json.dumps(resp["schedule"]))
-        except (KeyError, TypeError, ReproError) as exc:
+        except (KeyError, TypeError, binascii.Error, ReproError) as exc:
             raise ClusterShardError(
                 f"shard {self.address} returned a malformed schedule "
                 f"for {digest[:12]}: {exc}"
@@ -889,6 +921,14 @@ class RemoteShardClient:
     ) -> bool:
         """Replicate a schedule onto the shard.
 
+        Ships the binary frame once the peer's codec capability is
+        known (learned from any previous cache response), JSON
+        otherwise. If a binary put is refused as ``bad_request`` — the
+        peer was downgraded to a pre-codec build between requests — the
+        client downgrades the capability and resends the entry as JSON
+        once, so a rolling rollback costs one extra round trip instead
+        of an error.
+
         Returns ``True`` when the shard accepted the entry (its local
         admission policy may still reject it silently).
 
@@ -897,14 +937,30 @@ class RemoteShardClient:
         ClusterShardError
             On transport failure or a refused response.
         """
-        doc = {
+        doc: dict[str, Any] = {
             "op": "cache_put",
             "digest": digest,
-            "schedule": json.loads(schedule_to_json(schedule)),
+            "codec": negotiated_version(),
         }
         if cost is not None:
             doc["cost"] = float(cost)
-        return bool(self._checked(doc).get("stored"))
+        if min(self._peer_codec or 0, negotiated_version()) >= 1:
+            frame = encode_schedule(schedule)
+            doc["schedule_b64"] = base64.b64encode(frame).decode("ascii")
+            try:
+                resp = self._checked(doc)
+            except ClusterShardError as exc:
+                if "bad_request" not in str(exc):
+                    raise
+                self._peer_codec = 0
+                del doc["schedule_b64"]
+                doc["schedule"] = json.loads(schedule_to_json(schedule))
+                resp = self._checked(doc)
+        else:
+            doc["schedule"] = json.loads(schedule_to_json(schedule))
+            resp = self._checked(doc)
+        self._learn_codec(resp)
+        return bool(resp.get("stored"))
 
     def cache_stats(self) -> dict[str, Any]:
         """The shard's local cache-stats document.

@@ -9,8 +9,17 @@ with three cost-avoidance layers, applied in order:
    are served synchronously without touching the pool.
 3. **Fan-out** — the remaining unique misses run on a persistent
    ``concurrent.futures`` process pool. Workers receive graph *specs*
-   (not pickled graph objects) and return raw schedule layers, keeping
-   payloads small and the worker function import-safe.
+   (not pickled graph objects) and return binary
+   :mod:`repro.routing.codec` frames instead of nested layer lists, so
+   crossing the pool boundary costs three buffer copies rather than a
+   per-swap pickle walk; the parent decodes straight into the lazy
+   flat-array schedule representation.
+
+Misses are dispatched to the pool in descending estimated-cost order
+(stable, restored on collection) so one expensive route starts first
+instead of straggling the final chunk; under heavy cost skew the
+``pool.map`` chunksize drops to 1 so cheap requests never queue behind
+an expensive chunk-mate.
 
 Guarantees: results come back in input order regardless of completion
 order, and a failing instance yields an error *result* (``source ==
@@ -33,10 +42,11 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
-from ..errors import ServiceClosedError
+from ..errors import ScheduleError, ServiceClosedError
 from ..graphs.base import Graph
 from ..perm.permutation import Permutation
 from ..routing.base import StageProfiler, make_router, profile
+from ..routing.codec import decode_schedule, encode_schedule
 from ..routing.schedule import Schedule
 from .cache import ScheduleCache
 from .cluster import ClusterScheduleCache
@@ -50,6 +60,10 @@ __all__ = [
     "BatchExecutor",
     "record_stage_telemetry",
 ]
+
+#: Cost spread (max/min estimated cost) beyond which a pool batch is
+#: considered skewed and the ``pool.map`` chunksize is capped at 1.
+_SKEW_RATIO = 4
 
 
 @dataclass(frozen=True)
@@ -130,15 +144,18 @@ def _warm_worker() -> None:
 def _route_in_worker(
     payload: tuple[str, dict, list[int], str, dict, Any],
 ) -> tuple[str, str, Any, float, dict, str | None]:
-    """Pool worker: rebuild the instance, route it, return raw layers.
+    """Pool worker: rebuild the instance, route it, return a codec frame.
 
     Module-level so it pickles by reference. Never raises: failures are
     returned as ``(digest, "error", message, seconds, stages, backend)``
     tuples, which is what keeps one bad instance from killing the whole
-    batch. The two trailing elements carry the per-stage routing profile
-    and the kernel-backend name the schedule records — workers cannot
-    share the parent's trace context, so both are collected here and
-    shipped back with the result.
+    batch. Successes carry the schedule as a binary
+    :func:`~repro.routing.codec.encode_schedule` frame (``bytes``
+    pickle as one opaque buffer; nested layer lists used to pickle swap
+    by swap). The two trailing elements carry the per-stage routing
+    profile and the kernel-backend name the schedule records — workers
+    cannot share the parent's trace context, so both are collected here
+    and shipped back with the result.
 
     The payload's last element is the executor's default kernel-backend
     spec; a ``backend`` key inside ``options`` (per-request override)
@@ -155,10 +172,10 @@ def _route_in_worker(
         router = make_router(router_name, backend=backend_spec, **opts)
         with profile(profiler):
             schedule = router.route(graph, perm)
-        layers = [list(layer) for layer in schedule]
+        frame = encode_schedule(schedule)
         backend = schedule.metadata.get("backend")
         return (
-            digest, "ok", layers, time.perf_counter() - t0,
+            digest, "ok", frame, time.perf_counter() - t0,
             profiler.as_dict(), backend,
         )
     except Exception as exc:  # noqa: BLE001 - error isolation is the contract
@@ -295,7 +312,12 @@ class BatchExecutor:
     # ------------------------------------------------------------------
     # generic fan-out
     # ------------------------------------------------------------------
-    def run_jobs(self, fn, payloads: Sequence[Any]) -> list[Any]:
+    def run_jobs(
+        self,
+        fn,
+        payloads: Sequence[Any],
+        max_chunksize: int | None = None,
+    ) -> list[Any]:
         """Map a no-raise, module-level worker over payloads.
 
         Uses the process pool when parallel (falling back to inline
@@ -303,6 +325,10 @@ class BatchExecutor:
         ``fn`` must be picklable by reference and must encode failures
         in its return value — an exception escaping ``fn`` in a worker
         triggers the inline fallback for the entire job list.
+
+        ``max_chunksize`` caps the batching heuristic: callers that
+        dispatch payloads with heavily skewed per-item cost pass a small
+        cap so an expensive item never drags chunk-mates behind it.
         """
         self._ensure_open()
         if self.parallel and len(payloads) > 1:
@@ -310,6 +336,8 @@ class BatchExecutor:
                 pool = self._get_pool()
                 workers = self.max_workers or os.cpu_count() or 1
                 chunksize = max(1, len(payloads) // (4 * workers))
+                if max_chunksize is not None:
+                    chunksize = max(1, min(chunksize, max_chunksize))
                 return list(pool.map(fn, payloads, chunksize=chunksize))
             except Exception:  # noqa: BLE001 - BrokenProcessPool and friends
                 self.telemetry.incr("pool_failures")
@@ -453,10 +481,22 @@ class BatchExecutor:
         misses: list[int],
         keys: dict[int, RequestKey],
     ) -> list[RouteResult]:
-        """Fan unique misses out over the process pool."""
+        """Fan unique misses out over the process pool.
+
+        Payloads go to the pool sorted by descending estimated cost
+        (vertex count — route time grows superlinearly in it) so the
+        most expensive instance starts immediately instead of
+        straggling the last chunk; the sort is stable and the original
+        order is restored on collection. When the batch's cost spread
+        exceeds :data:`_SKEW_RATIO` the chunksize is capped at 1 —
+        with descending order a large chunk would put all the expensive
+        instances on one worker.
+        """
         payloads = []
+        costs = []
         for i in misses:
             req = requests[i]
+            costs.append(req.graph.n_vertices)
             payloads.append((
                 keys[i].digest,
                 graph_spec(req.graph),
@@ -465,16 +505,28 @@ class BatchExecutor:
                 dict(req.options),
                 self.kernel_backend,
             ))
-        raw = self.run_jobs(_route_in_worker, payloads)
+        order = sorted(range(len(misses)), key=lambda p: -costs[p])
+        skewed = bool(costs) and max(costs) > _SKEW_RATIO * min(costs)
+        raw_sorted = self.run_jobs(
+            _route_in_worker,
+            [payloads[p] for p in order],
+            max_chunksize=1 if skewed else None,
+        )
+        raw: list[Any] = [None] * len(misses)
+        for slot, p in enumerate(order):
+            raw[p] = raw_sorted[slot]
 
         out: list[RouteResult] = []
         for i, (_digest, status, body, seconds, stages, backend) in zip(misses, raw):
             req = requests[i]
             if status == "ok":
                 try:
-                    schedule = Schedule(req.graph.n_vertices, body)
-                    if backend:
-                        schedule = schedule.with_metadata(backend=backend)
+                    schedule = decode_schedule(body)
+                    if schedule.n_vertices != req.graph.n_vertices:
+                        raise ScheduleError(
+                            f"schedule on {schedule.n_vertices} vertices for a "
+                            f"{req.graph.n_vertices}-vertex graph"
+                        )
                     out.append(RouteResult(
                         index=i, key=keys[i], router=req.router,
                         schedule=schedule, seconds=seconds, source="computed",

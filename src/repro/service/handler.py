@@ -45,6 +45,13 @@ protocol** (``cache_get`` / ``cache_put`` / ``cache_stats``) that
 :mod:`repro.service.cluster` peers speak. These ops always address the
 *local* cache tier — a daemon answering a peer never fans the probe
 back out to the cluster, which is what makes the ring recursion-free.
+Schedules cross this protocol in one of two encodings, negotiated per
+request: the legacy ``schedule`` JSON document, or — when the caller
+advertises ``"codec": 1`` — a base64-wrapped binary
+:mod:`repro.routing.codec` frame under ``schedule_b64``. Responses echo
+``"codec": 1`` so clients learn the capability and upgrade their next
+``cache_put``; daemons predating the codec ignore the advert and keep
+speaking JSON, which is what lets mixed-version rings interoperate.
 Runtime reconfiguration rides the same surface: ``topology_get`` /
 ``topology_update`` read and mutate the daemon's epoch-versioned
 :class:`~repro.service.cluster.ClusterTopology` (join / leave /
@@ -59,15 +66,18 @@ HTTP ``/metrics`` endpoint and the NDJSON ``metrics`` op.
 from __future__ import annotations
 
 import asyncio
+import base64
+import binascii
 import functools
 import json
 from typing import Any, Mapping, Sequence
 
 from .. import __version__
-from ..errors import ReproError, StaleEpochError
+from ..errors import ReproError, ScheduleError, StaleEpochError
 from ..graphs.grid import GridGraph
 from ..perm.generators import make_workload
 from ..perm.permutation import Permutation
+from ..routing.codec import decode_schedule, encode_schedule, negotiated_version
 from ..routing.serialize import schedule_from_json, schedule_to_json
 from .aio import AsyncRoutingService
 from .executor import RouteRequest
@@ -422,13 +432,27 @@ class RequestHandler:
             raise ReproError("'digest' string required")
         return digest
 
+    @staticmethod
+    def _codec_from_doc(doc: Mapping[str, Any]) -> int:
+        """The caller's advertised codec version (0 = JSON only)."""
+        codec = doc.get("codec", 0)
+        try:
+            return int(codec)
+        except (TypeError, ValueError):
+            return 0
+
     async def cache_get_doc(self, doc: Mapping[str, Any]) -> dict[str, Any]:
         """Serve one ``cache_get``: local-tier probe, schedule as JSON.
 
-        The response carries ``found`` plus, on a hit, the
+        The response carries ``found`` plus, on a hit, the schedule: a
+        base64 binary :func:`~repro.routing.codec.encode_schedule`
+        frame under ``schedule_b64`` when the request advertised
+        ``"codec": 1``, otherwise the legacy
         :func:`~repro.routing.serialize.schedule_to_json` document
-        under ``schedule``. Raises :class:`ReproError` on a malformed
-        request (``bad_request`` via :meth:`dispatch`).
+        under ``schedule``. The response always echoes ``"codec"`` so
+        callers learn the capability for their next ``cache_put``.
+        Raises :class:`ReproError` on a malformed request
+        (``bad_request`` via :meth:`dispatch`).
         """
         digest = self._digest_from_doc(doc)
         cache = self._local_cache()
@@ -437,28 +461,55 @@ class RequestHandler:
             "ok": True,
             "op": "cache_get",
             "digest": digest,
+            "codec": negotiated_version(),
             "found": schedule is not None,
         }
         if schedule is not None:
-            resp["schedule"] = json.loads(schedule_to_json(schedule))
+            if min(self._codec_from_doc(doc), negotiated_version()) >= 1:
+                frame = encode_schedule(schedule)
+                resp["schedule_b64"] = base64.b64encode(frame).decode("ascii")
+            else:
+                resp["schedule"] = json.loads(schedule_to_json(schedule))
         return resp
 
     async def cache_put_doc(self, doc: Mapping[str, Any]) -> dict[str, Any]:
         """Serve one ``cache_put``: validate and store into the local tier.
 
-        ``schedule`` must be a
-        :func:`~repro.routing.serialize.schedule_to_json` document (it
-        is re-validated by the :class:`~repro.routing.schedule.Schedule`
-        constructor, so a peer can never plant a corrupt entry);
-        ``cost`` optionally carries the original compute seconds for
-        the admission policy. Raises :class:`ReproError` on malformed
-        requests.
+        The schedule arrives either as ``schedule_b64`` (a base64
+        binary :func:`~repro.routing.codec.encode_schedule` frame,
+        re-validated swap by swap during decode) or as the legacy
+        ``schedule`` JSON document (re-validated by the
+        :class:`~repro.routing.schedule.Schedule` constructor) — either
+        way a peer can never plant a corrupt entry. ``cost`` optionally
+        carries the original compute seconds for the admission policy.
+        The response echoes ``"codec"`` so callers learn the
+        capability. Raises :class:`ReproError` on malformed requests.
         """
         digest = self._digest_from_doc(doc)
-        payload = doc.get("schedule")
-        if not isinstance(payload, Mapping):
-            raise ReproError("'schedule' must be a schedule JSON document")
-        schedule = schedule_from_json(json.dumps(payload))
+        frame_b64 = doc.get("schedule_b64")
+        if frame_b64 is not None:
+            if negotiated_version() < 1:
+                # REPRO_CODEC=0 emulates a pre-codec daemon on the wire:
+                # refusing the frame triggers the sender's JSON resend.
+                raise ReproError("binary frames disabled; pass 'schedule'")
+            if not isinstance(frame_b64, str):
+                raise ReproError("'schedule_b64' must be a base64 string")
+            try:
+                frame = base64.b64decode(frame_b64, validate=True)
+            except binascii.Error as exc:
+                raise ReproError(f"bad 'schedule_b64': {exc}") from None
+            try:
+                schedule = decode_schedule(frame)
+            except ScheduleError as exc:
+                raise ReproError(f"bad 'schedule_b64': {exc}") from None
+        else:
+            payload = doc.get("schedule")
+            if not isinstance(payload, Mapping):
+                raise ReproError(
+                    "'schedule' must be a schedule JSON document "
+                    "(or pass 'schedule_b64')"
+                )
+            schedule = schedule_from_json(json.dumps(payload))
         cost = doc.get("cost")
         if cost is not None:
             try:
@@ -470,7 +521,13 @@ class RequestHandler:
             functools.partial(cache.put, digest, schedule, cost=cost)
         )
         self.telemetry.incr("cache_put_ops")
-        return {"ok": True, "op": "cache_put", "digest": digest, "stored": True}
+        return {
+            "ok": True,
+            "op": "cache_put",
+            "digest": digest,
+            "codec": negotiated_version(),
+            "stored": True,
+        }
 
     def local_cache_stats(self) -> dict[str, Any]:
         """The local cache tier's stats document (no network I/O)."""

@@ -20,6 +20,9 @@ answer whether the layers live as arrays or as materialized tuples.
 
 from __future__ import annotations
 
+import contextlib
+import os
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -31,6 +34,7 @@ from repro import (
     Permutation,
     available_backends,
     make_router,
+    random_permutation,
 )
 from repro.graphs import cycle_graph, path_graph
 from repro.kernels import get_backend
@@ -309,3 +313,100 @@ class TestFlatLayersTransforms:
         assert flat.size == 0
         assert flat.compact().layers == ()
         assert flat.trimmed().depth == 0
+# ----------------------------------------------------------------------
+# tier 4: frontier-batched Hopcroft–Karp augmentation
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def _hk_batch(flag: str):
+    """Run a block with ``REPRO_HK_BATCH`` pinned to ``flag``."""
+    old = os.environ.get("REPRO_HK_BATCH")
+    os.environ["REPRO_HK_BATCH"] = flag
+    try:
+        yield
+    finally:
+        if old is None:
+            del os.environ["REPRO_HK_BATCH"]
+        else:
+            os.environ["REPRO_HK_BATCH"] = old
+
+
+def _reversed_chain(n: int) -> list[list[int]]:
+    """Greedy shifts every left one right; the last left is then free and
+    its only augmenting path alternates through the whole chain — the
+    worst-case path depth for an ``n``-vertex instance."""
+    return [[u + 1, u] if u < n - 1 else [u] for u in range(n)]
+
+
+def _contended_instance(k: int, half: int = 10):
+    """``k`` free roots after the greedy phase, each with many length-3
+    augmenting paths overlapping its neighbours' — wide and dense enough
+    to engage the speculative lock-step batch, with real conflicts."""
+    adj = [[i, k + i] for i in range(k)]
+    for i in range(k):
+        adj.append(list(range(max(0, i - half), min(k, i + half))))
+    return 2 * k, 2 * k, adj
+
+
+class TestBatchedAugmentation:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_random_instances_match_reference_under_both_flags(self, data):
+        n_left = data.draw(st.integers(1, 40))
+        n_right = data.draw(st.integers(1, 40))
+        adj = [
+            data.draw(
+                st.lists(
+                    st.integers(0, n_right - 1),
+                    max_size=min(n_right, 12),
+                    unique=True,
+                )
+            )
+            for _ in range(n_left)
+        ]
+        want = PY.hopcroft_karp(n_left, n_right, adj)
+        for flag in ("1", "0"):
+            with _hk_batch(flag):
+                assert NP.hopcroft_karp(n_left, n_right, adj) == want
+
+    @pytest.mark.parametrize("n", [5, 17, 64, 97, 200, 513])
+    def test_adversarial_long_augmenting_paths(self, n):
+        adj = _reversed_chain(n)
+        want = PY.hopcroft_karp(n, n, adj)
+        assert want[2] == n  # the deep path must actually be taken
+        for flag in ("1", "0"):
+            with _hk_batch(flag):
+                assert NP.hopcroft_karp(n, n, adj) == want
+
+    def test_lockstep_engages_and_matches_reference(self, monkeypatch):
+        import repro.kernels._numpy as knp
+
+        n_left, n_right, adj = _contended_instance(100)
+        calls: list[int] = []
+        orig = knp._augment_pass
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return orig(*args, **kwargs)
+
+        monkeypatch.setattr(knp, "_augment_pass", spy)
+        want = PY.hopcroft_karp(n_left, n_right, adj)
+        assert want[2] == n_left  # perfect matching via the contended paths
+        with _hk_batch("1"):
+            assert NP.hopcroft_karp(n_left, n_right, adj) == want
+        assert calls, "lock-step batch never engaged on the contended instance"
+        calls.clear()
+        with _hk_batch("0"):
+            assert NP.hopcroft_karp(n_left, n_right, adj) == want
+        assert not calls, "REPRO_HK_BATCH=0 must bypass the batched pass"
+
+    def test_schedules_identical_under_both_flags(self):
+        grid = GridGraph(12, 12)
+        want = make_router("local", backend="python").route(
+            grid, random_permutation(grid, seed=3)
+        )
+        for flag in ("1", "0"):
+            with _hk_batch(flag):
+                got = make_router("local", backend="numpy").route(
+                    grid, random_permutation(grid, seed=3)
+                )
+            _assert_same_schedule(got, want)

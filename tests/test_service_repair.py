@@ -121,10 +121,14 @@ class TestDiscard:
     def test_schedule_cache_discard_drops_disk_copy(self, schedule, tmp_path):
         cache = ScheduleCache(maxsize=8, disk_dir=tmp_path)
         cache.put(DIGESTS[1], schedule)
-        path = tmp_path / f"{DIGESTS[1]}.json"
+        path = tmp_path / f"{DIGESTS[1]}.rsc"
         assert path.exists()
+        # A legacy JSON copy must go too, or a get would resurrect it.
+        legacy = tmp_path / f"{DIGESTS[1]}.json"
+        legacy.write_text(path.read_bytes().hex())
         assert cache.discard(DIGESTS[1]) is True
         assert not path.exists()
+        assert not legacy.exists()
         # Without the disk unlink the next get would resurrect it.
         assert cache.get(DIGESTS[1]) is None
 
